@@ -1,0 +1,96 @@
+"""Ablation — DDnet design choices the paper calls out.
+
+Trains matched DDnet variants on identical physics pairs and budgets:
+
+- **global shortcuts** on vs off (§2.2.3: shortcuts give "a
+  better-trained network"),
+- **composite Eq. 1 loss** vs plain MSE (§3.1.1: the MS-SSIM term
+  exists to protect structural similarity),
+- **residual** vs direct mapping (a reproduction choice documented in
+  DESIGN.md: identical mapping class, very different convergence at
+  small budgets).
+
+Reported: held-out MSE and MS-SSIM per variant.
+"""
+
+import numpy as np
+
+from conftest import save_text
+from repro.data import make_enhancement_pairs
+from repro.data.datasets import EnhancementDataset
+from repro.metrics import mse, ms_ssim
+from repro.models import DDnet
+from repro.pipeline import EnhancementAI
+from repro.report import format_table
+
+EPOCHS = 12
+
+
+def _make(residual=True, shortcuts=True):
+    return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                 dense_kernel=3, deconv_kernel=3, init_std=0.01,
+                 residual=residual, global_shortcuts=shortcuts,
+                 rng=np.random.default_rng(0))
+
+
+def test_ablation_ddnet_design(benchmark, results_dir):
+    rng = np.random.default_rng(42)
+    lows, fulls = make_enhancement_pairs(20, size=32, blank_scan=60.0, rng=rng)
+    train = EnhancementDataset(lows[:16], fulls[:16])
+    test_l, test_f = lows[16:], fulls[16:]
+
+    def evaluate(ai):
+        enhanced = ai.enhance_batch(test_l)
+        return {
+            "mse": mse(test_f, enhanced),
+            "msssim": float(np.mean([
+                ms_ssim(test_f[i, 0], enhanced[i, 0], levels=2, window_size=7)
+                for i in range(len(enhanced))
+            ])),
+        }
+
+    def run():
+        variants = {}
+        # Full configuration (paper + residual).
+        ai = EnhancementAI(model=_make(), lr=2e-3, msssim_levels=1, msssim_window=5)
+        ai.train(train, epochs=EPOCHS, batch_size=2, seed=1)
+        variants["full (Eq.1 loss, shortcuts, residual)"] = evaluate(ai)
+        # No global shortcuts.
+        ai = EnhancementAI(model=_make(shortcuts=False), lr=2e-3,
+                           msssim_levels=1, msssim_window=5)
+        ai.train(train, epochs=EPOCHS, batch_size=2, seed=1)
+        variants["no global shortcuts"] = evaluate(ai)
+        # MSE-only loss (alpha = 0 removes the MS-SSIM term).
+        ai = EnhancementAI(model=_make(), lr=2e-3, loss_alpha=0.0,
+                           msssim_levels=1, msssim_window=5)
+        ai.train(train, epochs=EPOCHS, batch_size=2, seed=1)
+        variants["MSE-only loss (no MS-SSIM term)"] = evaluate(ai)
+        # Direct (non-residual) mapping, as literally in the paper.
+        ai = EnhancementAI(model=_make(residual=False), lr=2e-3,
+                           msssim_levels=1, msssim_window=5)
+        ai.train(train, epochs=EPOCHS, batch_size=2, seed=1)
+        variants["direct mapping (residual off)"] = evaluate(ai)
+        return variants
+
+    variants = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline_mse = mse(test_f, test_l)
+    rows = [{"Variant": name,
+             "Held-out MSE": f"{m['mse']:.5f}",
+             "vs low-dose": f"{baseline_mse / m['mse']:.2f}x",
+             "MS-SSIM": f"{m['msssim'] * 100:.2f}%"}
+            for name, m in variants.items()]
+    text = format_table(rows, title=f"Ablation — DDnet design choices "
+                                    f"({EPOCHS} epochs, identical data/seeds; "
+                                    f"low-dose baseline MSE {baseline_mse:.5f})")
+    save_text(results_dir, "ablation_ddnet_design.txt", text)
+
+    full = variants["full (Eq.1 loss, shortcuts, residual)"]
+    # The full configuration must actually denoise.
+    assert full["mse"] < baseline_mse
+    # Global shortcuts help (or at worst tie within 5%).
+    assert full["mse"] <= variants["no global shortcuts"]["mse"] * 1.05
+    # The MS-SSIM loss term buys structural similarity.
+    assert full["msssim"] >= variants["MSE-only loss (no MS-SSIM term)"]["msssim"] - 0.005
+    # At this tiny budget, the direct mapping is far from converged —
+    # the documented reason the reproduction defaults to residual.
+    assert full["mse"] < variants["direct mapping (residual off)"]["mse"]

@@ -1,0 +1,39 @@
+"""Figure 11 — training/validation loss curves.
+
+Captures the real loss histories of (a) Enhancement AI and (b)
+Classification AI from the shared trained artifacts and checks both
+curves have the Fig. 11 shape: decreasing, converging.
+"""
+
+import numpy as np
+
+from conftest import save_text
+from repro.report import ascii_plot, series_to_csv
+
+
+def test_fig11_loss_curves(benchmark, results_dir, diagnosis, trained_enhancement):
+    def collect():
+        return {
+            "enhancement": trained_enhancement.ai.history.train_loss,
+            "classification": diagnosis.cls_history.train_loss,
+        }
+
+    curves = benchmark(collect)
+    enh, cls = np.asarray(curves["enhancement"]), np.asarray(curves["classification"])
+
+    text = ascii_plot({"Enhancement AI (Eq. 1 loss)": enh}, width=60, height=10,
+                      title="Fig. 11a — Enhancement AI training loss")
+    text += "\n" + ascii_plot({"Classification AI (BCE)": cls}, width=60, height=10,
+                              title="Fig. 11b — Classification AI training loss")
+    text += (
+        f"\nEnhancement: {enh[0]:.5f} -> {enh[-1]:.5f} over {len(enh)} epochs"
+        f"\nClassification: {cls[0]:.4f} -> {cls[-1]:.4f} over {len(cls)} epochs"
+    )
+    save_text(results_dir, "fig11_loss_curves.txt", text)
+    series_to_csv({"enhancement_loss": enh, "classification_loss": cls},
+                  f"{results_dir}/fig11_loss_curves.csv")
+
+    for curve in (enh, cls):
+        assert curve[-1] < curve[0]
+        third = max(1, len(curve) // 3)
+        assert np.mean(curve[-third:]) < np.mean(curve[:third])

@@ -1,0 +1,69 @@
+"""Table 10 — comparison of ComputeCOVID19+ with prior frameworks.
+
+The capability matrix is regenerated from the feature registry below;
+the 2D-baseline rows are backed by *implemented* baselines
+(:mod:`repro.models.baselines`), which the bench exercises to show the
+manual slice-selection cost the paper's Table 10 calls out.
+"""
+
+import numpy as np
+
+from conftest import save_text
+from repro.models import Classifier2D, SliceClassifier
+from repro.models.baselines import central_slice_selector
+from repro.report import format_table
+
+#: Paper Table 10, as data.  "dim" = 2D/3D classification;
+#: "labeling" = Manual slice filtering vs Not required.
+FRAMEWORKS = [
+    {"name": "ComputeCOVID19+", "enhancement": True, "segmentation": True,
+     "dim": "3D", "labeling": "Not required", "cpu": True, "gpu": True, "fpga": True},
+    {"name": "He et al.", "enhancement": False, "segmentation": False,
+     "dim": "2D", "labeling": "Manual", "cpu": True, "gpu": True, "fpga": False},
+    {"name": "M-inception", "enhancement": False, "segmentation": True,
+     "dim": "2D", "labeling": "Manual", "cpu": None, "gpu": None, "fpga": False},
+    {"name": "DRE-Net", "enhancement": False, "segmentation": True,
+     "dim": "2D", "labeling": "Manual", "cpu": None, "gpu": None, "fpga": False},
+    {"name": "Li et al.", "enhancement": False, "segmentation": True,
+     "dim": "2D", "labeling": "Manual", "cpu": None, "gpu": True, "fpga": False},
+    {"name": "DeCoVNet", "enhancement": False, "segmentation": True,
+     "dim": "3D", "labeling": "Not required", "cpu": None, "gpu": True, "fpga": False},
+    {"name": "Harmon et al.", "enhancement": False, "segmentation": True,
+     "dim": "3D", "labeling": "Not required", "cpu": False, "gpu": True, "fpga": False},
+    {"name": "Serte et al.", "enhancement": False, "segmentation": False,
+     "dim": "2D/3D", "labeling": "Not required", "cpu": None, "gpu": True, "fpga": False},
+]
+
+
+def test_table10_framework_comparison(benchmark, results_dir):
+    rows = [{
+        "Framework": f["name"],
+        "Image enhancement": f["enhancement"],
+        "Image segmentation": f["segmentation"],
+        "2D/3D": f["dim"],
+        "Data labeling": f["labeling"],
+        "CPU": f["cpu"], "GPU": f["gpu"], "FPGA": f["fpga"],
+    } for f in FRAMEWORKS]
+    text = format_table(rows, title="Table 10 — Comparison with existing similar work")
+    save_text(results_dir, "table10_comparison.txt", text)
+
+    # Exercise the implemented 2D-baseline path: the manual slice
+    # selector changes which slices are scored — the labeling burden
+    # Table 10 charges to the 2D frameworks.
+    rng = np.random.default_rng(0)
+    model = Classifier2D(rng=np.random.default_rng(1))
+    volume = rng.normal(size=(12, 16, 16))
+
+    def run_baselines():
+        full = SliceClassifier(model).predict_proba(volume)
+        manual = SliceClassifier(model, slice_selector=central_slice_selector(0.3))
+        return full, manual.predict_proba(volume)
+
+    full, selected = benchmark(run_baselines)
+    assert 0.0 <= full <= 1.0 and 0.0 <= selected <= 1.0
+
+    # Only ComputeCOVID19+ has enhancement and FPGA support.
+    ours = FRAMEWORKS[0]
+    assert ours["enhancement"] and ours["fpga"]
+    assert not any(f["enhancement"] for f in FRAMEWORKS[1:])
+    assert not any(f["fpga"] for f in FRAMEWORKS[1:])

@@ -1,0 +1,103 @@
+"""Table 3 — multi-node Enhancement AI training: runtime and MS-SSIM.
+
+Two halves, matching the substitution documented in DESIGN.md:
+
+1. **Wall-clock**: the calibrated iteration model predicts every paper
+   row (nodes × batch × epochs) — checked to within 15%.
+2. **Accuracy-vs-batch**: tiny DDnets are *really trained* with the DDP
+   simulator at increasing global batch sizes (same number of epochs),
+   reproducing the paper's monotone MS-SSIM degradation with batch
+   size (98.71% at batch 1 down to 88.02% at batch 64).
+"""
+
+import numpy as np
+
+from conftest import save_text, tiny_ddnet
+from repro.data import make_enhancement_pairs
+from repro.distributed import (
+    ClusterSpec,
+    DistributedDataParallel,
+    ProcessGroup,
+    TrainingTimeModel,
+    paper_table3_rows,
+)
+from repro.metrics import ms_ssim
+from repro.nn import Adam, CompositeLoss
+from repro.report import format_table
+
+
+def test_table3_runtime_model(benchmark, results_dir):
+    rows = benchmark(paper_table3_rows)
+    out = [{
+        "# Nodes": r["nodes"], "Batch": r["batch"], "Epochs": r["epochs"],
+        "Paper runtime": r["paper_runtime"], "Model runtime": r["model_runtime"],
+        "Rel. err": f"{r['rel_error'] * 100:+.1f}%",
+        "Paper MS-SSIM %": r["paper_msssim"],
+    } for r in rows]
+    text = format_table(out, title="Table 3 — Enhancement AI training runtime (cost model vs paper)")
+    save_text(results_dir, "table3_runtime_model.txt", text)
+    for r in rows:
+        assert abs(r["rel_error"]) < 0.15, r
+
+
+def test_table3_msssim_vs_batch(benchmark, results_dir):
+    """Real DDP training: larger global batch → worse MS-SSIM."""
+    rng = np.random.default_rng(42)
+    lows, fulls = make_enhancement_pairs(18, size=32, blank_scan=60.0, rng=rng)
+    train_l, train_f = lows[:14], fulls[:14]
+    val_l, val_f = lows[14:], fulls[14:]
+    loss_fn = CompositeLoss(levels=1, window_size=5)
+
+    def train_at_batch(global_batch: int, world_size: int, epochs: int = 8) -> float:
+        ddp = DistributedDataParallel(
+            lambda: tiny_ddnet(0), ProcessGroup(world_size),
+            lambda p: Adam(p, lr=2e-3),
+        )
+        local = global_batch // world_size
+        order = np.arange(len(train_l))
+        step_rng = np.random.default_rng(1)
+        for _ in range(epochs):
+            step_rng.shuffle(order)
+            for start in range(0, len(order) - global_batch + 1, global_batch):
+                idx = order[start : start + global_batch]
+                shards = [
+                    (train_l[idx[r * local : (r + 1) * local]],
+                     train_f[idx[r * local : (r + 1) * local]])
+                    for r in range(world_size)
+                ]
+                ddp.train_step(shards, loss_fn)
+        enhanced = np.stack([
+            ddp.module.eval()(_to_tensor(v)).data[0] for v in val_l
+        ])
+        return float(np.mean([
+            ms_ssim(e[0], f[0], levels=2, window_size=7)
+            for e, f in zip(enhanced, val_f)
+        ]))
+
+    def _to_tensor(v):
+        from repro.tensor import Tensor
+
+        return Tensor(v[None])
+
+    def sweep():
+        return {
+            1: train_at_batch(1, 1),
+            2: train_at_batch(2, 2),
+            7: train_at_batch(7, 1),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    model = TrainingTimeModel()
+    rows = [{
+        "Global batch": b,
+        "MS-SSIM %": f"{v * 100:.2f}",
+        "Modelled epoch time (4 nodes)": (
+            f"{model.estimate(ClusterSpec(4), b, 50).epoch_time_s:.0f}s" if b % 4 == 0 else "-"
+        ),
+    } for b, v in results.items()]
+    text = format_table(rows, title="Table 3 (accuracy half) — MS-SSIM vs global batch, really trained")
+    text += "\nPaper trend: 98.71 (b1) > 96.35 (b8) > 95.18 (b16) > 92.04 (b32) > 88.02 (b64)"
+    save_text(results_dir, "table3_msssim_vs_batch.txt", text)
+    # Monotone degradation with batch size, as in the paper.
+    assert results[1] >= results[2] >= results[7]
+    assert results[1] - results[7] > 0.001

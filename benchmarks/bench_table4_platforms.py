@@ -1,0 +1,46 @@
+"""Table 4 — DDnet inference runtime across heterogeneous platforms.
+
+The calibrated performance model predicts PyTorch and OpenCL runtimes
+for all six Table 4 platforms; checked against the paper within 10%.
+Functional execution is separately validated by the inference-engine
+bench (Fig. 9) and the test suite.
+"""
+
+from conftest import save_text
+from repro.hetero import DEVICES
+from repro.hetero.perfmodel import PAPER_TABLE4
+from repro.report import format_table
+
+
+def test_table4_platform_runtimes(benchmark, results_dir, perf_model):
+    result = benchmark(perf_model.table4)
+    rows = []
+    for name, device in DEVICES.items():
+        r = result[name]
+        p = PAPER_TABLE4[name]
+        rows.append({
+            "Platform": name,
+            "Cores": device.cores,
+            "BW (GB/s)": device.bandwidth_gb_s,
+            "Freq (MHz)": device.frequency_mhz,
+            "PyTorch model (s)": None if r["pytorch"] is None else round(r["pytorch"], 2),
+            "PyTorch paper (s)": p["pytorch"],
+            "OpenCL model (s)": round(r["opencl"], 2),
+            "OpenCL paper (s)": p["opencl"],
+        })
+    text = format_table(rows, title="Table 4 — Inference runtime for Enhancement AI (512x512x32)")
+    save_text(results_dir, "table4_platforms.txt", text)
+
+    for name, r in result.items():
+        p = PAPER_TABLE4[name]
+        for impl in ("pytorch", "opencl"):
+            if p[impl] is None:
+                assert r[impl] is None
+            else:
+                assert abs(r[impl] - p[impl]) / p[impl] < 0.10, (name, impl)
+    # Headline orderings (§5.1.3).
+    opencl = {n: r["opencl"] for n, r in result.items()}
+    assert min(opencl, key=opencl.get) == "Nvidia V100 GPU"
+    assert max(opencl, key=opencl.get) == "Intel Arria 10 GX 1150 FPGA"
+    # CPU achieves "real-time" (§7): around a second per 32-slice chunk.
+    assert opencl["Intel Xeon Gold 6128 CPU"] < 2.0

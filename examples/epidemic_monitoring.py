@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Variant-wave monitoring (paper Fig. 2 + the testing-capacity argument).
+
+Simulates the UK Delta scenario, plots cases per million, and converts
+the epidemic curve into CT-based testing demand using the paper's
+turnaround numbers (ComputeCOVID19+ ≈ 5 minutes vs RT-PCR ≈ 4 hours +
+multi-day turnaround).
+
+Run:  python examples/epidemic_monitoring.py
+"""
+
+import numpy as np
+
+from repro.epi import uk_delta_wave_scenario
+from repro.report import ascii_plot, format_table
+
+
+def main():
+    model = uk_delta_wave_scenario()
+    out = model.run(240)
+    cases = out["cases_per_million"]
+    delta = out["variant_share:Delta"]
+
+    print(ascii_plot(
+        {"cases/million/day": np.maximum(cases, 0.5)},
+        width=72, height=14, logy=True,
+        title="Fig. 2 (simulated) — UK-style Delta 4th wave",
+    ))
+    print(f"Delta share at day 240: {delta[-1] * 100:.1f}%  (paper: 98% by 14 Jun 2021)\n")
+
+    # Testing throughput: scanners needed to keep up with the wave.
+    population = 67e6
+    peak_daily_cases = cases.max() * population / 1e6
+    tests_per_case = 8  # contacts + monitoring scans per confirmed case
+    ct_minutes_per_test = 15 + 5      # scan time + ComputeCOVID19+ inference
+    pcr_hours_per_test = 4.0
+
+    rows = [{
+        "Method": "ComputeCOVID19+ (CT)",
+        "Per-test time": f"{ct_minutes_per_test} min",
+        "Daily tests/scanner": int(16 * 60 / ct_minutes_per_test),
+        "Scanners for peak demand": int(np.ceil(
+            peak_daily_cases * tests_per_case / (16 * 60 / ct_minutes_per_test)
+        )),
+        "Result latency": "minutes",
+    }, {
+        "Method": "RT-PCR",
+        "Per-test time": f"{pcr_hours_per_test:.0f} h lab time",
+        "Daily tests/scanner": "-",
+        "Scanners for peak demand": "-",
+        "Result latency": "days (transport + batching)",
+    }]
+    print(format_table(rows, title=f"Peak demand: {peak_daily_cases:,.0f} cases/day "
+                                   f"x {tests_per_case} tests/case"))
+    print("\nThe paper's argument: CT scanners are already deployed; adding "
+          "ComputeCOVID19+ turns each into a minutes-latency COVID test "
+          "with 91% sensitivity (vs RT-PCR's 67%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Render the Fig. 1 abnormality gallery to viewable PGM images.
+
+Writes one image per COVID-19 radiological hallmark (plus a healthy
+reference slice) into ``examples/gallery/`` as plain PGM files, windowed
+with the standard lung window.
+
+Run:  python examples/lesion_gallery.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.ct.hounsfield import normalize_unit
+from repro.data import LESION_TYPES, add_lesion, chest_slice
+from repro.data.phantom import ChestPhantomConfig
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "gallery")
+SIZE = 128
+
+
+def write_pgm(path: str, image_unit: np.ndarray) -> None:
+    """Write a [0, 1] image as an 8-bit binary PGM."""
+    data = (np.clip(image_unit, 0, 1) * 255).astype(np.uint8)
+    with open(path, "wb") as f:
+        f.write(f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode())
+        f.write(data.tobytes())
+
+
+def main():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    config = ChestPhantomConfig(size=SIZE)
+    healthy, masks = chest_slice(config, np.random.default_rng(0), return_masks=True)
+    write_pgm(os.path.join(OUT_DIR, "healthy.pgm"), normalize_unit(healthy))
+    print(f"wrote {OUT_DIR}/healthy.pgm")
+
+    for i, kind in enumerate(sorted(LESION_TYPES)):
+        rng = np.random.default_rng(100 + i)
+        img, m = chest_slice(config, np.random.default_rng(0), return_masks=True)
+        lesioned = add_lesion(img, m["lungs"], kind, rng=rng)
+        path = os.path.join(OUT_DIR, f"{kind}.pgm")
+        write_pgm(path, normalize_unit(lesioned))
+        delta = (lesioned - img)
+        print(f"wrote {path}  (affected pixels: {(delta > 20).sum()}, "
+              f"peak density change: +{delta.max():.0f} HU)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Low-dose CT simulation and DDnet enhancement (paper §3.1.2 / Fig. 8 / Fig. 12).
+
+Walks the complete physics chain on a chest phantom:
+
+1. Siddon forward projection at the paper's fan-beam geometry,
+2. Beer's-law Poisson noise at decreasing dose (blank-scan photons),
+3. FBP reconstruction (full-dose and low-dose),
+4. DDnet training on the resulting pairs and enhancement of a test slice,
+
+printing image-quality metrics at every dose level.
+
+Run:  python examples/low_dose_ct.py
+"""
+
+import numpy as np
+
+from repro.ct import hu_to_mu, mu_to_hu, paper_geometry, simulate_low_dose_pair
+from repro.data import make_enhancement_pairs
+from repro.data.datasets import EnhancementDataset
+from repro.data.phantom import ChestPhantomConfig, chest_slice
+from repro.metrics import mse, psnr, ssim
+from repro.models import DDnet
+from repro.pipeline import EnhancementAI
+from repro.report import format_table
+
+SIZE = 48
+
+
+def dose_sweep():
+    """Fig. 8: reconstruct one slice at several dose levels."""
+    print("Dose sweep (Siddon forward projection -> Poisson -> fan-beam FBP)")
+    img_hu = chest_slice(ChestPhantomConfig(size=SIZE), np.random.default_rng(3))
+    mu = hu_to_mu(img_hu)
+    geometry = paper_geometry(scale=SIZE / 512.0)
+    print(f"  geometry: SDD 1500mm, SOD 1000mm, {geometry.num_views} views, "
+          f"{geometry.num_detectors} detector pixels")
+    rows = []
+    for blank in (1e6, 1e4, 1e3, 200.0):
+        full_mu, low_mu, _ = simulate_low_dose_pair(
+            mu, geometry, blank_scan=blank, pixel_size=350.0 / SIZE,
+            rng=np.random.default_rng(int(blank)),
+        )
+        low_hu = mu_to_hu(low_mu)
+        full_hu = mu_to_hu(full_mu)
+        unit = lambda a: np.clip((a + 1400) / 1600, 0, 1)
+        rows.append({
+            "Blank scan (photons/ray)": f"{blank:g}",
+            "Noise vs full dose (HU std)": f"{(low_hu - full_hu).std():.1f}",
+            "SSIM vs truth": f"{ssim(unit(low_hu), unit(img_hu), window_size=7):.3f}",
+            "PSNR vs truth (dB)": f"{psnr(unit(low_hu), unit(img_hu)):.1f}",
+        })
+    print(format_table(rows))
+    print("  (The paper uses b=1e6; lower photon counts = lower dose = more noise.)\n")
+
+
+def enhance_low_dose():
+    """Fig. 12: train DDnet on physics pairs and enhance held-out slices."""
+    print("Training DDnet on physics-generated low/full-dose pairs...")
+    rng = np.random.default_rng(42)
+    lows, fulls = make_enhancement_pairs(22, size=32, blank_scan=60.0, rng=rng)
+    ddnet = DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                  dense_kernel=3, deconv_kernel=3, init_std=0.01,
+                  rng=np.random.default_rng(0))
+    ai = EnhancementAI(model=ddnet, lr=2e-3, msssim_levels=1, msssim_window=5)
+    ai.train(EnhancementDataset(lows[:18], fulls[:18]), epochs=15, batch_size=2)
+
+    enhanced = ai.enhance_batch(lows[18:])
+    rows = []
+    for i in range(len(enhanced)):
+        truth, low, enh = fulls[18 + i, 0], lows[18 + i, 0], enhanced[i, 0]
+        rows.append({
+            "Test slice": i,
+            "MSE(Y,X) low": f"{mse(truth, low):.5f}",
+            "MSE(Y,f(X)) enhanced": f"{mse(truth, enh):.5f}",
+            "SSIM low": f"{ssim(truth, low, window_size=7):.3f}",
+            "SSIM enhanced": f"{ssim(truth, enh, window_size=7):.3f}",
+        })
+    print(format_table(rows, title="DDnet enhancement on held-out slices (Table 8 / Fig. 12)"))
+
+
+if __name__ == "__main__":
+    dose_sweep()
+    enhance_low_dose()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: the full ComputeCOVID19+ workflow on one synthetic scan.
+
+Mirrors Fig. 4 end to end at CPU-friendly scale:
+
+1. generate a synthetic COVID-positive chest CT volume,
+2. degrade it to a low-dose acquisition,
+3. train Enhancement AI (DDnet) on matched low/full-dose slice pairs,
+4. train Classification AI (3D DenseNet) on labeled phantom volumes,
+5. diagnose the scan with and without the Enhancement stage.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ct.hounsfield import normalize_unit
+from repro.data import chest_volume, make_classification_volumes
+from repro.data.datasets import (
+    ClassificationDataset,
+    EnhancementDataset,
+    add_lowdose_noise_hu,
+)
+from repro.data.phantom import ChestPhantomConfig, chest_slice
+from repro.models import DDnet, DenseNet3D
+from repro.pipeline import (
+    ClassificationAI,
+    ComputeCovid19Plus,
+    EnhancementAI,
+    SegmentationAI,
+)
+
+SIZE, SLICES, NOISE_HU = 32, 16, 100.0
+
+
+def build_enhancement_ai() -> EnhancementAI:
+    """Train DDnet on low/full-dose slice pairs (image-space noise)."""
+    print("Training Enhancement AI (DDnet)...")
+    n = 20
+    lows = np.empty((n, 1, SIZE, SIZE))
+    fulls = np.empty_like(lows)
+    prng = np.random.default_rng(5)
+    for i in range(n):
+        img = chest_slice(ChestPhantomConfig(size=SIZE, vessel_count=8),
+                          np.random.default_rng(prng.integers(2**31)))
+        noisy = add_lowdose_noise_hu(img[None], NOISE_HU,
+                                     np.random.default_rng(prng.integers(2**31)))[0]
+        fulls[i, 0] = normalize_unit(img)
+        lows[i, 0] = normalize_unit(noisy)
+    ddnet = DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                  dense_kernel=3, deconv_kernel=3, init_std=0.01,
+                  rng=np.random.default_rng(0))
+    ai = EnhancementAI(model=ddnet, lr=2e-3, msssim_levels=1, msssim_window=5)
+    history = ai.train(EnhancementDataset(lows, fulls), epochs=12, batch_size=2)
+    print(f"  Eq.1 loss: {history.train_loss[0]:.5f} -> {history.train_loss[-1]:.5f}")
+    return ai
+
+
+def build_classification_ai(segmentation: SegmentationAI) -> ClassificationAI:
+    """Train the 3D DenseNet on segmented labeled volumes."""
+    print("Training Classification AI (3D DenseNet)...")
+    vols, labels = make_classification_volumes(10, 10, size=SIZE, num_slices=SLICES,
+                                               rng=np.random.default_rng(7))
+    segmented = np.stack([segmentation.apply(v[0])[0] for v in vols])[:, None]
+    net = DenseNet3D(block_layers=(1, 1, 1, 1), growth=4, init_features=4,
+                     rng=np.random.default_rng(0))
+    ai = ClassificationAI(model=net, lr=3e-3)
+    history = ai.train(ClassificationDataset(segmented, labels), epochs=10, batch_size=4)
+    print(f"  BCE loss: {history.train_loss[0]:.4f} -> {history.train_loss[-1]:.4f}")
+    return ai
+
+
+def main():
+    segmentation = SegmentationAI()
+    enhancement = build_enhancement_ai()
+    classification = build_classification_ai(segmentation)
+
+    # A new COVID-positive patient scan, acquired at low dose.
+    patient = chest_volume(SIZE, SLICES, covid=True, rng=np.random.default_rng(1234))
+    low_dose = add_lowdose_noise_hu(patient, NOISE_HU, np.random.default_rng(99))
+
+    framework = ComputeCovid19Plus(
+        enhancement=enhancement, segmentation=segmentation,
+        classification=classification, threshold=0.5, use_enhancement=True,
+    )
+    baseline = ComputeCovid19Plus(
+        segmentation=segmentation, classification=classification,
+        threshold=0.5, use_enhancement=False,
+    )
+
+    print("\nDiagnosing a low-dose COVID-positive scan:")
+    res_base = baseline.diagnose(low_dose)
+    res_full = framework.diagnose(low_dose)
+    print(f"  without Enhancement AI: P(COVID-19) = {res_base.probability:.3f} -> {res_base.label}")
+    print(f"  with    Enhancement AI: P(COVID-19) = {res_full.probability:.3f} -> {res_full.label}")
+    print(f"  lung mask covers {res_full.lung_mask.mean() * 100:.1f}% of the volume")
+    print("\nDone. See benchmarks/ for the full paper-table reproductions.")
+
+
+if __name__ == "__main__":
+    main()

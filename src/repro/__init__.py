@@ -1,0 +1,30 @@
+"""ComputeCOVID19+ reproduction library.
+
+A from-scratch Python implementation of *ComputeCOVID19+: Accelerating
+COVID-19 Diagnosis and Monitoring via High-Performance Deep Learning on
+CT Images* (ICPP 2021), including every substrate the paper depends on:
+
+- ``repro.tensor`` / ``repro.nn`` -- NumPy autograd engine and neural
+  network library (the PyTorch substitute),
+- ``repro.models`` -- DDnet, 3D DenseNet classifier, AH-Net segmenter,
+  and the related-work baselines,
+- ``repro.ct`` -- CT physics: Siddon forward projection, Poisson noise,
+  filtered back projection,
+- ``repro.data`` -- synthetic chest-CT phantoms and dataset stand-ins,
+- ``repro.metrics`` -- MSE / SSIM / MS-SSIM, ROC-AUC, confusion matrices,
+- ``repro.distributed`` -- simulated multi-node data-parallel training,
+- ``repro.hetero`` -- heterogeneous (CPU/GPU/FPGA) inference model with
+  instrumented kernels and optimization ablations,
+- ``repro.pipeline`` -- the Enhancement -> Segmentation -> Classification
+  framework itself,
+- ``repro.epi`` -- the epidemiological model behind the motivation figure.
+
+See ``DESIGN.md`` for the experiment index and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["Tensor", "no_grad", "__version__"]

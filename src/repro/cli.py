@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+``python -m repro.cli <command>`` exposes the framework without writing
+code:
+
+- ``diagnose``  — generate (or load) a scan and run the Fig. 4 pipeline,
+- ``simulate``  — produce §3.1.2 low/full-dose training pairs (.npz),
+- ``tables``    — print the Table 4/5/7 performance-model reproductions,
+- ``epidemic``  — run the Fig. 2 variant-wave scenario,
+- ``inventory`` — print the Table 1 data-source registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.data import chest_volume
+    from repro.pipeline import ComputeCovid19Plus
+
+    if args.input:
+        volume = np.load(args.input)
+        if hasattr(volume, "files"):  # npz archive
+            volume = volume[volume.files[0]]
+    else:
+        volume = chest_volume(args.size, args.slices, covid=args.covid,
+                              rng=np.random.default_rng(args.seed))
+        print(f"generated a synthetic {'COVID-positive' if args.covid else 'healthy'} "
+              f"scan ({args.slices}x{args.size}x{args.size})")
+    framework = ComputeCovid19Plus(use_enhancement=not args.no_enhancement,
+                                   threshold=args.threshold)
+    result = framework.diagnose(volume)
+    print(f"P(COVID-19) = {result.probability:.4f}  (threshold {result.threshold})")
+    print(f"verdict: {result.label}")
+    print(f"lung mask fraction: {result.lung_mask.mean():.3f}")
+    print("note: default-constructed (untrained) AI tools; train via the "
+          "repro.pipeline API for meaningful probabilities")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.data import make_enhancement_pairs
+
+    lows, fulls = make_enhancement_pairs(
+        args.count, size=args.size, blank_scan=args.blank_scan,
+        rng=np.random.default_rng(args.seed),
+    )
+    np.savez_compressed(args.output, low_dose=lows, full_dose=fulls)
+    print(f"wrote {args.count} pairs ({args.size}x{args.size}, "
+          f"blank scan {args.blank_scan:g} photons/ray) to {args.output}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.hetero import DEVICES, PerfModel
+    from repro.report import format_table
+
+    pm = PerfModel()
+    t4 = pm.table4()
+    rows = [{"Platform": n,
+             "PyTorch (s)": None if r["pytorch"] is None else round(r["pytorch"], 2),
+             "OpenCL (s)": round(r["opencl"], 2)} for n, r in t4.items()]
+    print(format_table(rows, title="Table 4 — inference runtimes (model)"))
+    t5 = pm.table5()
+    rows = [{"Platform": n, **{k: round(v, 3) for k, v in r.items()}}
+            for n, r in t5.items()]
+    print()
+    print(format_table(rows, title="Table 5 — kernel times (model)"))
+    t7 = pm.table7()
+    rows = [{"Platform": n, **{k: round(v, 2) for k, v in r.items()}}
+            for n, r in t7.items()]
+    print()
+    print(format_table(rows, title="Table 7 — optimization ladder (model)"))
+    return 0
+
+
+def _cmd_epidemic(args) -> int:
+    from repro.epi import uk_delta_wave_scenario
+    from repro.report import ascii_plot
+
+    out = uk_delta_wave_scenario().run(args.days)
+    cases = out["cases_per_million"]
+    print(ascii_plot({"cases/million": np.maximum(cases, 0.5)},
+                     width=72, height=14, logy=True,
+                     title="Fig. 2 — simulated cases per million"))
+    print(f"final Delta share: {out['variant_share:Delta'][-1] * 100:.1f}%")
+    return 0
+
+
+def _cmd_inventory(args) -> int:
+    from repro.data import data_source_table
+    from repro.report import format_table
+
+    print(format_table(data_source_table(), title="Table 1 — data sources"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ComputeCOVID19+ reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("diagnose", help="run the diagnosis pipeline on a scan")
+    p.add_argument("--input", help=".npy/.npz HU volume (D,H,W); omit to synthesize")
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--slices", type=int, default=16)
+    p.add_argument("--covid", action="store_true", help="synthesize a positive scan")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--no-enhancement", action="store_true")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("simulate", help="generate low/full-dose training pairs")
+    p.add_argument("--count", type=int, default=8)
+    p.add_argument("--size", type=int, default=32)
+    p.add_argument("--blank-scan", type=float, default=1e4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="pairs.npz")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("tables", help="print the performance-model tables")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("epidemic", help="run the Fig. 2 scenario")
+    p.add_argument("--days", type=int, default=240)
+    p.set_defaults(func=_cmd_epidemic)
+
+    p = sub.add_parser("inventory", help="print the Table 1 registry")
+    p.set_defaults(func=_cmd_inventory)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Filtered back projection (FBP) reconstruction.
+
+Implements both the parallel-beam and the weighted flat-detector
+fan-beam FBP algorithms (Schofield et al. 2020 is the paper's FBP
+citation).  Filtering uses the exact band-limited ramp kernel sampled
+in the spatial domain (Kak & Slaney §3.3) — this avoids the DC bias of
+a naively sampled frequency ramp — with optional Hann apodization.
+Back projection is vectorized over all image pixels per view.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Union
+
+import numpy as np
+
+from repro.ct.geometry import FanBeamGeometry, ParallelBeamGeometry
+
+Geometry = Union[FanBeamGeometry, ParallelBeamGeometry]
+FilterName = Literal["ramp", "hann", "none"]
+
+
+def ramp_filter_1d(n: int, spacing: float = 1.0, window: FilterName = "ramp") -> np.ndarray:
+    """Frequency response (length ``2·next_pow2(n)``) of the ramp filter.
+
+    Built from the space-domain band-limited ramp kernel so that the
+    filtered projections have the correct DC behaviour.
+    """
+    size = max(64, int(2 ** np.ceil(np.log2(2 * n))))
+    # Space-domain kernel h[k] (Kak & Slaney eq. 61).
+    k = np.concatenate([np.arange(size // 2), np.arange(-size // 2, 0)])
+    h = np.zeros(size)
+    h[0] = 1.0 / (4.0 * spacing**2)
+    odd = k % 2 == 1
+    h[odd] = -1.0 / (np.pi * k[odd] * spacing) ** 2
+    H = np.real(np.fft.fft(h))  # kernel is real and symmetric
+    if window == "hann":
+        freq = np.fft.fftfreq(size)
+        H *= 0.5 * (1.0 + np.cos(2.0 * np.pi * freq))
+    elif window == "none":
+        H = np.ones(size)
+    elif window != "ramp":
+        raise ValueError(f"unknown filter window {window!r}")
+    return H
+
+
+def _filter_projections(sino: np.ndarray, spacing: float, window: FilterName) -> np.ndarray:
+    n = sino.shape[1]
+    H = ramp_filter_1d(n, spacing, window)
+    size = H.shape[0]
+    padded = np.zeros((sino.shape[0], size))
+    padded[:, :n] = sino
+    filtered = np.real(np.fft.ifft(np.fft.fft(padded, axis=1) * H[None, :], axis=1))
+    return filtered[:, :n] * spacing
+
+
+def _interp_rows(proj: np.ndarray, coords: np.ndarray, det0: float, spacing: float) -> np.ndarray:
+    """Linear interpolation of one filtered projection at ``coords`` (mm)."""
+    idx = (coords - det0) / spacing
+    lo = np.floor(idx).astype(np.int64)
+    frac = idx - lo
+    n = proj.shape[0]
+    valid = (lo >= 0) & (lo < n - 1)
+    lo_c = np.clip(lo, 0, n - 2)
+    vals = proj[lo_c] * (1.0 - frac) + proj[lo_c + 1] * frac
+    return np.where(valid, vals, 0.0)
+
+
+def fbp_reconstruct(
+    sinogram: np.ndarray,
+    geometry: Geometry,
+    image_size: int,
+    pixel_size: float = 1.0,
+    filter_window: FilterName = "ramp",
+) -> np.ndarray:
+    """Reconstruct an ``image_size²`` attenuation map from a sinogram.
+
+    Dispatches on the geometry type: plain FBP for parallel beam,
+    cosine-weighted distance-corrected FBP for flat-detector fan beam.
+    """
+    sinogram = np.asarray(sinogram, dtype=np.float64)
+    expected = (geometry.num_views, geometry.num_detectors)
+    if sinogram.shape != expected:
+        raise ValueError(f"sinogram shape {sinogram.shape} != geometry {expected}")
+    half = (image_size - 1) / 2.0
+    ys, xs = np.mgrid[0:image_size, 0:image_size]
+    x = (xs - half) * pixel_size
+    y = (ys - half) * pixel_size
+    det = geometry.detector_coords
+    det0, spacing = det[0], geometry.detector_spacing
+    recon = np.zeros((image_size, image_size))
+
+    if isinstance(geometry, ParallelBeamGeometry):
+        filtered = _filter_projections(sinogram, spacing, filter_window)
+        for view, beta in enumerate(geometry.angles):
+            t = -x * np.sin(beta) + y * np.cos(beta)
+            recon += _interp_rows(filtered[view], t, det0, spacing)
+        recon *= geometry.angular_range / geometry.num_views
+        # A full 2π parallel scan measures every line twice.
+        if geometry.angular_range > 1.5 * np.pi:
+            recon *= 0.5
+        return recon
+
+    # Fan beam (flat detector): scale detector coords to the isocenter,
+    # cosine-weight, ramp-filter, then distance-weighted backprojection.
+    sod = geometry.source_to_isocenter
+    sdd = geometry.source_to_detector
+    iso_coords = det * (sod / sdd)
+    iso_spacing = spacing * (sod / sdd)
+    weights = sod / np.sqrt(sod**2 + iso_coords**2)
+    weighted = sinogram * weights[None, :]
+    filtered = _filter_projections(weighted, iso_spacing, filter_window)
+    for view, beta in enumerate(geometry.angles):
+        e_s = np.array([np.cos(beta), np.sin(beta)])
+        e_t = np.array([-np.sin(beta), np.cos(beta)])
+        s = x * e_s[0] + y * e_s[1]
+        t = x * e_t[0] + y * e_t[1]
+        U = (sod - s) / sod
+        u = t / U  # isocenter-scaled detector coordinate
+        vals = _interp_rows(filtered[view], u, iso_coords[0], iso_spacing)
+        recon += vals / (U * U)
+    recon *= geometry.angular_range / geometry.num_views
+    if geometry.angular_range > 1.5 * np.pi:
+        recon *= 0.5  # full-rotation redundancy
+    return recon

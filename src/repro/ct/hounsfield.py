@@ -1,0 +1,63 @@
+"""Hounsfield-unit conversions and display normalization.
+
+The paper's beam is monochromatic at 60 keV (§3.1.2); the water
+attenuation coefficient at that energy sets the HU scale.  Enhancement
+AI consumes images normalized to [0, 1] "to avoid integer overflow"
+(§3.1.1) while Classification AI consumes raw HU (§3.3.1) — both
+conversions live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Linear attenuation of water at 60 keV, per mm (NIST: ≈ 0.0206 mm⁻¹).
+MU_WATER_60KEV = 0.0206
+
+#: Default display window for chest CT (lung window), HU.
+LUNG_WINDOW = (-1400.0, 200.0)
+
+#: Other standard clinical display windows, HU (lo, hi).
+MEDIASTINAL_WINDOW = (-175.0, 275.0)
+BONE_WINDOW = (-450.0, 1050.0)
+
+WINDOW_PRESETS = {
+    "lung": LUNG_WINDOW,
+    "mediastinal": MEDIASTINAL_WINDOW,
+    "bone": BONE_WINDOW,
+}
+
+
+def get_window(name: str):
+    """Look up a display-window preset by name."""
+    if name not in WINDOW_PRESETS:
+        raise KeyError(f"unknown window {name!r}; choose from {sorted(WINDOW_PRESETS)}")
+    return WINDOW_PRESETS[name]
+
+
+def hu_to_mu(hu: np.ndarray, mu_water: float = MU_WATER_60KEV) -> np.ndarray:
+    """HU → linear attenuation (per mm): ``μ = μ_w · (1 + HU/1000)``.
+
+    Air (−1000 HU) maps to zero attenuation; values are floored at 0.
+    """
+    mu = mu_water * (1.0 + np.asarray(hu, dtype=np.float64) / 1000.0)
+    return np.maximum(mu, 0.0)
+
+
+def mu_to_hu(mu: np.ndarray, mu_water: float = MU_WATER_60KEV) -> np.ndarray:
+    """Linear attenuation (per mm) → HU."""
+    return 1000.0 * (np.asarray(mu, dtype=np.float64) / mu_water - 1.0)
+
+
+def normalize_unit(hu: np.ndarray, window=LUNG_WINDOW) -> np.ndarray:
+    """Window HU data into [0, 1] floats (Enhancement AI input format)."""
+    lo, hi = window
+    if hi <= lo:
+        raise ValueError(f"invalid window {window}")
+    return np.clip((np.asarray(hu, dtype=np.float64) - lo) / (hi - lo), 0.0, 1.0)
+
+
+def denormalize_unit(unit: np.ndarray, window=LUNG_WINDOW) -> np.ndarray:
+    """Invert :func:`normalize_unit` (clipped values stay clipped)."""
+    lo, hi = window
+    return np.asarray(unit, dtype=np.float64) * (hi - lo) + lo

@@ -1,0 +1,64 @@
+"""Synthetic chest-CT data substrate.
+
+The paper trains on four access-gated clinical archives (Table 1).
+This subpackage provides procedurally generated stand-ins with the same
+roles and the same preparation issues:
+
+- :mod:`~repro.data.phantom` / :mod:`~repro.data.phantom3d` —
+  parametric 2D slices and 3D volumes of a chest phantom (body, lungs,
+  airway, heart, spine/ribs, vasculature),
+- :mod:`~repro.data.lesions` — the COVID-19 radiological hallmarks of
+  Fig. 1 (ground-glass opacity, consolidation, crazy paving, reversed
+  halo, linear opacities),
+- :mod:`~repro.data.datasets` — the four dataset stand-ins plus ready
+  enhancement / classification dataset builders,
+- :mod:`~repro.data.preparation` — §2.1 data preparation: circular
+  FOV-boundary removal (Fig. 5) and minimum-slice-count filtering,
+- :mod:`~repro.data.registry` — the Table 1 source inventory.
+"""
+
+from repro.data.phantom import ChestPhantomConfig, chest_slice, slice_masks
+from repro.data.phantom3d import DISEASE_LESIONS, chest_volume
+from repro.data.lesions import (
+    COVID_LESION_TYPES,
+    LESION_TYPES,
+    add_lesion,
+    consolidation,
+    crazy_paving,
+    diffuse_pneumonia,
+    ground_glass_opacity,
+    linear_opacity,
+    nodule,
+    reversed_halo,
+)
+from repro.data.datasets import (
+    ClassificationDataset,
+    EnhancementDataset,
+    SyntheticSource,
+    bimcv,
+    lidc,
+    make_classification_volumes,
+    make_enhancement_pairs,
+    mayo_clinic,
+    midrc,
+)
+from repro.data.preparation import (
+    detect_circular_boundary,
+    filter_min_slices,
+    prepare_scan,
+    remove_circular_boundary,
+)
+from repro.data.registry import DATA_SOURCES, DataSourceInfo, data_source_table
+
+__all__ = [
+    "ChestPhantomConfig", "chest_slice", "slice_masks", "chest_volume",
+    "LESION_TYPES", "COVID_LESION_TYPES", "DISEASE_LESIONS", "add_lesion",
+    "ground_glass_opacity", "consolidation", "crazy_paving", "reversed_halo",
+    "linear_opacity", "diffuse_pneumonia", "nodule",
+    "SyntheticSource", "mayo_clinic", "bimcv", "midrc", "lidc",
+    "EnhancementDataset", "ClassificationDataset",
+    "make_enhancement_pairs", "make_classification_volumes",
+    "remove_circular_boundary", "detect_circular_boundary",
+    "filter_min_slices", "prepare_scan",
+    "DATA_SOURCES", "DataSourceInfo", "data_source_table",
+]

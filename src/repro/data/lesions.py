@@ -1,0 +1,214 @@
+"""COVID-19 radiological abnormality models (paper Fig. 1).
+
+Each lesion generator raises lung parenchyma HU inside a shaped
+footprint, reproducing the qualitative appearance radiologists key on:
+
+- **ground-glass opacity (GGO)**: hazy partial opacification
+  (≈ −700 → −300 HU) with soft edges, typically peripheral,
+- **consolidation**: dense, near-soft-tissue opacification,
+- **crazy paving**: GGO with a superimposed reticular grid,
+- **reversed halo**: a ring of consolidation around central GGO,
+- **linear opacity**: thin band-like density.
+
+All generators mutate a copy of the HU slice only inside the provided
+lung mask, so anatomy outside the lungs is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+from scipy.ndimage import binary_erosion, distance_transform_edt, gaussian_filter
+
+HU_GGO = -350.0
+HU_CONSOLIDATION = 20.0
+
+
+def _peripheral_center(lung_mask: np.ndarray, rng, peripheral: bool = True) -> Tuple[int, int]:
+    """Pick a lesion center, preferring subpleural (peripheral) sites.
+
+    COVID lesions are predominantly peripheral — the classifier can
+    exploit that prior, so the generator reproduces it.
+    """
+    idx = np.argwhere(lung_mask)
+    if len(idx) == 0:
+        raise ValueError("empty lung mask")
+    if peripheral:
+        dist = distance_transform_edt(lung_mask)
+        vals = dist[idx[:, 0], idx[:, 1]]
+        band = vals <= max(2.0, np.percentile(vals, 40))
+        idx = idx[band] if band.any() else idx
+    cy, cx = idx[rng.integers(0, len(idx))]
+    return int(cy), int(cx)
+
+
+def _blob(shape, cy, cx, radius, rng, fuzz: float = 2.0) -> np.ndarray:
+    """Soft irregular footprint in [0, 1] around (cy, cx)."""
+    ys, xs = np.mgrid[0 : shape[0], 0 : shape[1]].astype(np.float64)
+    r = np.hypot(ys - cy, xs - cx)
+    # Irregular boundary via random low-frequency angular modulation.
+    theta = np.arctan2(ys - cy, xs - cx)
+    wobble = np.zeros_like(theta)
+    for k in range(2, 5):
+        wobble += rng.uniform(-0.25, 0.25) * np.cos(k * theta + rng.uniform(0, 2 * np.pi))
+    eff = radius * (1.0 + wobble)
+    footprint = np.clip((eff - r) / fuzz + 0.5, 0.0, 1.0)
+    return gaussian_filter(footprint, fuzz * 0.5)
+
+
+def ground_glass_opacity(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    radius: Optional[float] = None, intensity: float = 1.0,
+) -> np.ndarray:
+    """Insert one GGO; returns a new image."""
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng)
+    radius = radius or rng.uniform(0.06, 0.14) * image.shape[0]
+    alpha = _blob(image.shape, cy, cx, radius, rng) * lung_mask * intensity
+    out += alpha * (HU_GGO - out) * 0.85  # partial opacification: haze
+    return out
+
+
+def consolidation(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    radius: Optional[float] = None,
+) -> np.ndarray:
+    """Insert a dense consolidation; returns a new image."""
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng)
+    radius = radius or rng.uniform(0.04, 0.10) * image.shape[0]
+    alpha = _blob(image.shape, cy, cx, radius, rng, fuzz=1.0) * lung_mask
+    out = out * (1.0 - alpha) + alpha * HU_CONSOLIDATION
+    return out
+
+
+def crazy_paving(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    radius: Optional[float] = None,
+) -> np.ndarray:
+    """GGO with superimposed septal-thickening grid lines."""
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng)
+    radius = radius or rng.uniform(0.08, 0.16) * image.shape[0]
+    alpha = _blob(image.shape, cy, cx, radius, rng) * lung_mask
+    out += alpha * (HU_GGO - out) * 0.8
+    # Reticular grid: thin bright lines every few pixels inside the blob.
+    period = max(3, int(image.shape[0] * 0.035))
+    ys, xs = np.mgrid[0 : image.shape[0], 0 : image.shape[1]]
+    grid = ((ys % period == 0) | (xs % period == 0)).astype(np.float64)
+    out += alpha * grid * 120.0
+    return out
+
+
+def reversed_halo(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    radius: Optional[float] = None,
+) -> np.ndarray:
+    """Central GGO surrounded by a ring of consolidation."""
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng, peripheral=False)
+    radius = radius or rng.uniform(0.07, 0.12) * image.shape[0]
+    ys, xs = np.mgrid[0 : image.shape[0], 0 : image.shape[1]].astype(np.float64)
+    r = np.hypot(ys - cy, xs - cx)
+    core = np.clip((radius * 0.65 - r) / 2.0 + 0.5, 0, 1) * lung_mask
+    ring = np.clip(1.0 - np.abs(r - radius * 0.85) / (radius * 0.18), 0, 1) * lung_mask
+    out += core * (HU_GGO - out) * 0.7
+    out = out * (1.0 - ring) + ring * HU_CONSOLIDATION
+    return out
+
+
+def linear_opacity(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    length: Optional[float] = None,
+) -> np.ndarray:
+    """Thin band-like (linear) opacity crossing lung parenchyma."""
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng)
+    length = length or rng.uniform(0.10, 0.22) * image.shape[0]
+    theta = rng.uniform(0, np.pi)
+    ys, xs = np.mgrid[0 : image.shape[0], 0 : image.shape[1]].astype(np.float64)
+    # Distance from the line through (cy, cx) with direction theta.
+    d_perp = np.abs(-(xs - cx) * np.sin(theta) + (ys - cy) * np.cos(theta))
+    d_along = np.abs((xs - cx) * np.cos(theta) + (ys - cy) * np.sin(theta))
+    band = np.clip(1.5 - d_perp, 0, 1) * (d_along <= length / 2.0) * lung_mask
+    out += band * (HU_GGO * 0.7 - out) * 0.8
+    return out
+
+
+def diffuse_pneumonia(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    num_foci: Optional[int] = None,
+) -> np.ndarray:
+    """Viral-pneumonia pattern (paper §7: "other maladies").
+
+    Many small opacification foci scattered *throughout* both lungs —
+    diffuse and bilateral, in contrast to COVID-19's predominantly
+    peripheral, focal distribution.
+    """
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    num_foci = num_foci or int(rng.integers(6, 12))
+    idx = np.argwhere(lung_mask)
+    if len(idx) == 0:
+        raise ValueError("empty lung mask")
+    for _ in range(num_foci):
+        cy, cx = idx[rng.integers(0, len(idx))]
+        radius = rng.uniform(0.02, 0.05) * image.shape[0]
+        alpha = _blob(image.shape, int(cy), int(cx), radius, rng, fuzz=1.5) * lung_mask
+        out += alpha * (HU_GGO - out) * rng.uniform(0.4, 0.7)
+    return out
+
+
+def nodule(
+    image: np.ndarray, lung_mask: np.ndarray, rng=None,
+    radius: Optional[float] = None,
+) -> np.ndarray:
+    """Solid pulmonary nodule (the LIDC / lung-cancer screening target).
+
+    A small, dense, sharply marginated sphere — distinct from the hazy
+    infectious patterns.
+    """
+    rng = rng or np.random.default_rng(0)
+    out = image.astype(np.float64).copy()
+    cy, cx = _peripheral_center(lung_mask, rng, peripheral=False)
+    radius = radius or rng.uniform(0.02, 0.045) * image.shape[0]
+    ys, xs = np.mgrid[0 : image.shape[0], 0 : image.shape[1]].astype(np.float64)
+    r = np.hypot(ys - cy, xs - cx)
+    core = np.clip((radius - r) / 0.8 + 0.5, 0.0, 1.0) * lung_mask
+    out = out * (1.0 - core) + core * 40.0  # soft-tissue density
+    return out
+
+
+LESION_TYPES: Dict[str, Callable] = {
+    "ggo": ground_glass_opacity,
+    "consolidation": consolidation,
+    "crazy_paving": crazy_paving,
+    "reversed_halo": reversed_halo,
+    "linear_opacity": linear_opacity,
+    "diffuse_pneumonia": diffuse_pneumonia,
+    "nodule": nodule,
+}
+
+#: Lesion kinds that constitute the COVID-19 radiological signature
+#: (Fig. 1); the remaining entries model the §7 "other maladies".
+COVID_LESION_TYPES = ("ggo", "consolidation", "crazy_paving",
+                      "reversed_halo", "linear_opacity")
+
+
+def add_lesion(
+    image: np.ndarray,
+    lung_mask: np.ndarray,
+    kind: str = "ggo",
+    rng=None,
+    **kwargs,
+) -> np.ndarray:
+    """Dispatch to a lesion generator by name (see :data:`LESION_TYPES`)."""
+    if kind not in LESION_TYPES:
+        raise KeyError(f"unknown lesion type {kind!r}; choose from {sorted(LESION_TYPES)}")
+    return LESION_TYPES[kind](image, lung_mask, rng=rng, **kwargs)

@@ -1,0 +1,145 @@
+"""Procedural 2D chest phantom in Hounsfield units.
+
+Generates axial chest slices with randomized anatomy: an elliptical
+thorax of soft tissue, two air-filled lungs, trachea, heart, a spine
+and rib cross-sections of bone, and pulmonary vasculature rendered as
+bright dots/branches inside the lungs.  Values are standard tissue HU
+so the slices flow directly into the CT physics chain via
+:func:`repro.ct.hounsfield.hu_to_mu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+# Tissue HU values (approximate clinical means).
+HU_AIR = -1000.0
+HU_LUNG = -860.0
+HU_SOFT = 40.0
+HU_HEART = 30.0
+HU_BONE = 700.0
+HU_VESSEL = 30.0
+
+
+@dataclass(frozen=True)
+class ChestPhantomConfig:
+    """Anatomical randomization ranges for one patient."""
+
+    size: int = 128
+    body_rx: float = 0.44       # body half-axes as fraction of image size
+    body_ry: float = 0.34
+    lung_rx: float = 0.16
+    lung_ry: float = 0.22
+    lung_offset_x: float = 0.20
+    heart_r: float = 0.10
+    spine_r: float = 0.055
+    vessel_count: int = 24
+    jitter: float = 0.08        # relative randomization of each quantity
+    smooth_sigma: float = 0.6   # final smoothing in pixels
+
+
+def _ellipse(ys, xs, cy, cx, ry, rx, angle: float = 0.0) -> np.ndarray:
+    """Boolean mask of a rotated ellipse."""
+    dy, dx = ys - cy, xs - cx
+    if angle:
+        c, s = np.cos(angle), np.sin(angle)
+        dx, dy = c * dx + s * dy, -s * dx + c * dy
+    return (dx / rx) ** 2 + (dy / ry) ** 2 <= 1.0
+
+
+def slice_masks(
+    config: ChestPhantomConfig = ChestPhantomConfig(),
+    rng=None,
+    lung_scale: float = 1.0,
+) -> Dict[str, np.ndarray]:
+    """Anatomical masks for one slice.
+
+    ``lung_scale`` shrinks the lungs (used by the 3D stack near the
+    apex/base).  Returns masks: body, lungs, left_lung, right_lung,
+    heart, spine, ribs, trachea.
+    """
+    rng = rng or np.random.default_rng(0)
+    n = config.size
+    ys, xs = np.mgrid[0:n, 0:n].astype(np.float64)
+    cy, cx = n / 2.0, n / 2.0
+
+    def j(v: float) -> float:
+        return v * (1.0 + config.jitter * rng.uniform(-1.0, 1.0))
+
+    body = _ellipse(ys, xs, cy, cx, j(config.body_ry) * n, j(config.body_rx) * n)
+    lungs = np.zeros((n, n), dtype=bool)
+    sides = {}
+    lr_x = j(config.lung_rx) * n * lung_scale
+    lr_y = j(config.lung_ry) * n * lung_scale
+    for name, sign in (("left_lung", -1.0), ("right_lung", 1.0)):
+        lcx = cx + sign * j(config.lung_offset_x) * n
+        lcy = cy + 0.02 * n * rng.uniform(-1, 1)
+        tilt = sign * rng.uniform(0.05, 0.25)
+        m = _ellipse(ys, xs, lcy, lcx, lr_y, lr_x, angle=tilt) & body
+        sides[name] = m
+        lungs |= m
+    heart = _ellipse(ys, xs, cy + 0.05 * n, cx - 0.04 * n,
+                     j(config.heart_r) * n, j(config.heart_r) * 1.15 * n) & body & ~lungs
+    spine = _ellipse(ys, xs, cy + j(config.body_ry) * n * 0.62, cx,
+                     j(config.spine_r) * n, j(config.spine_r) * n) & body
+    # Rib cross-sections: short bone arcs along the body boundary.
+    ribs = np.zeros((n, n), dtype=bool)
+    for k in range(8):
+        theta = np.pi * (k + 0.5) / 8.0 * 2.0 + rng.uniform(-0.1, 0.1)
+        rcx = cx + 0.95 * j(config.body_rx) * n * np.cos(theta)
+        rcy = cy + 0.95 * j(config.body_ry) * n * np.sin(theta)
+        ribs |= _ellipse(ys, xs, rcy, rcx, 0.016 * n, 0.016 * n)
+    ribs &= body & ~lungs
+    trachea = np.zeros((n, n), dtype=bool)
+    if lung_scale > 0.85:  # present near the carina only
+        trachea = _ellipse(ys, xs, cy - 0.12 * n, cx, 0.028 * n, 0.028 * n) & body
+    return {
+        "body": body, "lungs": lungs, "left_lung": sides["left_lung"],
+        "right_lung": sides["right_lung"], "heart": heart, "spine": spine,
+        "ribs": ribs, "trachea": trachea,
+    }
+
+
+def chest_slice(
+    config: ChestPhantomConfig = ChestPhantomConfig(),
+    rng=None,
+    lung_scale: float = 1.0,
+    return_masks: bool = False,
+):
+    """Render one chest slice in HU.
+
+    Returns the (size, size) HU image, or ``(image, masks)`` when
+    ``return_masks`` is set.
+    """
+    rng = rng or np.random.default_rng(0)
+    masks = slice_masks(config, rng, lung_scale)
+    n = config.size
+    img = np.full((n, n), HU_AIR)
+    img[masks["body"]] = HU_SOFT + rng.normal(0.0, 4.0)
+    img[masks["lungs"]] = HU_LUNG + rng.normal(0.0, 10.0)
+    img[masks["heart"]] = HU_HEART + rng.normal(0.0, 4.0)
+    img[masks["spine"]] = HU_BONE
+    img[masks["ribs"]] = HU_BONE * rng.uniform(0.75, 1.0)
+    img[masks["trachea"]] = HU_AIR
+
+    # Pulmonary vasculature: bright points of random caliber in lungs.
+    lung_idx = np.argwhere(masks["lungs"])
+    if len(lung_idx):
+        count = max(1, int(config.vessel_count * (n / 128.0) ** 2))
+        picks = lung_idx[rng.integers(0, len(lung_idx), size=count)]
+        ys, xs = np.mgrid[0:n, 0:n]
+        for (vy, vx) in picks:
+            rad = rng.uniform(0.4, 1.8) * n / 128.0
+            spot = (xs - vx) ** 2 + (ys - vy) ** 2 <= rad**2
+            img[spot & masks["lungs"]] = HU_VESSEL + rng.normal(0, 10)
+
+    # Fine parenchymal texture + smoothing for soft boundaries.
+    img[masks["lungs"]] += rng.normal(0.0, 25.0, size=int(masks["lungs"].sum()))
+    img = gaussian_filter(img, config.smooth_sigma)
+    if return_masks:
+        return img, masks
+    return img

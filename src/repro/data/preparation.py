@@ -1,0 +1,89 @@
+"""Data preparation (§2.1).
+
+Three operations the paper applies to harmonize its four sources:
+
+1. retaining chest CT only (a no-op here: the generators emit CT),
+2. removal of the circular reconstruction-FOV boundary present in
+   BIMCV/MIDRC scans (Fig. 5),
+3. keeping scans with ≥ 128 slices for isotropy (parametric here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.phantom import HU_AIR
+
+
+def add_circular_boundary(image: np.ndarray, radius_frac: float = 0.49,
+                          value: float = -2048.0) -> np.ndarray:
+    """Stamp the circular reconstruction FOV onto a slice (test helper).
+
+    Scanners pad everything outside the reconstruction circle with a
+    sentinel (often −2048); this reproduces that artifact so the removal
+    path can be exercised.
+    """
+    n = image.shape[0]
+    ys, xs = np.mgrid[0:n, 0:n]
+    r = np.hypot(ys - (n - 1) / 2.0, xs - (n - 1) / 2.0)
+    out = image.astype(np.float64).copy()
+    out[r > radius_frac * n] = value
+    return out
+
+
+def detect_circular_boundary(image: np.ndarray, threshold: float = -1500.0) -> Optional[float]:
+    """Detect a circular FOV boundary; returns its radius fraction or None.
+
+    Looks for the sentinel band (values below any physical HU) arranged
+    circularly around the image center.
+    """
+    below = image < threshold
+    if not below.any():
+        return None
+    n = image.shape[0]
+    ys, xs = np.mgrid[0 : image.shape[0], 0 : image.shape[1]]
+    r = np.hypot(ys - (image.shape[0] - 1) / 2.0, xs - (image.shape[1] - 1) / 2.0)
+    inside_r = r[~below]
+    if len(inside_r) == 0:
+        return 0.0
+    return float(inside_r.max() / n)
+
+
+def remove_circular_boundary(image: np.ndarray, threshold: float = -1500.0,
+                             fill: float = HU_AIR) -> np.ndarray:
+    """§2.1 / Fig. 5: replace the circular FOV sentinel region with air.
+
+    Idempotent: images without a boundary are returned unchanged
+    (as a copy).
+    """
+    out = np.asarray(image, dtype=np.float64).copy()
+    out[out < threshold] = fill
+    return out
+
+
+def filter_min_slices(
+    scans: Sequence[np.ndarray], min_slices: int = 128
+) -> List[np.ndarray]:
+    """§2.1: keep scans with at least ``min_slices`` 2D slices."""
+    if min_slices < 1:
+        raise ValueError("min_slices must be >= 1")
+    return [s for s in scans if s.shape[0] >= min_slices]
+
+
+def prepare_scan(
+    volume: np.ndarray,
+    min_slices: int = 128,
+    boundary_threshold: float = -1500.0,
+) -> Optional[np.ndarray]:
+    """Full §2.1 preparation of one 3D scan.
+
+    Returns the cleaned volume, or ``None`` when the scan fails the
+    slice-count requirement.
+    """
+    if volume.ndim != 3:
+        raise ValueError(f"expected (D, H, W) volume; got shape {volume.shape}")
+    if volume.shape[0] < min_slices:
+        return None
+    return np.stack([remove_circular_boundary(s, boundary_threshold) for s in volume])

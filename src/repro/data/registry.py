@@ -1,0 +1,71 @@
+"""Data-source registry (paper Table 1).
+
+Records the four clinical sources with their paper-reported contents
+and maps each to its synthetic stand-in in :mod:`repro.data.datasets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DataSourceInfo:
+    """One row of Table 1 plus reproduction metadata."""
+
+    key: str
+    name: str
+    contents: str
+    num_scans: int
+    covid_positive: bool
+    has_projection_data: bool
+    synthetic_factory: str  # dotted name of the stand-in factory
+
+
+DATA_SOURCES: Dict[str, DataSourceInfo] = {
+    "mayo": DataSourceInfo(
+        key="mayo",
+        name="Mayo Clinic",
+        contents="Eight (8) healthy chest CT scans & assoc. projection data at full & quarter dosage",
+        num_scans=8,
+        covid_positive=False,
+        has_projection_data=True,
+        synthetic_factory="repro.data.datasets.mayo_clinic",
+    ),
+    "bimcv": DataSourceInfo(
+        key="bimcv",
+        name="Medical Imaging Databank of the Valencia Region (BIMCV)",
+        contents="X-ray scans & CT scans of 34 COVID-19 patients",
+        num_scans=34,
+        covid_positive=True,
+        has_projection_data=False,
+        synthetic_factory="repro.data.datasets.bimcv",
+    ),
+    "midrc": DataSourceInfo(
+        key="midrc",
+        name="Medical Imaging and Data Resource Center (MIDRC)",
+        contents="229 CT scans of COVID-19 patients",
+        num_scans=229,
+        covid_positive=True,
+        has_projection_data=False,
+        synthetic_factory="repro.data.datasets.midrc",
+    ),
+    "lidc": DataSourceInfo(
+        key="lidc",
+        name="Lung Image Database Consortium Image Collection (LIDC)",
+        contents="1301 healthy chest CT scans",
+        num_scans=1301,
+        covid_positive=False,
+        has_projection_data=False,
+        synthetic_factory="repro.data.datasets.lidc",
+    ),
+}
+
+
+def data_source_table() -> List[Dict[str, str]]:
+    """Rows for regenerating Table 1."""
+    return [
+        {"Data Source": info.name, "Contents": info.contents}
+        for info in DATA_SOURCES.values()
+    ]

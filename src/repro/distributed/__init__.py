@@ -1,0 +1,28 @@
+"""Simulated multi-node data-parallel training (§4.1, Table 3).
+
+The paper trains Enhancement AI with PyTorch ``DistributedDataParallel``
+over the gloo backend on a T4 cluster.  Here:
+
+- :mod:`~repro.distributed.comm` — an in-process process group with the
+  gloo collective semantics (broadcast / all-reduce / all-gather) and a
+  ring-algorithm communication *cost model*,
+- :mod:`~repro.distributed.ddp` — a ``DistributedDataParallel`` wrapper
+  performing real replica-synchronous gradient averaging,
+- :mod:`~repro.distributed.perfmodel` — the calibrated wall-clock model
+  that regenerates Table 3's training runtimes.
+"""
+
+from repro.distributed.comm import CommStats, GlooCostModel, ProcessGroup
+from repro.distributed.ddp import DistributedDataParallel
+from repro.distributed.perfmodel import (
+    ClusterSpec,
+    TrainingRunEstimate,
+    TrainingTimeModel,
+    paper_table3_rows,
+)
+
+__all__ = [
+    "ProcessGroup", "GlooCostModel", "CommStats",
+    "DistributedDataParallel",
+    "ClusterSpec", "TrainingTimeModel", "TrainingRunEstimate", "paper_table3_rows",
+]

@@ -1,0 +1,151 @@
+"""Wall-clock model for multi-node Enhancement AI training (Table 3).
+
+The model decomposes one training iteration into per-GPU compute and a
+ring all-reduce of the gradient buffer:
+
+``t_iter = max(t_min, t_launch + b_local · t_image) + t_allreduce(p)``
+``t_epoch = ceil(N / (p · b_local)) · t_iter``
+
+Compute constants are calibrated to the paper's own single-node row
+(batch 1, 50 epochs → 15:14:46 on one T4), and the communication model
+to its 8-node rows.  The calibrated model reproduces all eight Table 3
+runtimes within ~15% — the paper's qualitative findings (sub-linear
+speedup from synchronization; batch size as the real throughput lever)
+fall out of the same two terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distributed.comm import GlooCostModel
+
+#: Training-set size for Enhancement AI (2286 Mayo + 2816 simulated ≈ 5120
+#: images; §3.1.2 quotes 5120 total with the val/test split removed).
+PAPER_TRAIN_IMAGES = 5102
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One homogeneous GPU cluster (paper: VT ARC "Infer", 18× T4 nodes)."""
+
+    num_nodes: int
+    gpus_per_node: int = 1
+    gpu_name: str = "Nvidia T4"
+    interconnect: GlooCostModel = GlooCostModel()
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def __post_init__(self):
+        if self.num_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError("cluster dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class TrainingRunEstimate:
+    """Predicted wall-clock for one Table 3 configuration."""
+
+    num_nodes: int
+    global_batch: int
+    epochs: int
+    iter_time_s: float
+    epoch_time_s: float
+    total_time_s: float
+
+    @property
+    def hhmmss(self) -> str:
+        t = int(round(self.total_time_s))
+        return f"{t // 3600}:{t % 3600 // 60:02d}:{t % 60:02d}"
+
+    def speedup_over(self, other: "TrainingRunEstimate") -> float:
+        scale = other.epochs / self.epochs
+        return other.total_time_s / (self.total_time_s * scale)
+
+
+@dataclass(frozen=True)
+class TrainingTimeModel:
+    """Calibrated per-iteration compute + ring-sync wall-clock model.
+
+    Defaults reproduce DDnet-on-T4: ``t_min`` is the batch-1 iteration
+    floor (the GPU is latency-bound below batch ≈ 2), ``t_image`` the
+    marginal per-image cost once utilized, and ``grad_bytes`` the fp32
+    gradient buffer all-reduced each iteration.
+    """
+
+    t_min_s: float = 0.2145
+    t_launch_s: float = 0.02
+    t_image_s: float = 0.11
+    grad_bytes: int = 2_900_000
+    dataset_images: int = PAPER_TRAIN_IMAGES
+
+    def iter_time(self, local_batch: int, cluster: ClusterSpec) -> float:
+        if local_batch < 1:
+            raise ValueError("local batch must be >= 1")
+        compute = max(self.t_min_s, self.t_launch_s + local_batch * self.t_image_s)
+        sync = cluster.interconnect.allreduce_time(self.grad_bytes, cluster.world_size)
+        return compute + sync
+
+    def estimate(
+        self,
+        cluster: ClusterSpec,
+        global_batch: int,
+        epochs: int,
+    ) -> TrainingRunEstimate:
+        """Predict one run; ``global_batch`` must divide by world size."""
+        p = cluster.world_size
+        if global_batch % p:
+            raise ValueError(f"global batch {global_batch} not divisible by world size {p}")
+        local = global_batch // p
+        t_iter = self.iter_time(local, cluster)
+        iters = int(np.ceil(self.dataset_images / global_batch))
+        t_epoch = iters * t_iter
+        return TrainingRunEstimate(
+            num_nodes=cluster.num_nodes,
+            global_batch=global_batch,
+            epochs=epochs,
+            iter_time_s=t_iter,
+            epoch_time_s=t_epoch,
+            total_time_s=t_epoch * epochs,
+        )
+
+
+#: The eight (nodes, batch, epochs, paper hh:mm:ss, paper MS-SSIM %) rows.
+PAPER_TABLE3 = [
+    (1, 1, 50, "15:14:46", 98.71),
+    (4, 8, 50, "2:27:49", 96.35),
+    (4, 8, 100, "4:58:52", 96.30),
+    (4, 16, 50, "2:07:58", 95.18),
+    (8, 8, 50, "2:21:49", 95.46),
+    (8, 8, 100, "4:43:26", 95.78),
+    (8, 32, 50, "1:17:25", 92.04),
+    (8, 64, 50, "1:12:24", 88.02),
+]
+
+
+def paper_table3_rows(model: Optional[TrainingTimeModel] = None) -> List[dict]:
+    """Model predictions side-by-side with the paper's Table 3."""
+    model = model or TrainingTimeModel()
+    rows = []
+    for nodes, batch, epochs, paper_time, paper_msssim in PAPER_TABLE3:
+        est = model.estimate(ClusterSpec(num_nodes=nodes), batch, epochs)
+        h, m, s = (int(x) for x in paper_time.split(":"))
+        paper_s = h * 3600 + m * 60 + s
+        rows.append(
+            {
+                "nodes": nodes,
+                "batch": batch,
+                "epochs": epochs,
+                "paper_runtime": paper_time,
+                "model_runtime": est.hhmmss,
+                "paper_seconds": paper_s,
+                "model_seconds": est.total_time_s,
+                "rel_error": (est.total_time_s - paper_s) / paper_s,
+                "paper_msssim": paper_msssim,
+            }
+        )
+    return rows

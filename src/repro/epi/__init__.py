@@ -1,0 +1,10 @@
+"""Epidemiological model behind the motivation figure (Fig. 2)."""
+
+from repro.epi.model import (
+    SEIRParams,
+    VariantSEIRModel,
+    VariantSpec,
+    uk_delta_wave_scenario,
+)
+
+__all__ = ["SEIRParams", "VariantSpec", "VariantSEIRModel", "uk_delta_wave_scenario"]

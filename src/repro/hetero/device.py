@@ -1,0 +1,120 @@
+"""Platform specifications (paper Table 4, left columns).
+
+Core counts, peak memory bandwidth, and maximum frequency are copied
+verbatim from the paper; peak FLOP/s are derived (2 ops/cycle/core for
+fused multiply-add) and a per-device memory-efficiency calibration —
+the fraction of peak bandwidth the DDnet kernels sustain — closes the
+gap between the roofline and the paper's measured kernel times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional
+
+DeviceType = Literal["gpu", "cpu", "fpga"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One execution platform.
+
+    Attributes
+    ----------
+    cores:
+        CUDA cores / stream processors / CPU cores / FPGA compute units,
+        exactly as Table 4 counts them.
+    bandwidth_gb_s / frequency_mhz:
+        Peak memory bandwidth and max clock from Table 4.
+    pytorch_supported:
+        Whether the paper could run its PyTorch implementation there
+        (False for the AMD GPU and the FPGA).
+    mem_efficiency:
+        Sustained/peak bandwidth ratio for the DDnet OpenCL kernels
+        (calibration constant; see module docstring).
+    launch_overhead_us:
+        Per-kernel-invocation overhead (queueing/launch).
+    """
+
+    name: str
+    device_type: DeviceType
+    cores: int
+    bandwidth_gb_s: float
+    frequency_mhz: float
+    pytorch_supported: bool
+    mem_efficiency: float = 1.0
+    flops_per_cycle_per_core: float = 2.0
+    launch_overhead_us: float = 10.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s (FMA counted as two operations)."""
+        return self.cores * self.frequency_mhz * 1e6 * self.flops_per_cycle_per_core
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak bandwidth in bytes/s."""
+        return self.bandwidth_gb_s * 1e9
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.mem_efficiency
+
+    def __post_init__(self):
+        if self.cores < 1 or self.bandwidth_gb_s <= 0 or self.frequency_mhz <= 0:
+            raise ValueError(f"invalid device spec for {self.name}")
+        if not 0.0 < self.mem_efficiency <= 1.5:
+            raise ValueError("mem_efficiency must be in (0, 1.5]")
+
+
+NVIDIA_V100 = DeviceSpec(
+    name="Nvidia V100 GPU", device_type="gpu", cores=5120,
+    bandwidth_gb_s=900.0, frequency_mhz=1380.0, pytorch_supported=True,
+    mem_efficiency=0.83,
+)
+NVIDIA_P100 = DeviceSpec(
+    name="Nvidia P100 GPU", device_type="gpu", cores=3584,
+    bandwidth_gb_s=732.0, frequency_mhz=1328.0, pytorch_supported=True,
+    mem_efficiency=0.50,
+)
+AMD_VEGA_FRONTIER = DeviceSpec(
+    name="AMD Radeon Vega Frontier GPU", device_type="gpu", cores=4096,
+    bandwidth_gb_s=480.0, frequency_mhz=1600.0, pytorch_supported=False,
+    mem_efficiency=0.70,
+)
+NVIDIA_T4 = DeviceSpec(
+    name="Nvidia T4 GPU", device_type="gpu", cores=2560,
+    bandwidth_gb_s=320.0, frequency_mhz=1590.0, pytorch_supported=True,
+    mem_efficiency=0.72,
+)
+INTEL_XEON_6128 = DeviceSpec(
+    name="Intel Xeon Gold 6128 CPU", device_type="cpu", cores=24,
+    bandwidth_gb_s=119.0, frequency_mhz=3400.0, pytorch_supported=True,
+    mem_efficiency=0.45, flops_per_cycle_per_core=32.0,  # AVX-512 FMA
+    launch_overhead_us=1.0,
+)
+INTEL_ARRIA10 = DeviceSpec(
+    name="Intel Arria 10 GX 1150 FPGA", device_type="fpga", cores=2,
+    bandwidth_gb_s=3.0, frequency_mhz=184.0, pytorch_supported=False,
+    mem_efficiency=0.9, flops_per_cycle_per_core=10.0,  # unroll-5 pipeline, 2 CUs
+    launch_overhead_us=100.0,
+)
+
+#: Table 4 platform registry in the paper's row order.
+DEVICES: Dict[str, DeviceSpec] = {
+    d.name: d
+    for d in (
+        NVIDIA_V100, NVIDIA_P100, AMD_VEGA_FRONTIER, NVIDIA_T4,
+        INTEL_XEON_6128, INTEL_ARRIA10,
+    )
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look a platform up by its Table 4 name (or unique substring)."""
+    if name in DEVICES:
+        return DEVICES[name]
+    matches = [d for key, d in DEVICES.items() if name.lower() in key.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    raise KeyError(f"unknown or ambiguous device {name!r}; have {list(DEVICES)}")

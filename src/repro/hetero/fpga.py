@@ -1,0 +1,179 @@
+"""FPGA resource accounting and runtime reconfiguration (§4.2.3, Fig. 10).
+
+Models the Intel Arria 10 GX 1150's finite fabric (ALMs, M20K RAM
+blocks, DSP blocks) and the resource cost of each §4.2.3 optimization.
+Applying vectorization + loop unrolling + compute-unit replication +
+dedicated kernels to *both* kernels in one bitstream exceeds the fabric
+("compilation failures" in the paper); splitting DDnet into a
+convolution bitstream and a deconvolution bitstream and reconfiguring
+between them (Fig. 10) makes each fit — the
+:class:`ReconfigurationSchedule` decides whether that trade is worth
+the reconfiguration overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hetero.optimizations import OptimizationConfig
+
+#: Intel Arria 10 GX 1150 fabric (vendor datasheet).
+ARRIA10_ALMS = 427_200
+ARRIA10_M20K = 2_713
+ARRIA10_DSP = 1_518
+
+#: Full-chip reconfiguration time for Arria 10 (~100 ms class).
+RECONFIG_TIME_S = 0.045
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Fabric consumption of one synthesized kernel pipeline."""
+
+    alms: int
+    m20k: int
+    dsp: int
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(self.alms + other.alms, self.m20k + other.m20k,
+                             self.dsp + other.dsp)
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        return ResourceUsage(int(self.alms * factor), int(self.m20k * factor),
+                             int(self.dsp * factor))
+
+    def fits(self, alms: int = ARRIA10_ALMS, m20k: int = ARRIA10_M20K,
+             dsp: int = ARRIA10_DSP) -> bool:
+        return self.alms <= alms and self.m20k <= m20k and self.dsp <= dsp
+
+    def utilization(self) -> Dict[str, float]:
+        return {
+            "alms": self.alms / ARRIA10_ALMS,
+            "m20k": self.m20k / ARRIA10_M20K,
+            "dsp": self.dsp / ARRIA10_DSP,
+        }
+
+
+#: Baseline single-pipeline cost of each kernel (OpenCL BSP + pipeline).
+_BASE_USAGE = {
+    "convolution": ResourceUsage(alms=92_000, m20k=610, dsp=180),
+    "deconvolution": ResourceUsage(alms=98_000, m20k=640, dsp=190),
+    "other": ResourceUsage(alms=45_000, m20k=280, dsp=40),
+}
+
+#: Per-resource growth of the §4.2 optimizations.  Loop unrolling and
+#: vectorization replicate the multiply-add datapath (DSP-heavy, control
+#: logic amortized); compute-unit replication duplicates the whole
+#: pipeline; dedicated kernels add a specialized variant.
+_UNROLL5 = {"alms": 1.7, "m20k": 1.2, "dsp": 3.4}
+_VECTOR5 = {"alms": 1.6, "m20k": 1.3, "dsp": 2.2}
+_DEDICATED = {"alms": 1.2, "m20k": 1.2, "dsp": 1.2}
+
+
+class FpgaResourceModel:
+    """Resource estimation for a kernel set under an optimization config."""
+
+    def __init__(self, alms: int = ARRIA10_ALMS, m20k: int = ARRIA10_M20K,
+                 dsp: int = ARRIA10_DSP):
+        self.alms, self.m20k, self.dsp = alms, m20k, dsp
+
+    def kernel_usage(self, kind: str, config: OptimizationConfig) -> ResourceUsage:
+        """Fabric cost of one kernel pipeline under ``config``.
+
+        Loop unrolling and vectorization replicate the multiply-add
+        datapath (≈ linear in the factor for DSPs/ALMs); compute-unit
+        replication duplicates the whole pipeline; dedicated kernels add
+        a second specialized pipeline variant.
+        """
+        if kind not in _BASE_USAGE:
+            raise KeyError(f"unknown kernel kind {kind!r}")
+        base = _BASE_USAGE[kind]
+        alms, m20k, dsp = float(base.alms), float(base.m20k), float(base.dsp)
+
+        def apply(mult):
+            nonlocal alms, m20k, dsp
+            alms *= mult["alms"]
+            m20k *= mult["m20k"]
+            dsp *= mult["dsp"]
+
+        if kind in ("convolution", "deconvolution"):
+            if config.loop_unroll:
+                apply(_UNROLL5)
+            if config.vectorize and kind == "deconvolution":
+                apply(_VECTOR5)
+            if kind == "convolution":
+                cu = config.compute_unit_replication
+                alms *= cu
+                m20k *= cu
+                dsp *= cu
+                if config.dedicated_kernels:
+                    apply(_DEDICATED)
+        return ResourceUsage(int(alms), int(m20k), int(dsp))
+
+    def bitstream_usage(self, kinds: List[str], config: OptimizationConfig) -> ResourceUsage:
+        total = ResourceUsage(0, 0, 0)
+        for kind in kinds:
+            total = total + self.kernel_usage(kind, config)
+        return total
+
+    def fits_single_bitstream(self, config: OptimizationConfig) -> bool:
+        """Can conv + deconv + other share one bitstream under ``config``?"""
+        usage = self.bitstream_usage(["convolution", "deconvolution", "other"], config)
+        return usage.fits(self.alms, self.m20k, self.dsp)
+
+
+@dataclass
+class ReconfigurationSchedule:
+    """Fig. 10: split DDnet across bitstreams with reconfiguration.
+
+    Holds the execution plan — which bitstream runs which kernel group,
+    and where reconfigurations happen — plus its predicted wall time.
+    """
+
+    steps: List[Tuple[str, str]] = field(default_factory=list)  # (action, detail)
+    exec_time_s: float = 0.0
+    reconfig_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.exec_time_s + self.reconfig_time_s
+
+    @property
+    def num_reconfigurations(self) -> int:
+        return sum(1 for action, _ in self.steps if action == "reconfigure")
+
+    @classmethod
+    def plan(
+        cls,
+        conv_time_s: float,
+        deconv_time_s: float,
+        other_time_s: float,
+        single_bitstream_time_s: float,
+        resource_model: FpgaResourceModel,
+        config: OptimizationConfig,
+        reconfig_time_s: float = RECONFIG_TIME_S,
+    ) -> "ReconfigurationSchedule":
+        """Choose between one shared bitstream and the Fig. 10 split.
+
+        ``single_bitstream_time_s`` is the best achievable time when all
+        kernels must share the fabric (limited optimizations);
+        the split plan pays 2 reconfigurations (conv → deconv stages of
+        DDnet run as two sweeps, Fig. 10) but runs each kernel fully
+        optimized.
+        """
+        split = cls()
+        split.steps = [
+            ("program", "convolution bitstream (CU×2, dedicated 5×5, unroll 5)"),
+            ("execute", "convolution network sweep"),
+            ("reconfigure", "load deconvolution bitstream"),
+            ("execute", "deconvolution network sweep"),
+        ]
+        split.exec_time_s = conv_time_s + deconv_time_s + other_time_s
+        split.reconfig_time_s = reconfig_time_s * split.num_reconfigurations
+        if resource_model.fits_single_bitstream(config):
+            shared = cls(steps=[("program", "shared bitstream"), ("execute", "full DDnet")],
+                         exec_time_s=single_bitstream_time_s, reconfig_time_s=0.0)
+            if shared.total_time_s <= split.total_time_s:
+                return shared
+        return split

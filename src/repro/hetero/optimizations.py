@@ -1,0 +1,94 @@
+"""Optimization flag set for the OpenCL kernels (§4.2).
+
+Application-specific, architecture-aware, and FPGA-specific
+optimizations compose into an :class:`OptimizationConfig`; the
+performance model maps each flag to its effect on memory traffic,
+effective bandwidth, or pipeline throughput (Table 7 / §4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which §4.2 optimizations are active.
+
+    Attributes
+    ----------
+    refactor_deconv:
+        §4.2.1 inverse coefficient mapping (REF): gather instead of
+        scatter deconvolution.
+    prefetch:
+        §4.2.2 memory prefetching of loop bounds/filter parameters (PF).
+    loop_unroll:
+        §4.2.2 unrolling of the multiply-add loop by factor 5 (LU).
+    vectorize / compute_unit_replication / dedicated_kernels /
+    runtime_reconfiguration:
+        §4.2.3 FPGA-specific optimizations.
+    """
+
+    refactor_deconv: bool = False
+    prefetch: bool = False
+    loop_unroll: bool = False
+    vectorize: bool = False
+    compute_unit_replication: int = 1
+    dedicated_kernels: bool = False
+    runtime_reconfiguration: bool = False
+
+    def __post_init__(self):
+        if self.compute_unit_replication < 1:
+            raise ValueError("compute-unit replication factor must be >= 1")
+
+    # -- the Table 7 ablation ladder ------------------------------------
+    @classmethod
+    def baseline(cls) -> "OptimizationConfig":
+        return cls()
+
+    @classmethod
+    def ref(cls) -> "OptimizationConfig":
+        return cls(refactor_deconv=True)
+
+    @classmethod
+    def ref_pf(cls) -> "OptimizationConfig":
+        return cls(refactor_deconv=True, prefetch=True)
+
+    @classmethod
+    def ref_pf_lu(cls) -> "OptimizationConfig":
+        return cls(refactor_deconv=True, prefetch=True, loop_unroll=True)
+
+    @classmethod
+    def fpga_full(cls) -> "OptimizationConfig":
+        """All §4.2.3 optimizations (the Table 4 FPGA configuration)."""
+        return cls(
+            refactor_deconv=True, prefetch=True, loop_unroll=True,
+            vectorize=True, compute_unit_replication=2,
+            dedicated_kernels=True, runtime_reconfiguration=True,
+        )
+
+    @classmethod
+    def table7_ladder(cls) -> List["OptimizationConfig"]:
+        return [cls.baseline(), cls.ref(), cls.ref_pf(), cls.ref_pf_lu()]
+
+    @property
+    def label(self) -> str:
+        if self == OptimizationConfig.fpga_full():
+            return "FPGA-full"
+        parts = []
+        if self.refactor_deconv:
+            parts.append("REF")
+        if self.prefetch:
+            parts.append("PF")
+        if self.loop_unroll:
+            parts.append("LU")
+        if self.vectorize:
+            parts.append("VEC")
+        if self.compute_unit_replication > 1:
+            parts.append(f"CUx{self.compute_unit_replication}")
+        if self.dedicated_kernels:
+            parts.append("DED")
+        if self.runtime_reconfiguration:
+            parts.append("RECONF")
+        return "Baseline" + ("".join(" + " + p for p in parts) if parts else "")

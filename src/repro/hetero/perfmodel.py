@@ -1,0 +1,266 @@
+"""Calibrated wall-clock model for DDnet inference (Tables 4, 5, 7).
+
+Structure
+---------
+For the optimized (REF + PF + LU) kernels:
+
+- convolution / refactored deconvolution are *compute-limited*:
+  ``t = flops / (peak_flops · eff)`` with a per-device efficiency,
+- the "other" kernels (pooling, un-pooling, Leaky-ReLU, batch-norm) are
+  *bandwidth-limited*: ``t = bytes / (peak_bw · eff)``.
+
+FLOP and byte totals come from the DDnet kernel schedule
+(:mod:`repro.hetero.schedule`) — the paper's reference workload is a
+512×512×32 chunk — and the per-device efficiencies are **calibrated
+once against the paper's measured Table 5 kernel times**.  GPU conv
+efficiencies land at a plausible 0.4-1.3 of peak.  Factors above 1 are
+expected where the Table 6 counting convention over-states true DRAM
+traffic: the counters charge every *global memory operation* the kernel
+issues, but caches serve most of them (e.g. the 4-loads-per-output of
+un-pooling mostly hit L2), so the effective service rate exceeds DRAM
+bandwidth.  The factor is therefore an *effective-rate* calibration,
+not a physical efficiency.
+
+The un-optimized configurations of Table 7 are modelled as group-level
+penalty factors (naive scatter deconvolution with read-modify-write
+global traffic; missing prefetch/unroll), also calibrated per device
+from Table 7.  Predictions for *new* workloads (different image sizes,
+batch, width) then follow mechanically from the schedule.
+
+PyTorch runtimes (Table 4) = OpenCL time × a per-device framework
+overhead factor (kernel dispatch, no fusion), calibrated from Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hetero.counters import OpCounts
+from repro.hetero.device import DEVICES, DeviceSpec
+from repro.hetero.optimizations import OptimizationConfig
+from repro.hetero.schedule import KernelInvocation, ddnet_kernel_schedule, schedule_totals
+
+#: Paper Table 5: measured optimized kernel times (seconds).
+PAPER_TABLE5: Dict[str, Dict[str, float]] = {
+    "Nvidia V100 GPU": {"convolution": 0.036, "deconvolution": 0.059, "other": 0.004},
+    "Nvidia P100 GPU": {"convolution": 0.075, "deconvolution": 0.169, "other": 0.005},
+    "AMD Radeon Vega Frontier GPU": {"convolution": 0.082, "deconvolution": 0.170, "other": 0.005},
+    "Nvidia T4 GPU": {"convolution": 0.123, "deconvolution": 0.153, "other": 0.016},
+    "Intel Xeon Gold 6128 CPU": {"convolution": 0.495, "deconvolution": 1.078, "other": 0.057},
+    "Intel Arria 10 GX 1150 FPGA": {"convolution": 9.819, "deconvolution": 2.839, "other": 3.991},
+}
+
+#: Paper Table 7: whole-DDnet times under the optimization ladder (seconds).
+PAPER_TABLE7: Dict[str, Dict[str, float]] = {
+    "Nvidia V100 GPU": {"baseline": 63.82, "ref": 0.10, "ref_pf": 0.10, "ref_pf_lu": 0.10},
+    "Nvidia P100 GPU": {"baseline": 152.08, "ref": 0.29, "ref_pf": 0.26, "ref_pf_lu": 0.25},
+    "AMD Radeon Vega Frontier GPU": {"baseline": 219.60, "ref": 0.25, "ref_pf": 0.25, "ref_pf_lu": 0.25},
+    "Nvidia T4 GPU": {"baseline": 59.30, "ref": 0.32, "ref_pf": 0.31, "ref_pf_lu": 0.29},
+    "Intel Xeon Gold 6128 CPU": {"baseline": 6.51, "ref": 1.95, "ref_pf": 1.69, "ref_pf_lu": 1.64},
+    "Intel Arria 10 GX 1150 FPGA": {"baseline": 278.53, "ref": 130.62, "ref_pf": 127.72, "ref_pf_lu": 65.83},
+}
+
+#: Paper Table 4: end-to-end inference runtimes (seconds); None = unsupported.
+PAPER_TABLE4: Dict[str, Dict[str, Optional[float]]] = {
+    "Nvidia V100 GPU": {"pytorch": 0.22, "opencl": 0.10},
+    "Nvidia P100 GPU": {"pytorch": 0.73, "opencl": 0.25},
+    "AMD Radeon Vega Frontier GPU": {"pytorch": None, "opencl": 0.25},
+    "Nvidia T4 GPU": {"pytorch": 1.29, "opencl": 0.29},
+    "Intel Xeon Gold 6128 CPU": {"pytorch": 5.52, "opencl": 1.64},
+    "Intel Arria 10 GX 1150 FPGA": {"pytorch": None, "opencl": 16.74},
+}
+
+#: FPGA-specific optimization gains (§4.2.3): the LU-ladder kernels are
+#: further accelerated by vectorization ×5 on deconvolution and by
+#: 2 compute units + dedicated 5×5 kernels on convolution.
+FPGA_VECTORIZE_GAIN = 5.0
+FPGA_CU_DEDICATED_GAIN = 4.85  # CU×2 ≈ 2.0, dedicated-kernel pipeline ≈ 2.4
+FPGA_RECONFIG_OVERHEAD_S = 0.09
+
+
+@dataclass
+class PlatformPrediction:
+    """Predicted kernel-group and total times for one configuration."""
+
+    device: DeviceSpec
+    config: OptimizationConfig
+    convolution_s: float
+    deconvolution_s: float
+    other_s: float
+    reconfig_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.convolution_s + self.deconvolution_s + self.other_s + self.reconfig_s
+
+
+@dataclass
+class _DeviceCalibration:
+    conv_eff: float          # fraction of peak FLOP/s on conv
+    deconv_eff: float        # fraction of peak FLOP/s on refactored deconv
+    other_eff: float         # fraction of peak bandwidth on "other"
+    naive_penalty: float     # deconv slowdown without REF
+    pf_factor: float         # conv+deconv slowdown without prefetch
+    lu_factor: float         # conv+deconv slowdown without loop unrolling
+    baseline_conv_factor: float  # conv slowdown in the fully-unoptimized build
+    pytorch_factor: Optional[float]  # framework overhead vs OpenCL
+
+
+class PerfModel:
+    """DDnet inference wall-clock model over the Table 4 platforms."""
+
+    def __init__(self, reference_schedule: Optional[List[KernelInvocation]] = None):
+        self.reference_schedule = reference_schedule or ddnet_kernel_schedule()
+        self.totals = schedule_totals(self.reference_schedule)
+        self.calibration: Dict[str, _DeviceCalibration] = {}
+        for name, device in DEVICES.items():
+            self.calibration[name] = self._calibrate(device)
+
+    # ------------------------------------------------------------------
+    def _calibrate(self, device: DeviceSpec) -> _DeviceCalibration:
+        t5 = PAPER_TABLE5[device.name]
+        t7 = PAPER_TABLE7[device.name]
+        t4 = PAPER_TABLE4[device.name]
+        conv_flops = self.totals["convolution"].flops
+        deconv_flops = self.totals["deconvolution"].flops
+        other_bytes = self.totals["other"].bytes_moved
+        is_fpga = device.device_type == "fpga"
+        # For the FPGA, Table 5 reports the *fully optimized* kernels;
+        # the LU-ladder kernel times are backed out of Table 7.
+        conv_t = t5["convolution"]
+        deconv_t = t5["deconvolution"]
+        if is_fpga:
+            ladder_convdeconv = t7["ref_pf_lu"] - t5["other"]
+            deconv_t = t5["deconvolution"] * FPGA_VECTORIZE_GAIN
+            conv_t = ladder_convdeconv - deconv_t
+        conv_eff = conv_flops / (device.peak_flops * conv_t)
+        deconv_eff = deconv_flops / (device.peak_flops * deconv_t)
+        other_eff = other_bytes / (device.peak_bandwidth * t5["other"])
+        # Attribute the PF/LU ladder gains to the conv+deconv portion:
+        # the Table 7 step sizes divided by the optimized conv+deconv
+        # time give the slowdown factor each missing optimization costs.
+        convdeconv_opt = conv_t + deconv_t
+        lu_factor = max(1.0, 1.0 + (t7["ref_pf"] - t7["ref_pf_lu"]) / convdeconv_opt)
+        pf_factor = max(1.0, 1.0 + (t7["ref"] - t7["ref_pf"]) / convdeconv_opt)
+        baseline_deconv = deconv_t * pf_factor * lu_factor
+        # On the FPGA the unoptimized convolution is also far from its
+        # pipelined form; elsewhere the baseline conv equals the ladder conv.
+        base_other_conv = conv_t * pf_factor * lu_factor + t5["other"]
+        naive_penalty = max(1.0, (t7["baseline"] - base_other_conv) / baseline_deconv)
+        baseline_conv_factor = 1.0
+        if is_fpga:
+            # Split the FPGA baseline between unpipelined conv and naive
+            # deconv in proportion to their REF-column shares.
+            conv_ref = t7["ref"] - t5["other"] - baseline_deconv
+            baseline_conv_factor = max(1.0, conv_ref / (conv_t * pf_factor * lu_factor))
+            naive_penalty = max(
+                1.0,
+                (t7["baseline"] - t7["ref"]) / baseline_deconv + 1.0,
+            )
+        pytorch_factor = None
+        if t4["pytorch"] is not None and t4["opencl"]:
+            pytorch_factor = t4["pytorch"] / t4["opencl"]
+        return _DeviceCalibration(
+            conv_eff=conv_eff, deconv_eff=deconv_eff, other_eff=other_eff,
+            naive_penalty=naive_penalty, pf_factor=pf_factor, lu_factor=lu_factor,
+            baseline_conv_factor=baseline_conv_factor, pytorch_factor=pytorch_factor,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        device: DeviceSpec,
+        config: Optional[OptimizationConfig] = None,
+        schedule: Optional[List[KernelInvocation]] = None,
+    ) -> PlatformPrediction:
+        """Predict kernel-group times for a configuration and workload."""
+        config = config or OptimizationConfig.ref_pf_lu()
+        cal = self.calibration[device.name]
+        totals = self.totals if schedule is None else schedule_totals(schedule)
+        conv = totals["convolution"].flops / (device.peak_flops * cal.conv_eff)
+        deconv = totals["deconvolution"].flops / (device.peak_flops * cal.deconv_eff)
+        other = totals["other"].bytes_moved / (device.peak_bandwidth * cal.other_eff)
+        reconfig = 0.0
+
+        if not config.refactor_deconv:
+            deconv *= cal.naive_penalty
+            conv *= cal.baseline_conv_factor
+        if not config.prefetch:
+            conv *= cal.pf_factor
+            deconv *= cal.pf_factor
+        if not config.loop_unroll:
+            conv *= cal.lu_factor
+            deconv *= cal.lu_factor
+
+        if device.device_type == "fpga":
+            wants_extra = (
+                config.vectorize or config.compute_unit_replication > 1
+                or config.dedicated_kernels
+            )
+            if wants_extra and not config.runtime_reconfiguration:
+                raise ValueError(
+                    "FPGA-specific optimizations exceed Arria-10 resources in a "
+                    "single bitstream; enable runtime_reconfiguration (§4.2.3)"
+                )
+            if config.vectorize:
+                deconv /= FPGA_VECTORIZE_GAIN
+            if config.compute_unit_replication > 1 or config.dedicated_kernels:
+                conv /= FPGA_CU_DEDICATED_GAIN
+            if config.runtime_reconfiguration:
+                reconfig = FPGA_RECONFIG_OVERHEAD_S
+        elif config.vectorize or config.compute_unit_replication > 1 or config.dedicated_kernels:
+            raise ValueError("vectorize/CU-replication/dedicated kernels are FPGA-specific (§4.2.3)")
+
+        return PlatformPrediction(device, config, conv, deconv, other, reconfig)
+
+    def predict_pytorch(self, device: DeviceSpec) -> Optional[float]:
+        """Table 4 PyTorch column (None where PyTorch is unsupported)."""
+        cal = self.calibration[device.name]
+        if not device.pytorch_supported or cal.pytorch_factor is None:
+            return None
+        return self.predict(device).total_s * cal.pytorch_factor
+
+    # ------------------------------------------------------------------
+    def table5(self) -> Dict[str, Dict[str, float]]:
+        """Model predictions in the Table 5 layout."""
+        out = {}
+        for name, device in DEVICES.items():
+            cfg = (
+                OptimizationConfig.fpga_full()
+                if device.device_type == "fpga"
+                else OptimizationConfig.ref_pf_lu()
+            )
+            p = self.predict(device, cfg)
+            out[name] = {
+                "convolution": p.convolution_s,
+                "deconvolution": p.deconvolution_s,
+                "other": p.other_s,
+            }
+        return out
+
+    def table7(self) -> Dict[str, Dict[str, float]]:
+        """Model predictions in the Table 7 layout."""
+        labels = ["baseline", "ref", "ref_pf", "ref_pf_lu"]
+        out = {}
+        for name, device in DEVICES.items():
+            row = {}
+            for label, cfg in zip(labels, OptimizationConfig.table7_ladder()):
+                row[label] = self.predict(device, cfg).total_s
+            out[name] = row
+        return out
+
+    def table4(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Model predictions in the Table 4 layout."""
+        out = {}
+        for name, device in DEVICES.items():
+            cfg = (
+                OptimizationConfig.fpga_full()
+                if device.device_type == "fpga"
+                else OptimizationConfig.ref_pf_lu()
+            )
+            out[name] = {
+                "pytorch": self.predict_pytorch(device),
+                "opencl": self.predict(device, cfg).total_s,
+            }
+        return out

@@ -1,0 +1,26 @@
+"""Evaluation metrics.
+
+- :mod:`repro.metrics.image` — MSE, PSNR, SSIM, and MS-SSIM (the
+  paper's Enhancement AI quality measures, Table 8),
+- :mod:`repro.metrics.classification` — accuracy (Eq. 3), TPR/FPR
+  (Eqs. 4-5), ROC curves with AUC, confusion matrices, and optimal
+  threshold selection (Fig. 13 / Table 9).
+"""
+
+from repro.metrics.image import mse, psnr, ssim, ms_ssim
+from repro.metrics.classification import (
+    ConfusionMatrix,
+    accuracy,
+    auc_roc,
+    confusion_matrix,
+    optimal_threshold,
+    roc_curve,
+    sensitivity,
+    specificity,
+)
+
+__all__ = [
+    "mse", "psnr", "ssim", "ms_ssim",
+    "ConfusionMatrix", "confusion_matrix", "accuracy", "sensitivity",
+    "specificity", "roc_curve", "auc_roc", "optimal_threshold",
+]

@@ -1,0 +1,142 @@
+"""Classification metrics: Eqs. 3-5, ROC/AUC, confusion matrix (Table 9).
+
+All functions take ``labels`` (0/1 ground truth) and either binary
+predictions or continuous scores, as plain NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate(labels: np.ndarray, other: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels)
+    other = np.asarray(other)
+    if labels.shape != other.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {other.shape}")
+    if labels.size == 0:
+        raise ValueError("empty label array")
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("labels must be binary 0/1")
+    return labels.astype(int), other
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """TP/FP/FN/TN counts with the paper's derived rates."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """Eq. 3: (TP + TN) / (TP + FP + FN + TN)."""
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def sensitivity(self) -> float:
+        """Eq. 4 (TPR): TP / (TP + FN)."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def specificity(self) -> float:
+        """TN / (TN + FP)."""
+        denom = self.tn + self.fp
+        return self.tn / denom if denom else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """Eq. 5: FP / (FP + TN)."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    def as_table(self) -> str:
+        """Render the Table 9 layout."""
+        return (
+            "                     Ground-Truth\n"
+            "                 Positive    Negative\n"
+            f"Pred Positive    TP={self.tp:<8d} FP={self.fp:<8d}\n"
+            f"Pred Negative    FN={self.fn:<8d} TN={self.tn:<8d}"
+        )
+
+
+def confusion_matrix(labels, predictions) -> ConfusionMatrix:
+    """Confusion matrix from binary predictions."""
+    labels, predictions = _validate(labels, predictions)
+    if not np.isin(predictions, (0, 1)).all():
+        raise ValueError("predictions must be binary 0/1 (threshold scores first)")
+    predictions = predictions.astype(int)
+    tp = int(((labels == 1) & (predictions == 1)).sum())
+    fp = int(((labels == 0) & (predictions == 1)).sum())
+    fn = int(((labels == 1) & (predictions == 0)).sum())
+    tn = int(((labels == 0) & (predictions == 0)).sum())
+    return ConfusionMatrix(tp, fp, fn, tn)
+
+
+def accuracy(labels, predictions) -> float:
+    """Eq. 3 accuracy from binary predictions."""
+    return confusion_matrix(labels, predictions).accuracy
+
+
+def sensitivity(labels, predictions) -> float:
+    return confusion_matrix(labels, predictions).sensitivity
+
+
+def specificity(labels, predictions) -> float:
+    return confusion_matrix(labels, predictions).specificity
+
+
+def roc_curve(labels, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve: (fpr, tpr, thresholds), thresholds descending.
+
+    Sweeps every distinct score as a threshold (predict positive when
+    ``score >= threshold``), prepending the (0, 0) corner.
+    """
+    labels, scores = _validate(labels, scores)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs at least one positive and one negative")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    tps = np.cumsum(sorted_labels)
+    fps = np.cumsum(1 - sorted_labels)
+    # Collapse runs of equal scores to single operating points.
+    distinct = np.r_[np.diff(sorted_scores) != 0, True]
+    tps, fps = tps[distinct], fps[distinct]
+    thresholds = sorted_scores[distinct]
+    tpr = np.r_[0.0, tps / n_pos]
+    fpr = np.r_[0.0, fps / n_neg]
+    thresholds = np.r_[np.inf, thresholds]
+    return fpr, tpr, thresholds
+
+
+def auc_roc(labels, scores) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(labels, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def optimal_threshold(labels, scores) -> Tuple[float, float]:
+    """Threshold maximizing accuracy; returns (threshold, accuracy).
+
+    This is how the paper's 0.061 operating point (Table 9) is chosen.
+    """
+    labels, scores = _validate(labels, scores)
+    best_t, best_acc = 0.5, -1.0
+    for t in np.unique(scores):
+        acc = ((scores >= t).astype(int) == labels).mean()
+        if acc > best_acc:
+            best_acc, best_t = float(acc), float(t)
+    return best_t, best_acc

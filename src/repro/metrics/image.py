@@ -1,0 +1,115 @@
+"""Image-quality metrics (pure NumPy, evaluation-only).
+
+The differentiable MS-SSIM used as a *training loss* lives in
+:mod:`repro.nn.losses`; these NumPy versions are the *evaluation*
+metrics reported in Tables 3 and 8.  The two implementations are
+cross-checked against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+from repro.nn.losses import MSSSIM_WEIGHTS, _gaussian_window
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical images)."""
+    err = mse(a, b)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / err))
+
+
+def _gaussian_filter2d(x: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """Valid-mode 2D correlation with a small window via FFT-free slides."""
+    from scipy.signal import fftconvolve
+
+    return fftconvolve(x, window[::-1, ::-1], mode="valid")
+
+
+def _ssim_maps(
+    a: np.ndarray,
+    b: np.ndarray,
+    window_size: int,
+    sigma: float,
+    data_range: float,
+    k1: float = 0.01,
+    k2: float = 0.03,
+):
+    w = _gaussian_window(window_size, sigma)[0, 0]
+    c1 = (k1 * data_range) ** 2
+    c2 = (k2 * data_range) ** 2
+    mu_a = _gaussian_filter2d(a, w)
+    mu_b = _gaussian_filter2d(b, w)
+    mu_aa, mu_bb, mu_ab = mu_a * mu_a, mu_b * mu_b, mu_a * mu_b
+    s_a = _gaussian_filter2d(a * a, w) - mu_aa
+    s_b = _gaussian_filter2d(b * b, w) - mu_bb
+    s_ab = _gaussian_filter2d(a * b, w) - mu_ab
+    cs = (2.0 * s_ab + c2) / (s_a + s_b + c2)
+    full = ((2.0 * mu_ab + c1) / (mu_aa + mu_bb + c1)) * cs
+    return full, cs
+
+
+def ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    window_size: int = 11,
+    sigma: float = 1.5,
+    data_range: float = 1.0,
+) -> float:
+    """Mean structural similarity index (Wang et al. 2004)."""
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("ssim expects two equal-shape 2-D images")
+    full, _ = _ssim_maps(a, b, window_size, sigma, data_range)
+    return float(full.mean())
+
+
+def ms_ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    levels: int = 5,
+    window_size: int = 11,
+    sigma: float = 1.5,
+    data_range: float = 1.0,
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Multi-scale SSIM (Wang et al. 2003), evaluation version.
+
+    Matches the differentiable :func:`repro.nn.losses.ms_ssim`.
+    """
+    a, b = np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("ms_ssim expects two equal-shape 2-D images")
+    if weights is None:
+        weights = MSSSIM_WEIGHTS[:levels]
+    w = np.asarray(weights, dtype=float)
+    w = w / w.sum()
+    min_side = min(a.shape)
+    if min_side // (2 ** (levels - 1)) < window_size:
+        raise ValueError(
+            f"image side {min_side} too small for {levels} levels with window {window_size}"
+        )
+    result = 1.0
+    for level in range(levels):
+        full, cs = _ssim_maps(a, b, window_size, sigma, data_range)
+        term = full.mean() if level == levels - 1 else cs.mean()
+        result *= max(term, 0.0) ** w[level]
+        if level != levels - 1:
+            # 2x2 mean pooling, matching the loss implementation.
+            ha, wa = (a.shape[0] // 2) * 2, (a.shape[1] // 2) * 2
+            a = a[:ha, :wa].reshape(ha // 2, 2, wa // 2, 2).mean(axis=(1, 3))
+            b = b[:ha, :wa].reshape(ha // 2, 2, wa // 2, 2).mean(axis=(1, 3))
+    return float(result)

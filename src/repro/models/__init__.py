@@ -1,0 +1,25 @@
+"""Network architectures.
+
+- :class:`~repro.models.ddnet.DDnet` — the Enhancement AI network
+  (DenseNet + Deconvolution, Table 2 / Figs. 6-7),
+- :class:`~repro.models.densenet3d.DenseNet3D` — Classification AI
+  (3D DenseNet-121-style binary classifier, §2.3.2),
+- :class:`~repro.models.ahnet.AHNet3D` — Segmentation AI (anisotropic
+  hybrid network for 3D lung segmentation, §2.3.1),
+- :mod:`~repro.models.baselines` — related-work baselines used in the
+  Table 10 comparison (2D CNN classifiers, U-Net segmentation).
+"""
+
+from repro.models.dense_block import DenseBlock, DenseBlock3D
+from repro.models.ddnet import DDnet, ddnet_layer_table
+from repro.models.densenet3d import DenseNet3D
+from repro.models.ahnet import AHNet3D
+from repro.models.unet import UNet2D
+from repro.models.baselines import Classifier2D, SliceClassifier
+from repro.models.moco import MoCoLite
+
+__all__ = [
+    "DenseBlock", "DenseBlock3D", "DDnet", "ddnet_layer_table",
+    "DenseNet3D", "AHNet3D", "UNet2D", "Classifier2D", "SliceClassifier",
+    "MoCoLite",
+]

@@ -1,0 +1,138 @@
+"""Training-time augmentation transforms for Classification AI (§3.3.1).
+
+The paper's recipe: "Gaussian noise is added with probability 0.75 and
+variance of 0.1.  Image contrast is adjusted with 0.5 probability.  The
+scale of image intensity oscillates with 0.1 magnitude."  These
+transforms operate on plain NumPy volumes before tensors enter the
+graph (augmentation needs no gradient).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+
+class Transform:
+    """Base class: a callable ``volume -> volume`` with its own RNG."""
+
+    def __init__(self, rng=None):
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class GaussianNoise(Transform):
+    """Add zero-mean Gaussian noise with probability ``prob``."""
+
+    def __init__(self, prob: float = 0.75, variance: float = 0.1, rng=None):
+        super().__init__(rng)
+        self.prob = prob
+        self.std = float(np.sqrt(variance))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.rng.random() >= self.prob:
+            return x
+        return x + self.rng.normal(0.0, self.std, size=x.shape)
+
+
+class RandomContrast(Transform):
+    """Adjust contrast around the mean with probability ``prob``."""
+
+    def __init__(self, prob: float = 0.5, gamma_range=(0.7, 1.4), rng=None):
+        super().__init__(rng)
+        self.prob = prob
+        self.gamma_range = gamma_range
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.rng.random() >= self.prob:
+            return x
+        gamma = self.rng.uniform(*self.gamma_range)
+        mean = x.mean()
+        return (x - mean) * gamma + mean
+
+
+class IntensityScale(Transform):
+    """Multiply intensity by ``1 ± magnitude`` ("oscillates with 0.1")."""
+
+    def __init__(self, magnitude: float = 0.1, rng=None):
+        super().__init__(rng)
+        self.magnitude = magnitude
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        factor = 1.0 + self.rng.uniform(-self.magnitude, self.magnitude)
+        return x * factor
+
+
+class RandomFlip(Transform):
+    """Flip the trailing axis with probability ``prob`` (left-right)."""
+
+    def __init__(self, prob: float = 0.5, rng=None):
+        super().__init__(rng)
+        self.prob = prob
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.rng.random() >= self.prob:
+            return x
+        return x[..., ::-1].copy()
+
+
+class RandomShift(Transform):
+    """Translate the trailing two axes by up to ``max_shift`` pixels."""
+
+    def __init__(self, max_shift: int = 2, rng=None):
+        super().__init__(rng)
+        if max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        self.max_shift = max_shift
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.max_shift == 0:
+            return x
+        dy = int(self.rng.integers(-self.max_shift, self.max_shift + 1))
+        dx = int(self.rng.integers(-self.max_shift, self.max_shift + 1))
+        return np.roll(x, (dy, dx), axis=(-2, -1))
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms: List = list(transforms)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        for t in self.transforms:
+            x = t(x)
+        return x
+
+
+def classification_augmentation(rng=None) -> Compose:
+    """The exact §3.3.1 augmentation stack."""
+    rng = rng or np.random.default_rng(0)
+    return Compose(
+        [
+            GaussianNoise(prob=0.75, variance=0.1, rng=rng),
+            RandomContrast(prob=0.5, rng=rng),
+            IntensityScale(magnitude=0.1, rng=rng),
+        ]
+    )
+
+
+def contrastive_augmentation(rng=None, max_shift: int = 3) -> Compose:
+    """View generation for momentum-contrastive pretraining.
+
+    Adds the spatial perturbations (flip, shift) contrastive learning
+    relies on, on top of the §3.3.1 photometric stack.
+    """
+    rng = rng or np.random.default_rng(0)
+    return Compose(
+        [
+            RandomFlip(prob=0.5, rng=rng),
+            RandomShift(max_shift=max_shift, rng=rng),
+            GaussianNoise(prob=0.75, variance=0.05, rng=rng),
+            RandomContrast(prob=0.5, rng=rng),
+            IntensityScale(magnitude=0.1, rng=rng),
+        ]
+    )

@@ -1,0 +1,144 @@
+"""Datasets, loaders, and the distributed sampler.
+
+`DistributedSampler` partitions a dataset across ranks exactly the way
+``torch.utils.data.distributed.DistributedSampler`` does (padded to a
+multiple of the world size, per-epoch shuffling with a common seed), so
+the simulated DDP training in :mod:`repro.distributed` sees the same
+sharding semantics the paper's multi-GPU runs did.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Dataset:
+    """Map-style dataset: implement ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, idx: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Wrap aligned arrays; each item is a tuple of per-array slices."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        n = len(arrays[0])
+        for a in arrays:
+            if len(a) != n:
+                raise ValueError("all arrays must share the first dimension")
+        self.arrays = [np.asarray(a) for a in arrays]
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, idx: int) -> Tuple[np.ndarray, ...]:
+        return tuple(a[idx] for a in self.arrays)
+
+
+class DistributedSampler:
+    """Rank-sharded index sampler (gloo/DDP semantics).
+
+    Pads the index list to a multiple of ``num_replicas`` by wrapping,
+    then assigns indices round-robin so every rank sees the same number
+    of samples per epoch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        num_replicas: int,
+        rank: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if not 0 <= rank < num_replicas:
+            raise ValueError(f"rank {rank} out of range for world size {num_replicas}")
+        self.dataset = dataset
+        self.num_replicas = num_replicas
+        self.rank = rank
+        self.shuffle = shuffle
+        self.seed = seed
+        self.epoch = 0
+        self.num_samples = -(-len(dataset) // num_replicas)  # ceil div
+        self.total_size = self.num_samples * num_replicas
+
+    def set_epoch(self, epoch: int) -> None:
+        """Change the shuffling seed; call once per epoch (as in PyTorch)."""
+        self.epoch = epoch
+
+    def __iter__(self) -> Iterator[int]:
+        n = len(self.dataset)
+        if self.shuffle:
+            g = np.random.default_rng(self.seed + self.epoch)
+            indices = g.permutation(n).tolist()
+        else:
+            indices = list(range(n))
+        # Pad by wrapping so the split is even.
+        indices += indices[: self.total_size - len(indices)]
+        return iter(indices[self.rank : self.total_size : self.num_replicas])
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+class DataLoader:
+    """Batched iteration over a dataset.
+
+    Yields tuples of stacked NumPy arrays (one per dataset field).  An
+    optional sampler overrides the default sequential/shuffled order.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 1,
+        shuffle: bool = False,
+        sampler: Optional[DistributedSampler] = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if shuffle and sampler is not None:
+            raise ValueError("pass either shuffle=True or a sampler, not both")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.sampler = sampler
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def _indices(self) -> List[int]:
+        if self.sampler is not None:
+            return list(iter(self.sampler))
+        if self.shuffle:
+            return self._rng.permutation(len(self.dataset)).tolist()
+        return list(range(len(self.dataset)))
+
+    def __iter__(self):
+        idxs = self._indices()
+        for start in range(0, len(idxs), self.batch_size):
+            chunk = idxs[start : start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            items = [self.dataset[i] for i in chunk]
+            if isinstance(items[0], tuple):
+                yield tuple(np.stack([it[f] for it in items]) for f in range(len(items[0])))
+            else:
+                yield np.stack(items)
+
+    def __len__(self) -> int:
+        n = len(self.sampler) if self.sampler is not None else len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)

@@ -1,0 +1,203 @@
+"""Loss functions, including the paper's composite Eq. (1) loss.
+
+Enhancement AI trains with ``L = ||y - f(x)||² + 0.1 · (1 − MS-SSIM)``
+(Eq. 1); Classification AI with binary cross-entropy (Eq. 2).  The
+MS-SSIM term is implemented with autograd ops end-to-end so it
+backpropagates exactly, using the Wang et al. (2003) multi-scale
+construction with Gaussian windows.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, as_tensor
+
+#: Canonical MS-SSIM scale weights (Wang et al. 2003).
+MSSSIM_WEIGHTS = (0.0448, 0.2856, 0.3001, 0.2363, 0.1333)
+
+
+class MSELoss(Module):
+    """Mean squared error (the ``||y − f(x)||²`` term of Eq. 1)."""
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        diff = pred - as_tensor(target)
+        return (diff * diff).mean()
+
+
+class L1Loss(Module):
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        return (pred - as_tensor(target)).abs().mean()
+
+
+class BCELoss(Module):
+    """Binary cross-entropy on probabilities (paper Eq. 2).
+
+    ``H_p(q) = −1/N Σ yᵢ·log p(yᵢ) + (1−yᵢ)·log(1 − p(yᵢ))``
+    """
+
+    def __init__(self, eps: float = 1e-7):
+        super().__init__()
+        self.eps = eps
+
+    def forward(self, prob: Tensor, target: Tensor) -> Tensor:
+        target = as_tensor(target)
+        p = prob.clip(self.eps, 1.0 - self.eps)
+        return -(target * p.log() + (1.0 - target) * (1.0 - p).log()).mean()
+
+
+class BCEWithLogitsLoss(Module):
+    """Numerically stable BCE taking raw logits."""
+
+    def forward(self, logits: Tensor, target: Tensor) -> Tensor:
+        target = as_tensor(target)
+        # max(z, 0) - z*y + log(1 + exp(-|z|))
+        z = logits
+        relu_z = F.relu(z)
+        loss = relu_z - z * target + (1.0 + (-z.abs()).exp()).log()
+        return loss.mean()
+
+
+@lru_cache(maxsize=16)
+def _gaussian_window(size: int, sigma: float) -> np.ndarray:
+    """Normalized 2D Gaussian window as a (1, 1, size, size) conv filter."""
+    ax = np.arange(size) - (size - 1) / 2.0
+    g = np.exp(-(ax**2) / (2.0 * sigma**2))
+    g /= g.sum()
+    w = np.outer(g, g)
+    return w[None, None]
+
+
+def _filter_per_channel(x: Tensor, window: np.ndarray) -> Tensor:
+    """Apply a single-channel filter to every channel independently."""
+    n, c = x.shape[0], x.shape[1]
+    flat = x.reshape(n * c, 1, x.shape[2], x.shape[3])
+    out = F.conv2d(flat, Tensor(window))
+    return out.reshape(n, c, out.shape[2], out.shape[3])
+
+
+def ssim_components(
+    x: Tensor,
+    y: Tensor,
+    window_size: int = 11,
+    sigma: float = 1.5,
+    data_range: float = 1.0,
+    k1: float = 0.01,
+    k2: float = 0.03,
+):
+    """Return (luminance·contrast·structure map, contrast·structure map).
+
+    Both maps are differentiable tensors; MS-SSIM combines the ``cs``
+    term at coarse scales with the full ssim at the final scale.
+    """
+    x, y = as_tensor(x), as_tensor(y)
+    c1 = (k1 * data_range) ** 2
+    c2 = (k2 * data_range) ** 2
+    w = _gaussian_window(window_size, sigma)
+    mu_x = _filter_per_channel(x, w)
+    mu_y = _filter_per_channel(y, w)
+    mu_xx = mu_x * mu_x
+    mu_yy = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_x = _filter_per_channel(x * x, w) - mu_xx
+    sigma_y = _filter_per_channel(y * y, w) - mu_yy
+    sigma_xy = _filter_per_channel(x * y, w) - mu_xy
+    cs = (2.0 * sigma_xy + c2) / (sigma_x + sigma_y + c2)
+    lum = (2.0 * mu_xy + c1) / (mu_xx + mu_yy + c1)
+    return lum * cs, cs
+
+
+def ssim(x, y, window_size: int = 11, sigma: float = 1.5, data_range: float = 1.0) -> Tensor:
+    """Mean structural similarity (differentiable)."""
+    full, _ = ssim_components(x, y, window_size, sigma, data_range)
+    return full.mean()
+
+
+def ms_ssim(
+    x,
+    y,
+    levels: int = 5,
+    window_size: int = 11,
+    sigma: float = 1.5,
+    data_range: float = 1.0,
+    weights: Optional[Sequence[float]] = None,
+) -> Tensor:
+    """Multi-scale SSIM (differentiable), Wang et al. 2003.
+
+    ``levels`` may be reduced for small images (each level halves the
+    resolution and the window must still fit); weights are renormalized
+    accordingly.
+    """
+    x, y = as_tensor(x), as_tensor(y)
+    if weights is None:
+        weights = MSSSIM_WEIGHTS[:levels]
+    w = np.asarray(weights, dtype=float)
+    w = w / w.sum()
+    min_side = min(x.shape[2], x.shape[3])
+    max_levels = 1
+    side = min_side
+    while side // 2 >= window_size and max_levels < len(w):
+        side //= 2
+        max_levels += 1
+    if levels > max_levels:
+        raise ValueError(
+            f"image of side {min_side} supports at most {max_levels} MS-SSIM "
+            f"levels with window {window_size}; got levels={levels}"
+        )
+    result = None
+    for level in range(levels):
+        full, cs = ssim_components(x, y, window_size, sigma, data_range)
+        if level == levels - 1:
+            term = F.relu(full.mean())  # clamp tiny negatives for stability
+        else:
+            term = F.relu(cs.mean())
+        term = term ** float(w[level])
+        result = term if result is None else result * term
+        if level != levels - 1:
+            x = F.avg_pool_nd(x, 2, 2)
+            y = F.avg_pool_nd(y, 2, 2)
+    return result
+
+
+class MSSSIMLoss(Module):
+    """``1 − MS-SSIM`` as a standalone training loss."""
+
+    def __init__(self, levels: int = 5, window_size: int = 11, data_range: float = 1.0):
+        super().__init__()
+        self.levels = levels
+        self.window_size = window_size
+        self.data_range = data_range
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        return 1.0 - ms_ssim(
+            pred, target,
+            levels=self.levels, window_size=self.window_size, data_range=self.data_range,
+        )
+
+
+class CompositeLoss(Module):
+    """Paper Eq. (1): ``MSE + α · (1 − MS-SSIM)`` with α = 0.1.
+
+    Parameters mirror §3.1.1; ``levels``/``window_size`` shrink for the
+    reduced-resolution training used in tests.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.1,
+        levels: int = 5,
+        window_size: int = 11,
+        data_range: float = 1.0,
+    ):
+        super().__init__()
+        self.alpha = alpha
+        self.mse = MSELoss()
+        self.msssim = MSSSIMLoss(levels=levels, window_size=window_size, data_range=data_range)
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        return self.mse(pred, target) + self.alpha * self.msssim(pred, target)

@@ -1,0 +1,54 @@
+"""Learning-rate schedules.
+
+The paper decays the Enhancement AI learning rate "exponentially ...
+by a factor of 0.8 each epoch" (§3.1.1) — :class:`ExponentialLR`.
+"""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class ExponentialLR(LRScheduler):
+    """``lr = base · gamma^epoch`` (paper: gamma = 0.8)."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.8):
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1]; got {gamma}")
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.epoch
+
+
+class StepLR(LRScheduler):
+    """Drop the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)

@@ -1,0 +1,181 @@
+"""Module/Parameter system: the ``torch.nn.Module`` equivalent.
+
+Modules own named :class:`Parameter` tensors and named buffers (plain
+NumPy arrays such as batch-norm running statistics), discover child
+modules through attribute assignment, and support recursive iteration,
+train/eval mode switching, and state-dict save/load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable module parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all network components.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Attribute assignment automatically registers parameters, buffers
+    (via :meth:`register_buffer`), and child modules.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Register non-trainable state saved with the module."""
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # -- forward --------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal ------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            sub = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(sub)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for mod_name, mod in self.named_modules(prefix):
+            for p_name, p in mod._parameters.items():
+                yield (f"{mod_name}.{p_name}" if mod_name else p_name), p
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for mod_name, mod in self.named_modules(prefix):
+            for b_name, b in mod._buffers.items():
+                yield (f"{mod_name}.{b_name}" if mod_name else b_name), b
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count."""
+        return sum(p.data.size for p in self.parameters())
+
+    # -- mode / grads ----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter and buffer names to array copies."""
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = b.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffers))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, arr in state.items():
+            if name in own_params:
+                if own_params[name].data.shape != arr.shape:
+                    raise ValueError(f"shape mismatch for {name}: {own_params[name].data.shape} vs {arr.shape}")
+                own_params[name].data[...] = arr
+            elif name in own_buffers:
+                own_buffers[name][...] = arr
+
+    def save(self, path: str) -> None:
+        """Serialize the state dict to an ``.npz`` file."""
+        np.savez_compressed(path, **{k.replace(".", "/"): v for k, v in self.state_dict().items()})
+
+    def load(self, path: str) -> None:
+        with np.load(path) as data:
+            self.load_state_dict({k.replace("/", "."): data[k] for k in data.files})
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Chain modules in order; forward output feeds the next input."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class ModuleList(Module):
+    """A list of child modules that registers each for traversal."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._list: List[Module] = []
+        for m in modules or []:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        self._modules[str(len(self._list))] = module
+        self._list.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._list[idx]

@@ -1,0 +1,32 @@
+"""The ComputeCOVID19+ framework (Figs. 3-4).
+
+Three AI tools chained into the diagnosis pipeline:
+
+1. :class:`~repro.pipeline.enhancement.EnhancementAI` — DDnet low-dose
+   CT image enhancement (train + infer),
+2. :class:`~repro.pipeline.segmentation.SegmentationAI` — lung
+   segmentation producing the multiplied-in binary mask (§3.2),
+3. :class:`~repro.pipeline.classification.ClassificationAI` — 3D
+   DenseNet COVID-19 probability (§3.3),
+
+plus :class:`~repro.pipeline.framework.ComputeCovid19Plus`, which wires
+them per Fig. 4 (with and without the Enhancement stage, for the
+Fig. 13 comparison), and a generic :class:`~repro.pipeline.training.Trainer`
+that records the Fig. 11 loss curves.
+"""
+
+from repro.pipeline.dual_domain import DualDomainEnhancer, SinogramDenoiser, make_sinogram_pairs
+from repro.pipeline.enhancement import EnhancementAI
+from repro.pipeline.segmentation import SegmentationAI, threshold_lung_mask
+from repro.pipeline.classification import ClassificationAI
+from repro.pipeline.evaluation import EvaluationReport, evaluate_framework, evaluate_scores
+from repro.pipeline.framework import ComputeCovid19Plus, DiagnosisResult
+from repro.pipeline.training import Trainer, TrainingHistory
+
+__all__ = [
+    "DualDomainEnhancer", "SinogramDenoiser", "make_sinogram_pairs",
+    "EnhancementAI", "SegmentationAI", "threshold_lung_mask",
+    "ClassificationAI", "ComputeCovid19Plus", "DiagnosisResult",
+    "EvaluationReport", "evaluate_framework", "evaluate_scores",
+    "Trainer", "TrainingHistory",
+]

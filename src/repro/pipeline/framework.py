@@ -1,0 +1,133 @@
+"""ComputeCovid19Plus: the end-to-end diagnosis framework (Figs. 3-4).
+
+Wires the three AI tools into the paper's workflow:
+
+    CT scan ──► [Enhancement AI] ──► Segmentation AI ──► Classification AI
+                 (optional)            lung mask ⊙ scan       P(COVID-19)
+
+``use_enhancement`` toggles the first stage, which is exactly the
+original-vs-enhanced comparison evaluated in Fig. 13 / §5.2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ct.hounsfield import LUNG_WINDOW, denormalize_unit, normalize_unit
+from repro.pipeline.classification import ClassificationAI
+from repro.pipeline.enhancement import EnhancementAI
+from repro.pipeline.segmentation import SegmentationAI
+
+
+@dataclass
+class DiagnosisResult:
+    """Output of one pipeline run."""
+
+    probability: float
+    prediction: int
+    threshold: float
+    enhanced: bool
+    lung_mask: np.ndarray
+    segmented_volume: np.ndarray
+
+    @property
+    def label(self) -> str:
+        return "COVID-19 positive" if self.prediction else "COVID-19 negative"
+
+
+class ComputeCovid19Plus:
+    """The full framework: enhance → segment → classify.
+
+    Parameters
+    ----------
+    enhancement, segmentation, classification:
+        The three tools; any may be user-trained or default-constructed.
+    threshold:
+        Decision threshold on the classifier probability (the paper
+        operates at 0.061, chosen by :func:`repro.metrics.optimal_threshold`).
+    use_enhancement:
+        Include the Enhancement AI stage (the green Fig. 3 path) or skip
+        it (the §5.2.2 baseline arm).
+    """
+
+    def __init__(
+        self,
+        enhancement: Optional[EnhancementAI] = None,
+        segmentation: Optional[SegmentationAI] = None,
+        classification: Optional[ClassificationAI] = None,
+        threshold: float = 0.5,
+        use_enhancement: bool = True,
+        hu_window=LUNG_WINDOW,
+    ):
+        self.enhancement = enhancement or EnhancementAI()
+        self.segmentation = segmentation or SegmentationAI()
+        self.classification = classification or ClassificationAI()
+        self.threshold = threshold
+        self.use_enhancement = use_enhancement
+        self.hu_window = hu_window
+
+    # ------------------------------------------------------------------
+    def enhance_volume_hu(self, volume_hu: np.ndarray) -> np.ndarray:
+        """Run Enhancement AI on an HU volume.
+
+        Enhancement AI consumes [0, 1] data (§3.1.1) while the rest of
+        the pipeline works in HU (§3.3.1); this handles the round trip.
+        """
+        unit = normalize_unit(volume_hu, self.hu_window)
+        enhanced_unit = self.enhancement.enhance_volume(unit)
+        return denormalize_unit(enhanced_unit, self.hu_window)
+
+    def diagnose(self, volume_hu: np.ndarray) -> DiagnosisResult:
+        """Full Fig. 4 workflow on one (D, H, W) HU scan."""
+        if volume_hu.ndim != 3:
+            raise ValueError(f"expected (D, H, W) volume; got shape {volume_hu.shape}")
+        work = self.enhance_volume_hu(volume_hu) if self.use_enhancement else volume_hu
+        segmented, mask = self.segmentation.apply(work)
+        prob = self.classification.predict_proba(segmented)
+        return DiagnosisResult(
+            probability=prob,
+            prediction=int(prob >= self.threshold),
+            threshold=self.threshold,
+            enhanced=self.use_enhancement,
+            lung_mask=mask,
+            segmented_volume=segmented,
+        )
+
+    def score_batch(self, volumes_hu: Sequence[np.ndarray]) -> np.ndarray:
+        """Probabilities for many scans (for ROC evaluation)."""
+        return np.array([self.diagnose(v).probability for v in volumes_hu])
+
+    def calibrate_threshold(self, volumes_hu: Sequence[np.ndarray], labels) -> float:
+        """Pick the accuracy-optimal threshold on a validation set."""
+        from repro.metrics import optimal_threshold
+
+        scores = self.score_batch(volumes_hu)
+        self.threshold, _ = optimal_threshold(np.asarray(labels), scores)
+        return self.threshold
+
+    # ------------------------------------------------------------------
+    def save(self, path_prefix: str) -> None:
+        """Persist the trained stages for deployment.
+
+        Writes ``<prefix>.enhancement.npz``, ``<prefix>.classification.npz``
+        and ``<prefix>.meta.npz`` (threshold + configuration flags).
+        The segmentation back-end is deterministic and needs no weights.
+        """
+        self.enhancement.save(path_prefix + ".enhancement.npz")
+        self.classification.save(path_prefix + ".classification.npz")
+        np.savez(path_prefix + ".meta.npz",
+                 threshold=self.threshold,
+                 use_enhancement=self.use_enhancement,
+                 hu_window=np.asarray(self.hu_window, dtype=float))
+
+    def load(self, path_prefix: str) -> None:
+        """Restore stages saved by :meth:`save` (architectures must match)."""
+        self.enhancement.load(path_prefix + ".enhancement.npz")
+        self.classification.load(path_prefix + ".classification.npz")
+        with np.load(path_prefix + ".meta.npz") as meta:
+            self.threshold = float(meta["threshold"])
+            self.use_enhancement = bool(meta["use_enhancement"])
+            self.hu_window = tuple(meta["hu_window"])

@@ -1,0 +1,6 @@
+"""Table and figure rendering for the benchmark harness."""
+
+from repro.report.tables import format_table
+from repro.report.figures import ascii_plot, series_to_csv
+
+__all__ = ["format_table", "ascii_plot", "series_to_csv"]

@@ -1,0 +1,77 @@
+"""Terminal "figures": ASCII line plots and CSV series dumps.
+
+The benchmark harness regenerates each paper figure as a data series;
+``ascii_plot`` gives an at-a-glance visual in the terminal and
+``series_to_csv`` writes the exact numbers for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_MARKS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    logy: bool = False,
+) -> str:
+    """Plot one or more named series on a shared-axis character canvas."""
+    if not series:
+        raise ValueError("no series to plot")
+    processed = {}
+    for name, ys in series.items():
+        arr = np.asarray(ys, dtype=np.float64)
+        if logy:
+            arr = np.log10(np.maximum(arr, 1e-12))
+        processed[name] = arr
+    ymin = min(a.min() for a in processed.values())
+    ymax = max(a.max() for a in processed.values())
+    span = ymax - ymin or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, arr) in enumerate(processed.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        n = len(arr)
+        if n == 0:
+            continue
+        xs = np.linspace(0, width - 1, n).astype(int) if n > 1 else np.array([0])
+        rows = ((ymax - arr) / span * (height - 1)).round().astype(int)
+        for x, r in zip(xs, rows):
+            canvas[int(np.clip(r, 0, height - 1))][x] = mark
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    top = f"{(10 ** ymax if logy else ymax):.4g}"
+    bottom = f"{(10 ** ymin if logy else ymin):.4g}"
+    label_w = max(len(top), len(bottom))
+    for i, row in enumerate(canvas):
+        label = top if i == 0 else bottom if i == height - 1 else ""
+        out.write(label.rjust(label_w) + " |" + "".join(row) + "\n")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series))
+    out.write(" " * label_w + " +" + "-" * width + "\n")
+    out.write(" " * label_w + "  " + legend + "\n")
+    return out.getvalue()
+
+
+def series_to_csv(series: Dict[str, Sequence[float]], path: str, x: Optional[Sequence] = None) -> None:
+    """Write named series as CSV columns (optionally with an x column)."""
+    arrays = {k: np.asarray(v) for k, v in series.items()}
+    n = max(len(a) for a in arrays.values())
+    cols = list(arrays)
+    with open(path, "w") as f:
+        header = (["x"] if x is not None else []) + cols
+        f.write(",".join(header) + "\n")
+        for i in range(n):
+            row = []
+            if x is not None:
+                row.append(str(x[i]) if i < len(x) else "")
+            for c in cols:
+                a = arrays[c]
+                row.append(f"{a[i]:.8g}" if i < len(a) else "")
+            f.write(",".join(row) + "\n")

@@ -1,0 +1,48 @@
+"""Aligned text tables for the benchmark output.
+
+The benches print the same rows the paper's tables report; this module
+renders them readably in a terminal (and in pytest -s output).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return "✓" if value else "✗"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        if magnitude >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

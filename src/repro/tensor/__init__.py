@@ -1,0 +1,23 @@
+"""Autograd tensor engine.
+
+This subpackage is the numerical substrate that replaces PyTorch in the
+reproduction: a reverse-mode automatic-differentiation engine built on
+NumPy arrays. It provides
+
+- :class:`~repro.tensor.tensor.Tensor` — an n-d array that records the
+  operations applied to it and can backpropagate gradients,
+- dense linear-algebra and elementwise ops (``ops_basic``),
+- convolution / transposed-convolution ops for 2D and 3D (``ops_conv``),
+- pooling and bilinear up-sampling ops (``ops_pool``),
+- batch normalization (``ops_norm``).
+
+All ops follow the NumPy idiom recommended by the scientific-python
+optimization guide: vectorized (``sliding_window_view`` + matmul instead
+of Python loops), views instead of copies wherever the math allows, and
+contiguity-aware reshapes.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,86 @@
+"""Nonlinear activation ops.
+
+DDnet uses Leaky-ReLU throughout (Table 6 counts a Leaky-ReLU kernel);
+the 3D classifier head uses sigmoid for its binary output and ReLU
+internally.  All are implemented as fused forward/backward pairs rather
+than compositions, so each costs one pass over memory — the same
+"memory-bound, minimize traffic" concern §5.1.3 of the paper raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, 0.0)
+
+    def backward(g):
+        a._accumulate(g * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU: ``x`` if positive else ``negative_slope * x``."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(g):
+        a._accumulate(np.where(mask, g, negative_slope * g))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    # Numerically stable two-sided formulation.
+    x = a.data
+    out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                        np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))))
+
+    def backward(g):
+        a._accumulate(g * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(g):
+        a._accumulate(g * (1.0 - out_data * out_data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (g - dot))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(g):
+        a._accumulate(g - soft * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (a,), backward)

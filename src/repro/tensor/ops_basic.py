@@ -1,0 +1,311 @@
+"""Elementwise, linear-algebra, shape, and reduction autograd ops.
+
+Every function here follows the same contract: take tensors (or
+array-likes), compute the forward result with vectorized NumPy, and
+register a closure that routes the output gradient back to the inputs.
+Broadcasting is supported throughout; gradients are un-broadcast by
+summation (see :func:`repro.tensor.tensor._unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(g):
+        a._accumulate(g)
+        b._accumulate(g)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(g):
+        a._accumulate(g)
+        b._accumulate(-g)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(g):
+        a._accumulate(g * b.data)
+        b._accumulate(g * a.data)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(g):
+        a._accumulate(g / b.data)
+        b._accumulate(-g * a.data / (b.data * b.data))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+    return Tensor._make(-a.data, (a,), lambda g: a._accumulate(-g))
+
+
+def pow(a, exponent: float) -> Tensor:  # noqa: A001 - mirrors operator name
+    a = as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("tensor exponents are not supported; use exp/log")
+    e = float(exponent)
+    out_data = a.data**e
+
+    def backward(g):
+        a._accumulate(g * e * a.data ** (e - 1.0))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(g):
+        a._accumulate(g * out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(g):
+        a._accumulate(g / a.data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(g):
+        a._accumulate(g * 0.5 / out_data)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(g):
+        a._accumulate(g * np.sign(a.data))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def clip(a, lo: float, hi: float) -> Tensor:
+    """Clamp values to ``[lo, hi]``; gradient is zero outside the band."""
+    a = as_tensor(a)
+    out_data = np.clip(a.data, lo, hi)
+    mask = (a.data >= lo) & (a.data <= hi)
+
+    def backward(g):
+        a._accumulate(g * mask)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(g):
+        # Promote 1-D operands to 2-D so a single batched-matmul rule
+        # covers every case, then strip the promotion from the grads.
+        ad, bd, gd = a.data, b.data, g
+        a_vec = ad.ndim == 1
+        b_vec = bd.ndim == 1
+        if a_vec:
+            ad = ad[None, :]
+            gd = np.expand_dims(gd, -2) if not b_vec else np.reshape(gd, (1, 1))
+        if b_vec:
+            bd = bd[:, None]
+            gd = np.expand_dims(g, -1) if not a_vec else gd
+        ga = gd @ np.swapaxes(bd, -1, -2)
+        gb = np.swapaxes(ad, -1, -2) @ gd
+        if a_vec:
+            ga = ga.reshape(ga.shape[:-2] + (ga.shape[-1],))
+            ga = ga.sum(axis=tuple(range(ga.ndim - 1))) if ga.ndim > 1 else ga
+        if b_vec:
+            gb = gb.reshape(gb.shape[:-1])
+            gb = gb.sum(axis=tuple(range(gb.ndim - 1))) if gb.ndim > 1 else gb
+        a._accumulate(ga)
+        b._accumulate(gb)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+def _expand_reduced(g: np.ndarray, shape: Tuple[int, ...], axis: Axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axis is None:
+        return np.broadcast_to(g, shape)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(ax % len(shape) for ax in axes)
+    if not keepdims:
+        for ax in sorted(axes):
+            g = np.expand_dims(g, ax)
+    return np.broadcast_to(g, shape)
+
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(g):
+        a._accumulate(_expand_reduced(g, a.data.shape, axis, keepdims))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else int(np.prod([a.data.shape[ax] for ax in ((axis,) if isinstance(axis, int) else axis)]))
+
+    def backward(g):
+        a._accumulate(_expand_reduced(g, a.data.shape, axis, keepdims) / count)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def _minmax(a, axis: Axis, keepdims: bool, fn) -> Tensor:
+    a = as_tensor(a)
+    out_data = fn(a.data, axis=axis, keepdims=keepdims)
+    expanded = fn(a.data, axis=axis, keepdims=True)
+    mask = a.data == expanded
+    # Split gradient equally among ties, matching NumPy reduction semantics.
+    counts = mask.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        g_full = _expand_reduced(g, a.data.shape, axis, keepdims)
+        a._accumulate(g_full * mask / counts)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax(a, axis, keepdims, np.max)
+
+
+def min(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax(a, axis, keepdims, np.min)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(g):
+        a._accumulate(g.reshape(a.data.shape))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.transpose(axes)
+    if axes is None:
+        inv = None
+    else:
+        inv = tuple(np.argsort(axes))
+
+    def backward(g):
+        a._accumulate(g.transpose(inv))
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a, idx) -> Tensor:
+    a = as_tensor(a)
+    if isinstance(idx, Tensor):
+        idx = idx.data
+    out_data = a.data[idx]
+
+    def backward(g):
+        full = np.zeros_like(a.data)
+        np.add.at(full, idx, g)
+        a._accumulate(full)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(g):
+        for t, piece in zip(tensors, np.split(g, splits, axis=axis)):
+            t._accumulate(piece)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(g, i, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad(a, pad_width, constant: float = 0.0) -> Tensor:
+    """Constant-pad; the gradient is the corresponding un-pad slice."""
+    a = as_tensor(a)
+    out_data = np.pad(a.data, pad_width, mode="constant", constant_values=constant)
+    slices = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, a.data.shape))
+
+    def backward(g):
+        a._accumulate(g[slices])
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(cond: np.ndarray, a, b) -> Tensor:
+    """Elementwise select; ``cond`` is a plain boolean array (no grad)."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(cond, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        a._accumulate(np.where(cond, g, 0.0))
+        b._accumulate(np.where(cond, 0.0, g))
+
+    return Tensor._make(out_data, (a, b), backward)

@@ -1,0 +1,73 @@
+"""Batch-normalization autograd op (shared by 2D and 3D layers).
+
+Normalizes over all axes except the channel axis (axis 1), matching
+``torch.nn.BatchNorm2d/3d`` semantics.  The backward pass uses the
+standard fused expression so only two extra reductions are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor
+
+
+def batch_norm(
+    x,
+    gamma,
+    beta,
+    running_mean: Optional[np.ndarray] = None,
+    running_var: Optional[np.ndarray] = None,
+    training: bool = True,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over an ``(N, C, *spatial)`` tensor.
+
+    When ``training`` is true the batch statistics are used and the
+    running buffers (plain NumPy arrays owned by the layer) are updated
+    in place; otherwise the running statistics are used.
+    """
+    x, gamma, beta = as_tensor(x), as_tensor(gamma), as_tensor(beta)
+    axes = (0,) + tuple(range(2, x.data.ndim))
+    shape = (1, -1) + (1,) * (x.data.ndim - 2)
+    m = float(np.prod([x.data.shape[a] for a in axes]))
+
+    if training or running_mean is None:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        if running_mean is not None:
+            # In-place update so the layer's buffers see the new values.
+            running_mean *= 1.0 - momentum
+            running_mean += momentum * mean
+            unbiased = var * (m / max(m - 1.0, 1.0))
+            running_var *= 1.0 - momentum
+            running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(g):
+        gr = gamma.data.reshape(shape)
+        if gamma.requires_grad:
+            gamma._accumulate((g * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(g.sum(axis=axes))
+        if x.requires_grad:
+            if training or running_mean is None:
+                # Full derivative through the batch statistics.
+                g_hat = g * gr
+                sum_g = g_hat.sum(axis=axes, keepdims=True)
+                sum_gx = (g_hat * x_hat).sum(axis=axes, keepdims=True)
+                gx = (inv_std.reshape(shape) / m) * (m * g_hat - sum_g - x_hat * sum_gx)
+            else:
+                gx = g * gr * inv_std.reshape(shape)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)

@@ -1,0 +1,182 @@
+"""Pooling and un-pooling (bilinear up-sampling) autograd ops.
+
+DDnet down-samples with 3×3/stride-2 max pooling after every dense
+block and up-samples with scale-2 bilinear interpolation ("un-pooling",
+§2.2.2).  The up-sampler is expressed as two small interpolation-matrix
+products per axis — a linear operator — so its adjoint (the backward
+pass) is just the transposed products.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.tensor.tensor import Tensor, as_tensor
+from repro.tensor.ops_conv import _pad_spatial, _tuplify
+
+
+def max_pool_nd(x, kernel=2, stride=None, padding=0) -> Tensor:
+    """N-d max pooling over an ``(N, C, *spatial)`` tensor.
+
+    Padding uses ``-inf`` so padded cells never win the max.
+    """
+    x = as_tensor(x)
+    nd = x.data.ndim - 2
+    kernel_t = _tuplify(kernel, nd)
+    stride_t = _tuplify(stride if stride is not None else kernel, nd)
+    padding_t = _tuplify(padding, nd)
+    if any(p == 0 for p in padding_t):
+        xp = x.data
+        if any(p != 0 for p in padding_t):
+            raise ValueError("mixed zero/non-zero pooling padding unsupported")
+    else:
+        pads = [(0, 0), (0, 0)] + [(p, p) for p in padding_t]
+        xp = np.pad(x.data, pads, mode="constant", constant_values=-np.inf)
+    axes = tuple(range(2, 2 + nd))
+    win = sliding_window_view(xp, kernel_t, axis=axes)
+    slicer = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in stride_t)
+    win = win[slicer]  # (N, C, *out, *kernel)
+    flat = win.reshape(win.shape[: 2 + nd] + (-1,))
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out_spatial = out_data.shape[2:]
+
+    # Precompute, per output cell, the padded-input flat index of its max.
+    k_offsets = np.unravel_index(arg, kernel_t)  # nd arrays of shape (N,C,*out)
+    grids = np.meshgrid(*[np.arange(o) for o in out_spatial], indexing="ij")
+    in_idx = []
+    for d in range(nd):
+        base = grids[d] * stride_t[d]
+        in_idx.append(base[None, None] + k_offsets[d])
+    # Flatten spatial index into padded input.
+    sp_shape = xp.shape[2:]
+    flat_idx = np.zeros(arg.shape, dtype=np.int64)
+    for d in range(nd):
+        flat_idx = flat_idx * sp_shape[d] + in_idx[d]
+
+    def backward(g):
+        gp_flat = np.zeros(xp.shape[:2] + (int(np.prod(sp_shape)),), dtype=g.dtype)
+        n, c = xp.shape[:2]
+        fi = flat_idx.reshape(n, c, -1)
+        np.add.at(
+            gp_flat,
+            (np.arange(n)[:, None, None], np.arange(c)[None, :, None], fi),
+            g.reshape(n, c, -1),
+        )
+        gp = gp_flat.reshape(xp.shape)
+        if any(p != 0 for p in padding_t):
+            slicer2 = (slice(None), slice(None)) + tuple(
+                slice(p, gp.shape[2 + i] - p) for i, p in enumerate(padding_t)
+            )
+            gp = gp[slicer2]
+        x._accumulate(gp)
+
+    return Tensor._make(np.ascontiguousarray(out_data), (x,), backward)
+
+
+def avg_pool_nd(x, kernel=2, stride=None, padding=0) -> Tensor:
+    """N-d average pooling (count includes padding, like PyTorch default)."""
+    x = as_tensor(x)
+    nd = x.data.ndim - 2
+    kernel_t = _tuplify(kernel, nd)
+    stride_t = _tuplify(stride if stride is not None else kernel, nd)
+    padding_t = _tuplify(padding, nd)
+    xp = _pad_spatial(x.data, padding_t)
+    axes = tuple(range(2, 2 + nd))
+    win = sliding_window_view(xp, kernel_t, axis=axes)
+    slicer = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in stride_t)
+    win = win[slicer]
+    count = float(np.prod(kernel_t))
+    out_data = win.reshape(win.shape[: 2 + nd] + (-1,)).mean(axis=-1)
+    out_spatial = out_data.shape[2:]
+
+    def backward(g):
+        gp = np.zeros(xp.shape, dtype=g.dtype)
+        gshare = g / count
+        for offset in np.ndindex(*kernel_t):
+            slicer2 = (slice(None), slice(None)) + tuple(
+                slice(o, o + out * s, s) for o, out, s in zip(offset, out_spatial, stride_t)
+            )
+            gp[slicer2] += gshare
+        if any(p != 0 for p in padding_t):
+            slicer3 = (slice(None), slice(None)) + tuple(
+                slice(p, gp.shape[2 + i] - p) for i, p in enumerate(padding_t)
+            )
+            gp = gp[slicer3]
+        x._accumulate(gp)
+
+    return Tensor._make(np.ascontiguousarray(out_data), (x,), backward)
+
+
+def global_avg_pool(x) -> Tensor:
+    """Average over all spatial axes, keeping (N, C)."""
+    x = as_tensor(x)
+    axes = tuple(range(2, x.data.ndim))
+    return x.mean(axis=axes)
+
+
+@lru_cache(maxsize=64)
+def _bilinear_matrix(n_in: int, scale: int) -> np.ndarray:
+    """Interpolation matrix mapping ``n_in`` samples to ``n_in*scale``.
+
+    Uses the half-pixel (align_corners=False) convention, clamped at the
+    borders — identical to ``torch.nn.Upsample(mode='bilinear')``.
+    """
+    n_out = n_in * scale
+    out_pos = (np.arange(n_out) + 0.5) / scale - 0.5
+    lo = np.floor(out_pos).astype(int)
+    frac = out_pos - lo
+    lo_c = np.clip(lo, 0, n_in - 1)
+    hi_c = np.clip(lo + 1, 0, n_in - 1)
+    m = np.zeros((n_out, n_in))
+    m[np.arange(n_out), lo_c] += 1.0 - frac
+    m[np.arange(n_out), hi_c] += frac
+    return m
+
+
+def upsample_bilinear(x, scale: int = 2) -> Tensor:
+    """Scale the trailing spatial axes by ``scale`` with separable
+    linear interpolation (bilinear in 2D, trilinear in 3D).
+
+    This is the DDnet "un-pooling" operation (§2.2.2).
+    """
+    x = as_tensor(x)
+    nd = x.data.ndim - 2
+    mats = [_bilinear_matrix(x.data.shape[2 + d], scale) for d in range(nd)]
+    out = x.data
+    # Apply the interpolation matrix along each spatial axis in turn via
+    # tensordot; axes are restored with moveaxis.
+    for d in range(nd):
+        out = np.moveaxis(np.tensordot(mats[d], out, axes=(1, 2 + d)), 0, 2 + d)
+    out = np.ascontiguousarray(out)
+
+    def backward(g):
+        gx = g
+        for d in range(nd):
+            gx = np.moveaxis(np.tensordot(mats[d].T, gx, axes=(1, 2 + d)), 0, 2 + d)
+        x._accumulate(gx)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def upsample_nearest(x, scale: int = 2) -> Tensor:
+    """Nearest-neighbour up-sampling of trailing spatial axes."""
+    x = as_tensor(x)
+    nd = x.data.ndim - 2
+    out = x.data
+    for d in range(nd):
+        out = np.repeat(out, scale, axis=2 + d)
+
+    def backward(g):
+        gx = g
+        for d in range(nd):
+            sh = gx.shape
+            new = sh[: 2 + d] + (sh[2 + d] // scale, scale) + sh[3 + d :]
+            gx = gx.reshape(new).sum(axis=3 + d)
+        x._accumulate(gx)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)

@@ -1,0 +1,364 @@
+"""Core reverse-mode autograd tensor.
+
+The design mirrors the tape-based autograd used by PyTorch: every
+:class:`Tensor` produced by an operation keeps references to its parent
+tensors and a closure that, given the output gradient, accumulates
+gradients into the parents.  Calling :meth:`Tensor.backward` runs a
+topological sort of the recorded graph and applies the closures in
+reverse order.
+
+Only float arrays participate in differentiation; integer tensors may be
+created (e.g. class labels) but are never given gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float, np.integer, np.floating]
+ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return getattr(_grad_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode).
+
+    Mirrors ``torch.no_grad()``: inside the block, operations produce
+    tensors with ``requires_grad=False`` and record no parents, which
+    keeps inference memory flat.
+    """
+    prev = is_grad_enabled()
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape``.
+
+    Inverse of NumPy broadcasting: sum over axes that were added or
+    stretched during the forward broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that broadcasting prepended.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a NumPy array.  Float data defaults to
+        ``float64`` for numerical robustness (gradient checking of the
+        convolution stack needs the head-room); pass ``dtype`` to
+        override.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    __array_priority__ = 1000  # ensure ndarray + Tensor defers to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        dtype: Optional[np.dtype] = None,
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=dtype)
+        if arr.dtype == object:
+            raise TypeError("Tensor data must be numeric")
+        if dtype is None and arr.dtype.kind == "f" and arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+        if dtype is None and arr.dtype.kind not in "fiub":
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        if self.requires_grad and arr.dtype.kind != "f":
+            raise TypeError("only float tensors can require gradients")
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward_fn: Optional[Callable[[np.ndarray], None]] = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, wiring the graph only when grad is enabled."""
+        parents = tuple(parents)
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        # Preserve the computed dtype (float32 stays float32); only raw
+        # user construction applies the float64 default promotion.
+        out = Tensor(data, dtype=data.dtype if data.dtype.kind == "f" else None)
+        if needs:
+            out.requires_grad = True
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        t = Tensor(self.data)
+        return t
+
+    def copy(self) -> "Tensor":
+        t = Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return t
+
+    def astype(self, dtype) -> "Tensor":
+        out = Tensor._make(
+            self.data.astype(dtype),
+            (self,),
+            lambda g: self._accumulate(g.astype(self.data.dtype)),
+        )
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to ones (appropriate for scalar losses).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        # Iterative topological sort (recursion would overflow on deep
+        # nets such as DDnet's 45-layer graph).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------
+    # Operator overloads (implementations in ops_basic to keep this file
+    # focused on the engine; imported lazily to avoid import cycles).
+    # ------------------------------------------------------------------
+    def _ops(self):
+        from repro.tensor import ops_basic
+
+        return ops_basic
+
+    def __add__(self, other):
+        return self._ops().add(self, other)
+
+    def __radd__(self, other):
+        return self._ops().add(self, other)
+
+    def __sub__(self, other):
+        return self._ops().sub(self, other)
+
+    def __rsub__(self, other):
+        return self._ops().sub(other, self)
+
+    def __mul__(self, other):
+        return self._ops().mul(self, other)
+
+    def __rmul__(self, other):
+        return self._ops().mul(self, other)
+
+    def __truediv__(self, other):
+        return self._ops().div(self, other)
+
+    def __rtruediv__(self, other):
+        return self._ops().div(other, self)
+
+    def __neg__(self):
+        return self._ops().neg(self)
+
+    def __pow__(self, exponent):
+        return self._ops().pow(self, exponent)
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, other)
+
+    def __getitem__(self, idx):
+        return self._ops().getitem(self, idx)
+
+    # comparison operators return plain boolean arrays (no grad)
+    def __lt__(self, other):
+        return self.data < _raw(other)
+
+    def __le__(self, other):
+        return self.data <= _raw(other)
+
+    def __gt__(self, other):
+        return self.data > _raw(other)
+
+    def __ge__(self, other):
+        return self.data >= _raw(other)
+
+    # named ops ---------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        return self._ops().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._ops().mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        return self._ops().max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        return self._ops().min(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return self._ops().reshape(self, shape)
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return self._ops().transpose(self, axes or None)
+
+    def exp(self):
+        return self._ops().exp(self)
+
+    def log(self):
+        return self._ops().log(self)
+
+    def sqrt(self):
+        return self._ops().sqrt(self)
+
+    def abs(self):
+        return self._ops().abs(self)
+
+    def clip(self, lo, hi):
+        return self._ops().clip(self, lo, hi)
+
+    def sigmoid(self):
+        from repro.tensor import ops_activation
+
+        return ops_activation.sigmoid(self)
+
+    def tanh(self):
+        from repro.tensor import ops_activation
+
+        return ops_activation.tanh(self)
+
+    def relu(self):
+        from repro.tensor import ops_activation
+
+        return ops_activation.relu(self)
+
+
+def _raw(x: ArrayLike) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+def as_tensor(x: ArrayLike) -> Tensor:
+    """Coerce ``x`` to a :class:`Tensor` (no copy when already one)."""
+    return x if isinstance(x, Tensor) else Tensor(x)

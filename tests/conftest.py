@@ -1,0 +1,20 @@
+"""Shared test fixtures and hypothesis configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property-based tests fast on the single-core CI budget.
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("fast")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,105 @@
+"""Late-added coverage for public API surface not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.ct.hounsfield import mu_to_hu, normalize_unit
+from repro.models import DDnet
+from repro.pipeline import (
+    ClassificationAI,
+    DualDomainEnhancer,
+    EnhancementAI,
+    SinogramDenoiser,
+)
+from repro.report import ascii_plot
+from repro.tensor import Tensor, no_grad
+
+
+def tiny_ddnet(seed=0, **kw):
+    return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                 dense_kernel=3, deconv_kernel=3, rng=np.random.default_rng(seed), **kw)
+
+
+class TestDDnetVariantsBehave:
+    def test_no_shortcut_variant_runs_and_differs(self, rng):
+        x = Tensor(rng.random((1, 1, 16, 16)))
+        with_sc = tiny_ddnet(0, global_shortcuts=True)
+        without = tiny_ddnet(0, global_shortcuts=False)
+        with no_grad():
+            a = with_sc.eval()(x).data
+            b = without.eval()(x).data
+        assert a.shape == b.shape
+        assert not np.allclose(a, b)
+
+    def test_no_shortcut_fewer_parameters(self):
+        assert (tiny_ddnet(0, global_shortcuts=False).num_parameters()
+                < tiny_ddnet(0, global_shortcuts=True).num_parameters())
+
+    def test_residual_flag_changes_mapping(self, rng):
+        x = rng.random((1, 1, 16, 16))
+        res = tiny_ddnet(0, residual=True)
+        direct = tiny_ddnet(0, residual=False)
+        direct.load_state_dict(res.state_dict())
+        with no_grad():
+            a = res.eval()(Tensor(x)).data
+            b = direct.eval()(Tensor(x)).data
+        assert np.allclose(a - b, x, atol=1e-10)  # difference is exactly +x
+
+
+class TestAIToolHistories:
+    def test_enhancement_history_property(self, rng):
+        from repro.data.datasets import EnhancementDataset
+
+        lows = rng.random((4, 1, 16, 16))
+        fulls = np.clip(lows + 0.01, 0, 1)
+        ai = EnhancementAI(model=tiny_ddnet(init_std=0.01), lr=1e-3,
+                           msssim_levels=1, msssim_window=5)
+        assert ai.history is None
+        ai.train(EnhancementDataset(lows, fulls), epochs=2, batch_size=2)
+        assert ai.history.epochs == 2
+
+    def test_classification_save_load(self, rng, tmp_path):
+        from repro.models import DenseNet3D
+
+        a = ClassificationAI(model=DenseNet3D(block_layers=(1, 1, 1, 1), growth=4,
+                                              init_features=4,
+                                              rng=np.random.default_rng(1)))
+        b = ClassificationAI(model=DenseNet3D(block_layers=(1, 1, 1, 1), growth=4,
+                                              init_features=4,
+                                              rng=np.random.default_rng(2)))
+        path = str(tmp_path / "cls.npz")
+        a.save(path)
+        b.load(path)
+        vol = rng.normal(size=(16, 16, 16)) * 100
+        assert a.predict_proba(vol) == pytest.approx(b.predict_proba(vol))
+
+
+class TestDualDomainWithImageStage:
+    def test_full_chain_produces_unit_image(self, rng):
+        from repro.ct import forward_project, hu_to_mu
+        from repro.ct.geometry import ParallelBeamGeometry
+        from repro.data.phantom import ChestPhantomConfig, chest_slice
+
+        size = 16
+        geo = ParallelBeamGeometry(num_views=24, num_detectors=33)
+        img = hu_to_mu(chest_slice(ChestPhantomConfig(size=size),
+                                   np.random.default_rng(0)))
+        sino = forward_project(img, geo)
+        den = SinogramDenoiser(base=2, depth=1, rng=np.random.default_rng(1))
+        den.train([sino], [sino], epochs=1)
+        enhancer = EnhancementAI(model=tiny_ddnet(init_std=0.01),
+                                 msssim_levels=1, msssim_window=5)
+        dd = DualDomainEnhancer(den, geo, size, image_enhancer=enhancer)
+        out = dd.enhance(sino, lambda m: normalize_unit(mu_to_hu(m)))
+        assert out.shape == (size, size)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestReportEdgeCases:
+    def test_ascii_plot_single_point(self):
+        out = ascii_plot({"s": [5.0]}, width=10, height=4)
+        assert "*" in out
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot({"s": [2.0, 2.0, 2.0]}, width=12, height=4)
+        assert "*" in out  # zero span handled (no div-by-zero)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Mayo Clinic" in out and "LIDC" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Nvidia V100 GPU" in out and "Table 7" in out
+
+    def test_epidemic(self, capsys):
+        assert main(["epidemic", "--days", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "cases per million" in out
+        assert "Delta share" in out
+
+    def test_simulate_writes_pairs(self, tmp_path, capsys):
+        out_file = str(tmp_path / "pairs.npz")
+        assert main(["simulate", "--count", "2", "--size", "32",
+                     "--blank-scan", "1000", "--output", out_file]) == 0
+        with np.load(out_file) as data:
+            assert data["low_dose"].shape == (2, 1, 32, 32)
+            assert data["full_dose"].shape == (2, 1, 32, 32)
+
+    def test_diagnose_synthetic(self, capsys):
+        assert main(["diagnose", "--size", "16", "--slices", "16", "--covid"]) == 0
+        out = capsys.readouterr().out
+        assert "P(COVID-19)" in out
+        assert "verdict" in out
+
+    def test_diagnose_from_file(self, tmp_path, capsys):
+        from repro.data import chest_volume
+
+        path = str(tmp_path / "scan.npy")
+        np.save(path, chest_volume(16, 16, rng=np.random.default_rng(0)))
+        assert main(["diagnose", "--input", path, "--no-enhancement"]) == 0
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        subs = next(a for a in parser._actions if a.dest == "command")
+        assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic", "inventory"}

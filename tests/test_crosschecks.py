@@ -1,0 +1,130 @@
+"""Cross-module consistency checks and late-added API tests."""
+
+import numpy as np
+import pytest
+
+from repro.ct import paper_geometry, simulate_dose_fraction_pair
+from repro.distributed import ClusterSpec, TrainingTimeModel
+from repro.hetero import InferenceEngine, NVIDIA_V100, PerfModel
+from repro.models import DDnet, ddnet_layer_table
+from repro.tensor import Tensor, no_grad
+from repro.tensor import functional as F
+
+
+def disk(n=32, value=0.02):
+    ys, xs = np.mgrid[0:n, 0:n]
+    return np.where(np.hypot(xs - n / 2 + 0.5, ys - n / 2 + 0.5) < n * 0.3, value, 0.0)
+
+
+class TestDoseFractionPair:
+    def test_quarter_dose_noisier(self):
+        img = disk()
+        geo = paper_geometry(0.1)
+        full, quarter = simulate_dose_fraction_pair(
+            img, geo, full_blank_scan=5e3, dose_fraction=0.25,
+            pixel_size=10.0, rng=np.random.default_rng(0),
+        )
+        assert np.abs(quarter - img).mean() > np.abs(full - img).mean()
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            simulate_dose_fraction_pair(disk(), paper_geometry(0.1), dose_fraction=0.0)
+
+    def test_fraction_one_statistically_equal(self):
+        img = disk()
+        geo = paper_geometry(0.1)
+        full, frac = simulate_dose_fraction_pair(
+            img, geo, full_blank_scan=5e3, dose_fraction=1.0,
+            pixel_size=10.0, rng=np.random.default_rng(1),
+        )
+        # Same dose: error magnitudes comparable (independent noise draws).
+        e1, e2 = np.abs(full - img).mean(), np.abs(frac - img).mean()
+        assert 0.5 < e1 / e2 < 2.0
+
+
+class TestSymbolicTableMatchesRealShapes:
+    def test_layer_table_consistent_with_forward(self):
+        """The symbolic Table 2 trace must agree with real tensor shapes."""
+        size = 32
+        net = DDnet(rng=np.random.default_rng(0)).eval()
+        rows = {r["layer"]: r["output_size"] for r in ddnet_layer_table(size, net)}
+
+        shapes = {}
+        with no_grad():
+            x = Tensor(np.zeros((1, 1, size, size)))
+            stem = net.stem(x)
+            shapes["Convolution 1"] = stem.shape
+            h = stem
+            for i, (block, transition, pool) in enumerate(
+                zip(net.blocks, net.transitions, net.pools)
+            ):
+                h = pool(h)
+                shapes[f"Pooling {i + 1}"] = h.shape
+                h = block(h)
+                shapes[f"Dense Block {i + 1}"] = h.shape
+                h = transition(h)
+                shapes[f"Convolution {i + 2}"] = h.shape
+        for layer, shape in shapes.items():
+            expect = f"{shape[2]}x{shape[3]}x{shape[1]}"
+            assert rows[layer] == expect, (layer, rows[layer], expect)
+
+
+class TestMultiGpuCluster:
+    def test_gpus_per_node_increase_world_size(self):
+        c = ClusterSpec(num_nodes=2, gpus_per_node=4)
+        assert c.world_size == 8
+
+    def test_more_gpus_faster_at_fixed_batch(self):
+        m = TrainingTimeModel()
+        single = m.estimate(ClusterSpec(4, gpus_per_node=1), 16, 50)
+        dual = m.estimate(ClusterSpec(4, gpus_per_node=4), 16, 50)
+        assert dual.total_time_s < single.total_time_s
+
+
+class TestDtypeHandling:
+    def test_float32_ops_preserve_dtype(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), dtype=np.float32)
+        b = Tensor(np.ones((2, 2), dtype=np.float32), dtype=np.float32)
+        assert (a + b).dtype == np.float32
+        assert (a @ b).dtype == np.float32
+
+    def test_default_promotes_to_float64(self):
+        assert Tensor(np.ones(2, dtype=np.float32)).dtype == np.float64
+        assert Tensor([1, 2]).dtype.kind == "i"
+
+    def test_int_inputs_to_conv_rejected_gracefully(self):
+        x = Tensor(np.ones((1, 1, 4, 4)))
+        w = Tensor(np.ones((1, 1, 3, 3)))
+        out = F.conv2d(x, w, padding=1)
+        assert out.dtype.kind == "f"
+
+
+class TestEngineVsPerfModelConsistency:
+    def test_trace_time_matches_model_prediction(self, rng):
+        """The engine's accumulated time must equal the PerfModel's
+        prediction for the same schedule (same rates, same counts)."""
+        net = DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                    dense_kernel=3, deconv_kernel=3,
+                    rng=np.random.default_rng(0)).eval()
+        pm = PerfModel()
+        eng = InferenceEngine(net, NVIDIA_V100, perf_model=pm)
+        x = rng.random((1, 1, 16, 16))
+        _, trace = eng.run(x)
+        from repro.hetero import ddnet_kernel_schedule
+
+        sched = ddnet_kernel_schedule(input_size=16, batch=1, base_channels=4,
+                                      growth=4, num_blocks=2, layers_per_block=2,
+                                      dense_kernel=3, deconv_kernel=3)
+        pred = pm.predict(NVIDIA_V100, schedule=sched)
+        overhead = len(trace.launches) * NVIDIA_V100.launch_overhead_us * 1e-6
+        # Conv/deconv counts agree exactly; "other" differs slightly
+        # because the dense blocks batch-normalize their growing
+        # *concatenated inputs* (pre-activation) while the schedule
+        # charges BN on conv outputs — a few percent of a tiny term.
+        got = trace.group_counts()
+        from repro.hetero.schedule import schedule_totals
+
+        st = schedule_totals(sched)
+        assert got["convolution"] == st["convolution"]
+        assert got["deconvolution"] == st["deconvolution"]
+        assert trace.modelled_time_s - overhead == pytest.approx(pred.total_s, rel=0.05)

@@ -1,0 +1,283 @@
+"""Tests for the CT physics chain: geometry, Siddon, noise, FBP."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ct import (
+    FanBeamGeometry,
+    ParallelBeamGeometry,
+    Sinogram,
+    add_poisson_noise,
+    counts_to_line_integrals,
+    fbp_reconstruct,
+    forward_project,
+    hu_to_mu,
+    mu_to_hu,
+    normalize_unit,
+    denormalize_unit,
+    paper_geometry,
+    ramp_filter_1d,
+    siddon_raycast,
+    simulate_low_dose_pair,
+    transmission_counts,
+)
+from repro.ct.hounsfield import MU_WATER_60KEV
+
+
+def disk_phantom(n=64, value=0.03, radius_frac=0.35):
+    ys, xs = np.mgrid[0:n, 0:n]
+    r = np.hypot(xs - n / 2 + 0.5, ys - n / 2 + 0.5)
+    return np.where(r < radius_frac * n, value, 0.0)
+
+
+class TestGeometry:
+    def test_paper_geometry_exact(self):
+        g = paper_geometry(1.0)
+        assert g.source_to_detector == 1500.0   # §3.1.2
+        assert g.source_to_isocenter == 1000.0
+        assert g.num_views == 720
+        assert g.num_detectors == 1024
+        assert np.isclose(g.angular_range, 2 * np.pi)
+
+    def test_paper_geometry_scaled(self):
+        g = paper_geometry(0.25)
+        assert g.num_views == 180
+        assert g.num_detectors == 256
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_geometry(0.0)
+
+    def test_fan_sdd_must_exceed_sod(self):
+        with pytest.raises(ValueError):
+            FanBeamGeometry(source_to_detector=900.0, source_to_isocenter=1000.0)
+
+    def test_detector_coords_centered(self):
+        g = ParallelBeamGeometry(num_detectors=11, detector_spacing=2.0)
+        c = g.detector_coords
+        assert np.isclose(c.mean(), 0.0)
+        assert np.isclose(c[1] - c[0], 2.0)
+
+    def test_fan_source_rotates(self):
+        g = FanBeamGeometry(num_views=4)
+        p0, p1 = g.source_position(0), g.source_position(1)
+        assert np.isclose(np.linalg.norm(p0), g.source_to_isocenter)
+        assert not np.allclose(p0, p1)
+
+    def test_fan_rays_start_at_source(self):
+        g = FanBeamGeometry(num_views=8, num_detectors=16)
+        starts, ends = g.rays(3)
+        assert np.allclose(starts, g.source_position(3))
+        assert ends.shape == (16, 2)
+
+
+class TestSiddon:
+    def test_central_ray_integral(self):
+        img = disk_phantom(64, value=0.02)
+        li = siddon_raycast(img, [[-100.0, 0.3]], [[100.0, 0.3]])
+        # Chord length through the disk at y=0.3: 2·sqrt(R² − y²)
+        expect = 0.02 * 2 * np.sqrt((0.35 * 64) ** 2 - 0.3**2)
+        assert abs(li[0] - expect) / expect < 0.05
+
+    def test_ray_missing_grid_is_zero(self):
+        img = np.ones((8, 8))
+        li = siddon_raycast(img, [[-100.0, 50.0]], [[100.0, 50.0]])
+        assert li[0] == 0.0
+
+    def test_degenerate_ray_zero(self):
+        img = np.ones((8, 8))
+        assert siddon_raycast(img, [[1.0, 1.0]], [[1.0, 1.0]])[0] == 0.0
+
+    def test_axis_aligned_vertical(self):
+        img = np.ones((10, 10)) * 0.5
+        li = siddon_raycast(img, [[0.5, -50.0]], [[0.5, 50.0]])
+        assert np.isclose(li[0], 0.5 * 10, rtol=1e-6)
+
+    def test_diagonal_through_uniform(self):
+        n = 16
+        img = np.ones((n, n))
+        li = siddon_raycast(img, [[-50.0, -50.0]], [[50.0, 50.0]])
+        assert np.isclose(li[0], n * np.sqrt(2.0), rtol=1e-6)
+
+    def test_linearity_in_image(self, rng):
+        img = rng.random((12, 12))
+        starts = rng.uniform(-30, -20, size=(5, 2))
+        ends = rng.uniform(20, 30, size=(5, 2))
+        a = siddon_raycast(img, starts, ends)
+        b = siddon_raycast(2.0 * img, starts, ends)
+        assert np.allclose(b, 2.0 * a)
+
+    def test_reversed_ray_same_integral(self, rng):
+        img = rng.random((12, 12))
+        s, e = np.array([[-20.0, 3.0]]), np.array([[25.0, -4.0]])
+        assert np.isclose(siddon_raycast(img, s, e)[0], siddon_raycast(img, e, s)[0])
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    def test_integral_nonnegative_for_nonneg_image(self, y0, y1):
+        img = np.ones((8, 8))
+        li = siddon_raycast(img, [[-20.0, y0]], [[20.0, y1]])
+        assert li[0] >= 0.0
+
+    def test_pixel_size_scales_integral(self):
+        img = np.ones((8, 8))
+        a = siddon_raycast(img, [[-20, 0.1]], [[20, 0.1]], pixel_size=1.0)
+        b = siddon_raycast(img, [[-40, 0.2]], [[40, 0.2]], pixel_size=2.0)
+        assert np.isclose(b[0], 2.0 * a[0], rtol=1e-6)
+
+
+class TestNoise:
+    def test_counts_follow_beers_law(self, rng):
+        li = np.full((4, 8), 1.0)
+        counts = transmission_counts(li, blank_scan=1e7, rng=rng)
+        assert abs(counts.mean() / (1e7 * np.exp(-1.0)) - 1.0) < 0.01
+
+    def test_roundtrip_recovers_integrals_at_high_dose(self, rng):
+        li = rng.uniform(0.2, 2.0, size=(10, 32))
+        noisy = add_poisson_noise(li, blank_scan=1e9, rng=rng)
+        assert np.allclose(noisy, li, atol=1e-3)
+
+    def test_noise_grows_as_dose_drops(self, rng):
+        li = np.full((50, 50), 1.0)
+        hi = add_poisson_noise(li, blank_scan=1e6, rng=rng)
+        lo = add_poisson_noise(li, blank_scan=1e3, rng=rng)
+        assert lo.std() > 5 * hi.std()
+
+    def test_zero_counts_clamped(self):
+        out = counts_to_line_integrals(np.zeros((2, 2)), blank_scan=100.0)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out, np.log(100.0))
+
+    def test_invalid_blank_scan(self):
+        with pytest.raises(ValueError):
+            transmission_counts(np.ones(3), blank_scan=0.0)
+
+
+class TestFBP:
+    def test_ramp_filter_shape_and_dc(self):
+        H = ramp_filter_1d(100)
+        assert H.shape[0] >= 200
+        assert H[0] < H[1]  # DC is the minimum of the ramp
+
+    def test_hann_suppresses_high_freq(self):
+        ramp = ramp_filter_1d(64, window="ramp")
+        hann = ramp_filter_1d(64, window="hann")
+        nyq = len(ramp) // 2
+        assert hann[nyq] < ramp[nyq] * 0.1
+
+    def test_unknown_window(self):
+        with pytest.raises(ValueError):
+            ramp_filter_1d(64, window="blackman")
+
+    def test_parallel_reconstruction_quantitative(self):
+        img = disk_phantom(64, 0.03)
+        g = ParallelBeamGeometry(num_views=180, num_detectors=129)
+        rec = fbp_reconstruct(forward_project(img, g), g, 64)
+        inner = disk_phantom(64, 1.0, 0.25) > 0
+        assert abs(rec[inner].mean() - 0.03) < 0.002
+
+    def test_fan_reconstruction_quantitative(self):
+        img = disk_phantom(64, 0.03)
+        g = FanBeamGeometry(num_views=240, num_detectors=256, detector_spacing=1.5)
+        rec = fbp_reconstruct(forward_project(img, g), g, 64)
+        inner = disk_phantom(64, 1.0, 0.25) > 0
+        assert abs(rec[inner].mean() - 0.03) < 0.003
+
+    def test_sinogram_shape_validation(self):
+        g = ParallelBeamGeometry(num_views=10, num_detectors=16)
+        with pytest.raises(ValueError):
+            fbp_reconstruct(np.zeros((11, 16)), g, 32)
+
+    def test_more_views_reduce_error(self):
+        img = disk_phantom(48, 0.02)
+        errs = []
+        for views in (20, 120):
+            g = ParallelBeamGeometry(num_views=views, num_detectors=97)
+            rec = fbp_reconstruct(forward_project(img, g), g, 48)
+            errs.append(np.abs(rec - img).mean())
+        assert errs[1] < errs[0]
+
+
+class TestHounsfield:
+    def test_water_is_zero_hu(self):
+        assert np.isclose(mu_to_hu(np.array([MU_WATER_60KEV]))[0], 0.0)
+
+    def test_air_is_minus_1000(self):
+        assert np.isclose(hu_to_mu(np.array([-1000.0]))[0], 0.0)
+
+    def test_roundtrip(self, rng):
+        hu = rng.uniform(-1000, 1000, size=20)
+        assert np.allclose(mu_to_hu(hu_to_mu(hu)), hu, atol=1e-9)
+
+    def test_normalize_window(self):
+        unit = normalize_unit(np.array([-1400.0, 200.0, -600.0]))
+        assert np.isclose(unit[0], 0.0) and np.isclose(unit[1], 1.0)
+        assert 0.0 < unit[2] < 1.0
+
+    def test_normalize_clips(self):
+        unit = normalize_unit(np.array([-3000.0, 3000.0]))
+        assert unit[0] == 0.0 and unit[1] == 1.0
+
+    def test_denormalize_inverts(self, rng):
+        hu = rng.uniform(-1400, 200, size=10)
+        assert np.allclose(denormalize_unit(normalize_unit(hu)), hu, atol=1e-9)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            normalize_unit(np.zeros(2), window=(5.0, 5.0))
+
+
+class TestSimulationPipeline:
+    def test_sinogram_container_roundtrip(self):
+        img = disk_phantom(32, 0.02)
+        g = ParallelBeamGeometry(num_views=60, num_detectors=65)
+        sino = Sinogram.from_image(img, g)
+        rec = sino.reconstruct(32)
+        assert rec.shape == (32, 32)
+
+    def test_shape_mismatch_raises(self):
+        g = ParallelBeamGeometry(num_views=10, num_detectors=16)
+        with pytest.raises(ValueError):
+            Sinogram(np.zeros((9, 16)), g)
+
+    def test_low_dose_pair_noise_ordering(self, rng):
+        """Low-dose recon must deviate more from truth than full dose."""
+        img = disk_phantom(32, 0.02)
+        g = paper_geometry(scale=0.1)
+        full, low, noisy = simulate_low_dose_pair(
+            img, g, blank_scan=50.0, pixel_size=350.0 / 32, rng=rng
+        )
+        err_full = np.abs(full - img).mean()
+        err_low = np.abs(low - img).mean()
+        assert err_low > err_full
+
+    def test_pair_shares_geometry(self, rng):
+        img = disk_phantom(32, 0.02)
+        g = paper_geometry(scale=0.1)
+        _, _, noisy = simulate_low_dose_pair(img, g, rng=rng, pixel_size=10.0)
+        assert noisy.data.shape == (g.num_views, g.num_detectors)
+
+
+class TestWindowPresets:
+    def test_presets_available(self):
+        from repro.ct.hounsfield import WINDOW_PRESETS, get_window
+
+        assert set(WINDOW_PRESETS) == {"lung", "mediastinal", "bone"}
+        assert get_window("lung") == (-1400.0, 200.0)
+
+    def test_unknown_preset(self):
+        from repro.ct.hounsfield import get_window
+
+        with pytest.raises(KeyError):
+            get_window("brain")
+
+    def test_mediastinal_window_discriminates_soft_tissue(self):
+        """Soft tissue spans the mediastinal window's dynamic range but
+        saturates in the lung window."""
+        from repro.ct.hounsfield import MEDIASTINAL_WINDOW
+
+        soft = np.array([-50.0, 40.0, 120.0])
+        med = normalize_unit(soft, MEDIASTINAL_WINDOW)
+        lung = normalize_unit(soft)  # default lung window
+        assert med.max() - med.min() > lung.max() - lung.min()

@@ -1,0 +1,227 @@
+"""Tests for phantoms, lesions, preparation, datasets, and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import (
+    ChestPhantomConfig,
+    ClassificationDataset,
+    EnhancementDataset,
+    LESION_TYPES,
+    add_lesion,
+    bimcv,
+    chest_slice,
+    chest_volume,
+    data_source_table,
+    detect_circular_boundary,
+    filter_min_slices,
+    lidc,
+    make_classification_volumes,
+    make_enhancement_pairs,
+    mayo_clinic,
+    midrc,
+    prepare_scan,
+    remove_circular_boundary,
+    slice_masks,
+)
+from repro.data.phantom import HU_AIR, HU_BONE, HU_LUNG, HU_SOFT
+from repro.data.preparation import add_circular_boundary
+from repro.data.registry import DATA_SOURCES
+
+
+class TestChestSlice:
+    def test_hu_ranges(self, rng):
+        img, masks = chest_slice(ChestPhantomConfig(size=64), rng, return_masks=True)
+        assert img.min() >= -1100.0
+        assert img.max() <= HU_BONE + 50
+        # Lungs dark, body soft-tissue bright.
+        assert img[masks["lungs"]].mean() < -600.0
+        body_only = masks["body"] & ~masks["lungs"] & ~masks["spine"] & ~masks["ribs"]
+        assert img[body_only].mean() > -200.0
+
+    def test_two_lungs_disjoint(self, rng):
+        masks = slice_masks(ChestPhantomConfig(size=64), rng)
+        assert not (masks["left_lung"] & masks["right_lung"]).any()
+        assert (masks["left_lung"] | masks["right_lung"]).sum() == masks["lungs"].sum()
+
+    def test_lungs_inside_body(self, rng):
+        masks = slice_masks(ChestPhantomConfig(size=64), rng)
+        assert (masks["lungs"] & ~masks["body"]).sum() == 0
+
+    def test_lung_scale_shrinks(self, rng):
+        big = slice_masks(ChestPhantomConfig(size=64), np.random.default_rng(1), lung_scale=1.0)
+        small = slice_masks(ChestPhantomConfig(size=64), np.random.default_rng(1), lung_scale=0.5)
+        assert small["lungs"].sum() < big["lungs"].sum()
+
+    def test_randomization_varies_patients(self):
+        a = chest_slice(ChestPhantomConfig(size=48), np.random.default_rng(1))
+        b = chest_slice(ChestPhantomConfig(size=48), np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = chest_slice(ChestPhantomConfig(size=48), np.random.default_rng(7))
+        b = chest_slice(ChestPhantomConfig(size=48), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestLesions:
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_lesion_raises_lung_density(self, rng, kind):
+        img, masks = chest_slice(ChestPhantomConfig(size=64), rng, return_masks=True)
+        out = add_lesion(img, masks["lungs"], kind, rng=rng)
+        diff = out - img
+        assert diff[masks["lungs"]].sum() > 0          # density increased
+        outside = np.abs(diff[~masks["lungs"]])
+        assert outside.max() < 1e-9                    # only inside lungs
+
+    def test_unknown_lesion(self, rng):
+        img, masks = chest_slice(ChestPhantomConfig(size=64), rng, return_masks=True)
+        with pytest.raises(KeyError):
+            add_lesion(img, masks["lungs"], "cavitation", rng=rng)
+
+    def test_empty_mask_raises(self, rng):
+        img = np.zeros((32, 32))
+        with pytest.raises(ValueError):
+            add_lesion(img, np.zeros((32, 32), dtype=bool), "ggo", rng=rng)
+
+    def test_ggo_partial_vs_consolidation_dense(self, rng):
+        img, masks = chest_slice(ChestPhantomConfig(size=64), np.random.default_rng(3),
+                                 return_masks=True)
+        ggo = add_lesion(img, masks["lungs"], "ggo", rng=np.random.default_rng(1))
+        cons = add_lesion(img, masks["lungs"], "consolidation", rng=np.random.default_rng(1))
+        assert ggo[masks["lungs"]].max() < cons[masks["lungs"]].max() + 100
+
+
+class TestChestVolume:
+    def test_shape_and_units(self, rng):
+        vol = chest_volume(32, 12, rng=rng)
+        assert vol.shape == (12, 32, 32)
+        assert vol.min() >= -1100 and vol.max() <= 800
+
+    def test_lung_profile_apex_base(self, rng):
+        vol = chest_volume(48, 16, rng=rng)
+        lungs_per_slice = (vol < -600).sum(axis=(1, 2))
+        mid = lungs_per_slice[7:9].mean()
+        assert lungs_per_slice[0] < mid
+        assert lungs_per_slice[-1] < mid
+
+    def test_covid_adds_lesions(self):
+        rng_state = np.random.default_rng(4)
+        healthy = chest_volume(32, 8, covid=False, rng=np.random.default_rng(4))
+        covid, mask = chest_volume(32, 8, covid=True, rng=np.random.default_rng(4),
+                                   return_lesion_mask=True)
+        assert mask.any()
+        assert covid[mask].mean() > healthy[mask].mean()
+
+    def test_lesions_span_multiple_slices(self):
+        _, mask = chest_volume(32, 16, covid=True, num_lesions=1,
+                               rng=np.random.default_rng(8), return_lesion_mask=True)
+        assert (mask.any(axis=(1, 2))).sum() >= 2
+
+    def test_config_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            chest_volume(32, 8, config=ChestPhantomConfig(size=64), rng=rng)
+
+
+class TestPreparation:
+    def test_boundary_roundtrip(self, rng):
+        img = chest_slice(ChestPhantomConfig(size=64), rng)
+        stamped = add_circular_boundary(img, radius_frac=0.45)
+        assert detect_circular_boundary(stamped) is not None
+        cleaned = remove_circular_boundary(stamped)
+        assert cleaned.min() >= HU_AIR
+        assert detect_circular_boundary(cleaned) is None
+
+    def test_removal_idempotent(self, rng):
+        img = chest_slice(ChestPhantomConfig(size=48), rng)
+        once = remove_circular_boundary(img)
+        assert np.array_equal(once, remove_circular_boundary(once))
+
+    def test_detect_radius_accuracy(self, rng):
+        img = chest_slice(ChestPhantomConfig(size=64), rng)
+        stamped = add_circular_boundary(img, radius_frac=0.40)
+        r = detect_circular_boundary(stamped)
+        assert abs(r - 0.40) < 0.03
+
+    def test_filter_min_slices(self, rng):
+        scans = [rng.normal(size=(s, 8, 8)) for s in (100, 128, 200)]
+        kept = filter_min_slices(scans, min_slices=128)
+        assert len(kept) == 2
+
+    def test_prepare_scan_rejects_short(self, rng):
+        assert prepare_scan(rng.normal(size=(10, 8, 8)), min_slices=64) is None
+
+    def test_prepare_scan_cleans(self, rng):
+        vol = np.stack([add_circular_boundary(chest_slice(ChestPhantomConfig(size=32), rng))
+                        for _ in range(4)])
+        out = prepare_scan(vol, min_slices=2)
+        assert out.min() >= HU_AIR
+
+    def test_prepare_scan_wrong_ndim(self, rng):
+        with pytest.raises(ValueError):
+            prepare_scan(rng.normal(size=(8, 8)))
+
+
+class TestDatasets:
+    def test_registry_matches_table1(self):
+        assert DATA_SOURCES["mayo"].num_scans == 8
+        assert DATA_SOURCES["bimcv"].num_scans == 34
+        assert DATA_SOURCES["midrc"].num_scans == 229
+        assert DATA_SOURCES["lidc"].num_scans == 1301
+        rows = data_source_table()
+        assert len(rows) == 4
+
+    def test_source_labels(self):
+        assert mayo_clinic(num_scans=2).labels().sum() == 0
+        assert bimcv(num_scans=2).labels().sum() == 2
+        assert midrc(num_scans=2).covid_positive
+        assert not lidc(num_scans=2).covid_positive
+
+    def test_paper_counts_when_none(self):
+        assert lidc(num_scans=None).num_scans == 1301
+
+    def test_scan_materialization(self):
+        src = bimcv(num_scans=2, size=32, num_slices=8)
+        scan = src.scan(0)
+        assert scan.shape == (8, 32, 32)
+        assert np.array_equal(scan, src.scan(0))  # deterministic
+        with pytest.raises(IndexError):
+            src.scan(5)
+
+    def test_enhancement_pairs_properties(self, rng):
+        lows, fulls = make_enhancement_pairs(3, size=32, blank_scan=300.0, rng=rng)
+        assert lows.shape == fulls.shape == (3, 1, 32, 32)
+        assert lows.min() >= 0.0 and lows.max() <= 1.0
+        # Low dose must actually be noisier than full dose.
+        assert np.abs(lows - fulls).mean() > 1e-3
+
+    def test_enhancement_pairs_fast_surrogate(self, rng):
+        lows, fulls = make_enhancement_pairs(2, size=32, blank_scan=1e4,
+                                             physics=False, rng=rng)
+        assert np.abs(lows - fulls).mean() > 1e-4
+
+    def test_enhancement_dataset(self, rng):
+        ds = EnhancementDataset(*make_enhancement_pairs(2, size=32, physics=False, rng=rng))
+        low, full = ds[0]
+        assert low.shape == (1, 32, 32)
+        with pytest.raises(ValueError):
+            EnhancementDataset(np.zeros((2, 1, 8, 8)), np.zeros((3, 1, 8, 8)))
+
+    def test_classification_volumes_balanced(self, rng):
+        vols, labels = make_classification_volumes(3, 2, size=16, num_slices=8, rng=rng)
+        assert vols.shape == (5, 1, 8, 16, 16)
+        assert labels.sum() == 3
+
+    def test_classification_dataset_normalization(self, rng):
+        ds = ClassificationDataset.generate(1, 1, size=16, num_slices=8, rng=rng)
+        vol, label = ds[0]
+        assert np.abs(vol).max() < 2.0  # HU/1000
+        assert label in (0.0, 1.0)
+
+    def test_classification_dataset_transform(self, rng):
+        ds = ClassificationDataset.generate(1, 1, size=16, num_slices=8, rng=rng)
+        ds.transform = lambda v: v * 0.0
+        vol, _ = ds[0]
+        assert np.all(vol == 0.0)

@@ -1,0 +1,211 @@
+"""Tests for the process group, DDP wrapper, and Table 3 time model."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.distributed import (
+    ClusterSpec,
+    DistributedDataParallel,
+    GlooCostModel,
+    ProcessGroup,
+    TrainingTimeModel,
+    paper_table3_rows,
+)
+from repro.tensor import Tensor
+
+
+class TestProcessGroup:
+    def test_allreduce_mean(self):
+        pg = ProcessGroup(3)
+        bufs = [np.array([1.0]), np.array([2.0]), np.array([6.0])]
+        out = pg.all_reduce(bufs, op="mean")
+        assert all(np.isclose(o[0], 3.0) for o in out)
+
+    def test_allreduce_sum_max(self):
+        pg = ProcessGroup(2)
+        bufs = [np.array([1.0, 5.0]), np.array([2.0, 3.0])]
+        assert np.allclose(pg.all_reduce(bufs, op="sum")[0], [3.0, 8.0])
+        assert np.allclose(pg.all_reduce(bufs, op="max")[1], [2.0, 5.0])
+
+    def test_wrong_buffer_count(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(2).all_reduce([np.zeros(2)])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(2).all_reduce([np.zeros(2), np.zeros(3)])
+
+    def test_broadcast(self):
+        pg = ProcessGroup(4)
+        out = pg.broadcast(np.arange(3), root=2)
+        assert len(out) == 4
+        assert all(np.array_equal(o, np.arange(3)) for o in out)
+
+    def test_broadcast_invalid_root(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(2).broadcast(np.zeros(2), root=5)
+
+    def test_all_gather(self):
+        pg = ProcessGroup(2)
+        out = pg.all_gather([np.array([1.0]), np.array([2.0])])
+        assert np.isclose(out[0][1][0], 2.0)
+        assert np.isclose(out[1][0][0], 1.0)
+
+    def test_stats_accumulate(self):
+        pg = ProcessGroup(2)
+        pg.all_reduce([np.zeros(10), np.zeros(10)])
+        pg.barrier()
+        assert pg.stats.collectives == 2
+        assert pg.stats.bytes_moved == 80
+        assert pg.stats.simulated_time_s > 0
+
+    def test_world_size_one_free_comm(self):
+        pg = ProcessGroup(1)
+        pg.all_reduce([np.zeros(100)])
+        assert pg.stats.simulated_time_s == 0.0
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            ProcessGroup(0)
+
+
+class TestGlooCostModel:
+    def test_ring_allreduce_scaling(self):
+        m = GlooCostModel(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+        t2 = m.allreduce_time(1_000_000, 2)
+        t8 = m.allreduce_time(1_000_000, 8)
+        # 2(p-1)/p grows from 1.0 toward 2.0.
+        assert np.isclose(t8 / t2, (2 * 7 / 8) / (2 * 1 / 2))
+
+    def test_latency_dominates_small_messages(self):
+        m = GlooCostModel(bandwidth_bytes_per_s=1e12, latency_s=1e-3)
+        assert m.allreduce_time(8, 4) >= 6e-3
+
+    def test_single_rank_free(self):
+        assert GlooCostModel().allreduce_time(1e9, 1) == 0.0
+
+
+def _model_factory(seed):
+    def factory():
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1, init_std=None, rng=rng),
+            nn.LeakyReLU(),
+            nn.Conv2d(2, 1, 3, padding=1, init_std=None, rng=rng),
+        )
+    return factory
+
+
+class TestDDP:
+    def test_initial_broadcast_syncs_different_seeds(self):
+        pg = ProcessGroup(2)
+        seeds = iter([1, 2])
+
+        def factory():
+            return _model_factory(next(seeds))()
+
+        ddp = DistributedDataParallel(factory, pg, lambda p: nn.SGD(p, lr=0.1))
+        assert ddp.replicas_in_sync()
+
+    def test_replicas_stay_in_sync_through_training(self, rng):
+        pg = ProcessGroup(2)
+        ddp = DistributedDataParallel(_model_factory(0), pg, lambda p: nn.Adam(p, lr=1e-3))
+        x = rng.normal(size=(4, 1, 8, 8))
+        y = 0.5 * x
+        for _ in range(3):
+            ddp.train_step([(x[:2], y[:2]), (x[2:], y[2:])], nn.MSELoss())
+        assert ddp.replicas_in_sync()
+
+    def test_equivalence_with_large_batch_single_process(self, rng):
+        """DDP over shards ≡ one big batch: the key DDP invariant."""
+        x = rng.normal(size=(4, 1, 8, 8))
+        y = 0.3 * x
+        loss_fn = nn.MSELoss()
+        # Single-process reference.
+        ref = _model_factory(0)()
+        opt = nn.SGD(ref.parameters(), lr=0.1)
+        for _ in range(3):
+            opt.zero_grad()
+            loss_fn(ref(Tensor(x)), Tensor(y)).backward()
+            opt.step()
+        # Two-rank DDP on half batches.
+        pg = ProcessGroup(2)
+        ddp = DistributedDataParallel(_model_factory(0), pg, lambda p: nn.SGD(p, lr=0.1))
+        for _ in range(3):
+            ddp.train_step([(x[:2], y[:2]), (x[2:], y[2:])], loss_fn)
+        for pr, pd in zip(ref.parameters(), ddp.module.parameters()):
+            # MSE over half batches averages to the full-batch gradient.
+            assert np.allclose(pr.data, pd.data, atol=1e-10)
+
+    def test_loss_decreases(self, rng):
+        pg = ProcessGroup(2)
+        ddp = DistributedDataParallel(_model_factory(0), pg, lambda p: nn.Adam(p, lr=3e-3))
+        x = rng.normal(size=(4, 1, 8, 8))
+        y = 0.5 * x
+        losses = [ddp.train_step([(x[:2], y[:2]), (x[2:], y[2:])], nn.MSELoss())
+                  for _ in range(15)]
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_shard_count_mismatch(self, rng):
+        pg = ProcessGroup(2)
+        ddp = DistributedDataParallel(_model_factory(0), pg, lambda p: nn.SGD(p, lr=0.1))
+        with pytest.raises(ValueError):
+            ddp.train_step([(np.zeros((1, 1, 8, 8)), np.zeros((1, 1, 8, 8)))], nn.MSELoss())
+
+
+class TestTrainingTimeModel:
+    def test_single_node_matches_paper(self):
+        """Row 1 of Table 3: 1 node, batch 1, 50 epochs ≈ 15h14m."""
+        est = TrainingTimeModel().estimate(ClusterSpec(1), 1, 50)
+        paper = 15 * 3600 + 14 * 60 + 46
+        assert abs(est.total_time_s - paper) / paper < 0.05
+
+    def test_all_table3_rows_within_tolerance(self):
+        for row in paper_table3_rows():
+            assert abs(row["rel_error"]) < 0.15, row
+
+    def test_speedup_sublinear(self):
+        """§5.1.2: speedup improves with nodes but stays sub-linear."""
+        m = TrainingTimeModel()
+        t1 = m.estimate(ClusterSpec(1), 1, 50)
+        t4 = m.estimate(ClusterSpec(4), 8, 50)
+        t8 = m.estimate(ClusterSpec(8), 32, 50)
+        s4 = t1.total_time_s / t4.total_time_s
+        s8 = t1.total_time_s / t8.total_time_s
+        assert 1.0 < s4
+        assert s4 < 8 * 4     # generous sublinearity bound vs perfect batch scaling
+        assert s8 > s4        # more nodes + batch still helps
+
+    def test_larger_batch_faster(self):
+        m = TrainingTimeModel()
+        t8 = m.estimate(ClusterSpec(8), 8, 50)
+        t64 = m.estimate(ClusterSpec(8), 64, 50)
+        assert t64.total_time_s < t8.total_time_s
+
+    def test_epochs_scale_linearly(self):
+        m = TrainingTimeModel()
+        a = m.estimate(ClusterSpec(4), 8, 50)
+        b = m.estimate(ClusterSpec(4), 8, 100)
+        assert np.isclose(b.total_time_s, 2 * a.total_time_s)
+
+    def test_sync_overhead_visible_at_batch_parity(self):
+        """8 nodes × local batch 1 is slower per epoch than 1 node × batch 1
+        would be per the same iteration count — sync costs something."""
+        m = TrainingTimeModel()
+        iter1 = m.iter_time(1, ClusterSpec(1))
+        iter8 = m.iter_time(1, ClusterSpec(8))
+        assert iter8 > iter1
+
+    def test_batch_divisibility(self):
+        with pytest.raises(ValueError):
+            TrainingTimeModel().estimate(ClusterSpec(4), 6, 50)
+
+    def test_hhmmss_format(self):
+        est = TrainingTimeModel().estimate(ClusterSpec(1), 1, 50)
+        parts = est.hhmmss.split(":")
+        assert len(parts) == 3
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)

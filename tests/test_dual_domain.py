@@ -1,0 +1,102 @@
+"""Tests for the §7 dual-domain (projection + image) enhancement."""
+
+import numpy as np
+import pytest
+
+from repro.ct import hu_to_mu, paper_geometry
+from repro.ct.fbp import fbp_reconstruct
+from repro.data.phantom import ChestPhantomConfig, chest_slice
+from repro.metrics import mse
+from repro.pipeline import DualDomainEnhancer, SinogramDenoiser, make_sinogram_pairs
+
+SIZE = 32
+PX = 350.0 / SIZE
+
+
+@pytest.fixture(scope="module")
+def sino_data():
+    geo = paper_geometry(scale=SIZE / 512)
+    images = [hu_to_mu(chest_slice(ChestPhantomConfig(size=SIZE), np.random.default_rng(i)))
+              for i in range(14)]
+    noisy, clean = make_sinogram_pairs(images, geo, blank_scan=400.0, pixel_size=PX,
+                                       rng=np.random.default_rng(0))
+    return geo, images, noisy, clean
+
+
+@pytest.fixture(scope="module")
+def trained_denoiser(sino_data):
+    _, _, noisy, clean = sino_data
+    den = SinogramDenoiser(base=6, depth=2, lr=5e-3, rng=np.random.default_rng(1))
+    den.train(noisy[:12], clean[:12], epochs=25)
+    return den
+
+
+class TestSinogramPairs:
+    def test_pair_shapes_match_geometry(self, sino_data):
+        geo, _, noisy, clean = sino_data
+        assert noisy[0].shape == (geo.num_views, geo.num_detectors)
+        assert clean[0].shape == noisy[0].shape
+
+    def test_noise_present(self, sino_data):
+        _, _, noisy, clean = sino_data
+        assert mse(noisy[0], clean[0]) > 1e-3
+
+
+class TestSinogramDenoiser:
+    def test_training_reduces_loss(self, trained_denoiser):
+        h = trained_denoiser.history
+        assert h.train_loss[-1] < h.train_loss[0]
+
+    def test_denoising_improves_heldout_sinograms(self, sino_data, trained_denoiser):
+        _, _, noisy, clean = sino_data
+        before = np.mean([mse(noisy[i], clean[i]) for i in (12, 13)])
+        after = np.mean([mse(trained_denoiser.denoise(noisy[i]), clean[i]) for i in (12, 13)])
+        assert after < before
+
+    def test_denoising_improves_reconstruction(self, sino_data, trained_denoiser):
+        geo, _, noisy, clean = sino_data
+        def recon(s):
+            return fbp_reconstruct(s, geo, SIZE, PX, "hann")
+        img_err_before = np.mean([
+            mse(recon(noisy[i]), recon(clean[i])) for i in (12, 13)
+        ])
+        img_err_after = np.mean([
+            mse(recon(trained_denoiser.denoise(noisy[i])), recon(clean[i])) for i in (12, 13)
+        ])
+        assert img_err_after < img_err_before
+
+    def test_denoise_preserves_shape(self, sino_data, trained_denoiser):
+        _, _, noisy, _ = sino_data
+        out = trained_denoiser.denoise(noisy[0])
+        assert out.shape == noisy[0].shape
+
+    def test_denoise_validates_input(self, trained_denoiser):
+        with pytest.raises(ValueError):
+            trained_denoiser.denoise(np.zeros((4, 4, 4)))
+
+    def test_train_validates_inputs(self):
+        den = SinogramDenoiser()
+        with pytest.raises(ValueError):
+            den.train([], [])
+        with pytest.raises(ValueError):
+            den.train([np.zeros((4, 4))], [])
+
+
+class TestDualDomainEnhancer:
+    def test_reconstruct_roundtrip(self, sino_data, trained_denoiser):
+        geo, images, noisy, clean = sino_data
+        dd = DualDomainEnhancer(trained_denoiser, geo, SIZE, PX)
+        rec = dd.reconstruct(noisy[12])
+        assert rec.shape == (SIZE, SIZE)
+        raw = dd.reconstruct(noisy[12], denoise=False)
+        truth = fbp_reconstruct(clean[12], geo, SIZE, PX, "hann")
+        assert mse(rec, truth) < mse(raw, truth)
+
+    def test_enhance_without_image_stage(self, sino_data, trained_denoiser):
+        geo, _, noisy, _ = sino_data
+        dd = DualDomainEnhancer(trained_denoiser, geo, SIZE, PX, image_enhancer=None)
+        from repro.ct.hounsfield import mu_to_hu, normalize_unit
+
+        unit = dd.enhance(noisy[12], lambda m: normalize_unit(mu_to_hu(m)))
+        assert unit.shape == (SIZE, SIZE)
+        assert 0.0 <= unit.min() and unit.max() <= 1.0

@@ -1,0 +1,116 @@
+"""Tests for the epidemic model (Fig. 2) and the report utilities."""
+
+import numpy as np
+import pytest
+
+from repro.epi import SEIRParams, VariantSEIRModel, VariantSpec, uk_delta_wave_scenario
+from repro.report import ascii_plot, format_table, series_to_csv
+
+
+class TestSEIR:
+    def test_single_variant_epidemic_curve(self):
+        m = VariantSEIRModel([VariantSpec("X", r0=3.0, seed_fraction=1e-4)])
+        out = m.run(120)
+        c = out["cases_per_million"]
+        peak = int(np.argmax(c))
+        assert 5 < peak < 115          # rises then falls
+        assert c[-1] < c[peak] * 0.5
+
+    def test_subcritical_variant_dies_out(self):
+        def locked(day):
+            return 0.2               # R_eff = 3·0.2 < 1
+
+        m = VariantSEIRModel([VariantSpec("X", r0=3.0, seed_fraction=1e-3)],
+                             contact_schedule=locked)
+        c = m.run(100)["cases_per_million"]
+        assert c[80] < c[5]
+
+    def test_susceptibles_monotone_decreasing(self):
+        m = VariantSEIRModel([VariantSpec("X", r0=3.0, seed_fraction=1e-4)])
+        s = m.run(60)["S"]
+        assert np.all(np.diff(s[1:]) <= 1e-12)
+
+    def test_variant_shares_sum_to_one_when_active(self):
+        m = uk_delta_wave_scenario()
+        out = m.run(200)
+        total = out["variant_share:Alpha"] + out["variant_share:Delta"]
+        active = out["cases_per_million"] > 0.1
+        assert np.allclose(total[active], 1.0, atol=1e-9)
+
+    def test_uk_scenario_reproduces_fig2_shape(self):
+        """Fig. 2: 3rd wave declines, trough, Delta-driven 4th wave."""
+        out = uk_delta_wave_scenario().run(240)
+        c = out["cases_per_million"]
+        assert c[60] < c[5] * 0.6                  # restrictions suppress wave 3
+        trough = c[60:140].min()
+        assert trough < c[5] * 0.2
+        assert c[239] > 20 * max(trough, 0.5)      # 4th wave explodes
+        assert out["variant_share:Delta"][239] > 0.95  # "98% of confirmed cases"
+
+    def test_delta_grows_faster_than_alpha_after_easing(self):
+        out = uk_delta_wave_scenario().run(240)
+        share = out["variant_share:Delta"]
+        assert share[239] > share[180] > share[150]
+
+    def test_vaccination_reduces_final_wave(self):
+        def contacts(day):
+            return 0.7
+
+        kw = dict(variants=[VariantSpec("X", r0=3.0, seed_fraction=1e-4)],
+                  contact_schedule=contacts)
+        unvax = VariantSEIRModel(**kw).run(150)["cases_per_million"]
+        vax = VariantSEIRModel(vaccination_rate=0.01, vaccination_cap=0.8, **kw).run(150)[
+            "cases_per_million"
+        ]
+        assert vax.sum() < unvax.sum()
+
+    def test_requires_variants(self):
+        with pytest.raises(ValueError):
+            VariantSEIRModel([])
+
+    def test_params_derived_rates(self):
+        p = SEIRParams(incubation_days=4.0, infectious_days=5.0)
+        assert np.isclose(p.sigma, 0.25)
+        assert np.isclose(p.gamma, 0.2)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 23.5, "b": None}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "–" in out  # None rendering
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_bool(self):
+        out = format_table([{"x": True, "y": False}])
+        assert "✓" in out and "✗" in out
+
+    def test_ascii_plot_contains_marks(self):
+        out = ascii_plot({"s": [1, 2, 3, 2, 1]}, width=20, height=5)
+        assert "*" in out
+        assert "s" in out
+
+    def test_ascii_plot_multi_series(self):
+        out = ascii_plot({"a": [1, 2], "b": [2, 1]}, width=10, height=4)
+        assert "*" in out and "o" in out
+
+    def test_ascii_plot_log_scale(self):
+        out = ascii_plot({"s": [1, 10, 100]}, width=10, height=4, logy=True)
+        assert "100" in out
+
+    def test_ascii_plot_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_series_to_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        series_to_csv({"a": [1.0, 2.0], "b": [3.0, 4.0]}, path, x=[0, 1])
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "0,1,3"
+        assert len(lines) == 3

@@ -1,0 +1,102 @@
+"""Tests for the evaluation utilities and framework save/load."""
+
+import numpy as np
+import pytest
+
+from repro.data import chest_volume
+from repro.models import DDnet, DenseNet3D
+from repro.pipeline import (
+    ClassificationAI,
+    ComputeCovid19Plus,
+    EnhancementAI,
+    evaluate_framework,
+    evaluate_scores,
+)
+
+
+def tiny_framework(seed=0):
+    enh = EnhancementAI(
+        model=DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                    dense_kernel=3, deconv_kernel=3,
+                    rng=np.random.default_rng(seed)),
+        msssim_levels=1, msssim_window=5,
+    )
+    cls = ClassificationAI(
+        model=DenseNet3D(block_layers=(1, 1, 1, 1), growth=4, init_features=4,
+                         rng=np.random.default_rng(seed)),
+    )
+    return ComputeCovid19Plus(enhancement=enh, classification=cls, threshold=0.4)
+
+
+class TestEvaluateScores:
+    def test_perfect_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        report = evaluate_scores(labels, np.array([0.1, 0.2, 0.8, 0.9]))
+        assert report.accuracy == 1.0
+        assert report.auc == 1.0
+        assert report.sensitivity == 1.0
+        assert report.specificity == 1.0
+        assert report.confusion.tp == 2
+
+    def test_fixed_threshold_respected(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.3, 0.4, 0.6, 0.9])
+        report = evaluate_scores(labels, scores, threshold=0.5)
+        assert report.threshold == 0.5
+        assert report.confusion.fp == 1  # the 0.6-scoring negative
+
+    def test_summary_readable(self):
+        labels = np.array([0, 1, 0, 1])
+        report = evaluate_scores(labels, np.array([0.1, 0.9, 0.2, 0.8]))
+        s = report.summary()
+        assert "accuracy" in s and "AUC" in s and "n=4" in s
+
+    def test_roc_arrays_present(self):
+        labels = np.array([0, 1] * 5)
+        report = evaluate_scores(labels, np.linspace(0, 1, 10))
+        assert report.fpr[0] == 0.0 and report.tpr[-1] == 1.0
+
+
+class TestEvaluateFramework:
+    def test_end_to_end(self):
+        fw = tiny_framework()
+        fw.use_enhancement = False  # faster
+        vols = [chest_volume(16, 16, covid=bool(i % 2), rng=np.random.default_rng(i))
+                for i in range(4)]
+        labels = [i % 2 for i in range(4)]
+        report = evaluate_framework(fw, vols, labels)
+        assert len(report.scores) == 4
+        assert 0.0 <= report.accuracy <= 1.0
+
+
+class TestFrameworkSaveLoad:
+    def test_roundtrip_restores_behaviour(self, tmp_path, rng):
+        fw = tiny_framework(seed=1)
+        fw.threshold = 0.123
+        fw.use_enhancement = True
+        prefix = str(tmp_path / "deployed")
+        fw.save(prefix)
+
+        other = tiny_framework(seed=99)   # different weights
+        vol = chest_volume(16, 16, rng=np.random.default_rng(5))
+        before = other.diagnose(vol).probability
+        other.load(prefix)
+        assert other.threshold == pytest.approx(0.123)
+        assert other.use_enhancement
+        after = other.diagnose(vol).probability
+        reference = fw.diagnose(vol).probability
+        assert after == pytest.approx(reference, abs=1e-12)
+        assert after != pytest.approx(before, abs=1e-12)
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        fw = tiny_framework()
+        prefix = str(tmp_path / "m")
+        fw.save(prefix)
+        bigger = ComputeCovid19Plus(
+            enhancement=EnhancementAI(
+                model=DDnet(base_channels=8, growth=4, num_blocks=2,
+                            layers_per_block=2, dense_kernel=3, deconv_kernel=3)),
+            classification=fw.classification,
+        )
+        with pytest.raises((KeyError, ValueError)):
+            bigger.load(prefix)

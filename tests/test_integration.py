@@ -1,0 +1,105 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+These train real (tiny) networks on the synthetic substrate and assert
+the *directions* the paper reports: DDnet enhancement improves image
+quality over the low-dose input (Table 8), the classifier learns to
+separate COVID from healthy phantoms (§5.2.2), and the DDP-trained
+model matches serial training (§4.1).
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data import make_classification_volumes, make_enhancement_pairs
+from repro.data.datasets import ClassificationDataset, EnhancementDataset
+from repro.distributed import DistributedDataParallel, ProcessGroup
+from repro.metrics import auc_roc, mse, ssim
+from repro.models import DDnet, DenseNet3D
+from repro.pipeline import ClassificationAI, EnhancementAI
+from repro.tensor import Tensor
+
+
+def tiny_ddnet(seed=0, init_std=0.01):
+    # Gaussian(0, 0.01) is the paper's init (§3.1.1); with the residual
+    # formulation it also starts the net at ~identity, which is what
+    # makes the short CPU-scale training budgets converge.
+    return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                 dense_kernel=3, deconv_kernel=3, init_std=init_std,
+                 rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def physics_pairs():
+    """Real CT-physics low/full-dose pairs at calibrated noise."""
+    rng = np.random.default_rng(42)
+    lows, fulls = make_enhancement_pairs(20, size=32, blank_scan=60.0, rng=rng)
+    return lows, fulls
+
+
+class TestEnhancementImprovesQuality:
+    def test_table8_direction(self, physics_pairs):
+        """Table 8: MSE(Y, f(X)) < MSE(Y, X) and SSIM rises after DDnet."""
+        lows, fulls = physics_pairs
+        train = EnhancementDataset(lows[:16], fulls[:16])
+        ai = EnhancementAI(model=tiny_ddnet(), lr=2e-3, msssim_levels=1, msssim_window=5)
+        ai.train(train, epochs=15, batch_size=2, seed=1)
+        test_low, test_full = lows[16:], fulls[16:]
+        enhanced = ai.enhance_batch(test_low)
+        mse_before = mse(test_full, test_low)
+        mse_after = mse(test_full, enhanced)
+        assert mse_after < mse_before, (mse_before, mse_after)
+        ssim_before = np.mean([ssim(f[0], l[0], window_size=7)
+                               for f, l in zip(test_full, test_low)])
+        ssim_after = np.mean([ssim(f[0], e[0], window_size=7)
+                              for f, e in zip(test_full, enhanced)])
+        assert ssim_after > ssim_before
+
+    def test_loss_curve_shape(self, physics_pairs):
+        """Fig. 11a: training loss decreases over epochs."""
+        lows, fulls = physics_pairs
+        ai = EnhancementAI(model=tiny_ddnet(3), lr=2e-3, msssim_levels=1, msssim_window=5)
+        hist = ai.train(EnhancementDataset(lows[:8], fulls[:8]), epochs=6, batch_size=2)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+        # Loss roughly monotone: the last third is below the first third.
+        third = len(hist.train_loss) // 3
+        assert np.mean(hist.train_loss[-third:]) < np.mean(hist.train_loss[:third])
+
+
+class TestClassifierLearns:
+    def test_separates_covid_from_healthy(self):
+        rng = np.random.default_rng(7)
+        vols, labels = make_classification_volumes(6, 6, size=16, num_slices=16, rng=rng)
+        ds = ClassificationDataset(vols, labels)
+        ai = ClassificationAI(
+            model=DenseNet3D(block_layers=(1, 1, 1, 1), growth=4, init_features=4,
+                             rng=np.random.default_rng(0)),
+            lr=3e-3,
+        )
+        ai.train(ds, epochs=10, batch_size=4, seed=2)
+        scores = np.array([ai.predict_proba(v[0]) for v in vols])
+        assert auc_roc(labels, scores) > 0.7
+
+
+class TestDistributedTraining:
+    def test_ddp_trains_ddnet(self, physics_pairs):
+        """§4.1: DDnet trains under DDP — loss falls, replicas identical.
+
+        (Exact equality with serial large-batch training holds only for
+        batch-norm-free models — per-rank BN statistics differ from
+        whole-batch statistics, in real PyTorch DDP too; that strict
+        equivalence is asserted in test_distributed.py on a BN-free
+        net.)
+        """
+        lows, fulls = physics_pairs
+        x, y = lows[:4], fulls[:4]
+        loss_fn = nn.MSELoss()
+
+        ddp = DistributedDataParallel(
+            lambda: tiny_ddnet(11), ProcessGroup(2), lambda p: nn.Adam(p, lr=2e-3)
+        )
+        losses = [
+            ddp.train_step([(x[:2], y[:2]), (x[2:], y[2:])], loss_fn) for _ in range(8)
+        ]
+        assert losses[-1] < losses[0]
+        assert ddp.replicas_in_sync()

@@ -1,0 +1,182 @@
+"""Tests for image-quality and classification metrics (Eqs. 3-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    auc_roc,
+    confusion_matrix,
+    mse,
+    ms_ssim,
+    optimal_threshold,
+    psnr,
+    roc_curve,
+    sensitivity,
+    specificity,
+    ssim,
+)
+
+
+class TestImageMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.random((8, 8))
+        assert mse(x, x) == 0.0
+
+    def test_mse_value(self):
+        assert mse(np.zeros((2, 2)), np.ones((2, 2))) == 1.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_psnr_infinite_identical(self, rng):
+        x = rng.random((8, 8))
+        assert psnr(x, x) == float("inf")
+
+    def test_psnr_monotone_in_noise(self, rng):
+        x = rng.random((16, 16))
+        assert psnr(x, x + 0.01) > psnr(x, x + 0.1)
+
+    def test_ssim_bounds(self, rng):
+        a, b = rng.random((32, 32)), rng.random((32, 32))
+        s = ssim(a, b, window_size=7)
+        assert -1.0 <= s <= 1.0
+        assert np.isclose(ssim(a, a, window_size=7), 1.0)
+
+    def test_ssim_symmetry(self, rng):
+        a, b = rng.random((24, 24)), rng.random((24, 24))
+        assert np.isclose(ssim(a, b, window_size=7), ssim(b, a, window_size=7))
+
+    def test_ssim_luminance_shift_penalized(self, rng):
+        a = rng.random((32, 32))
+        assert ssim(a, a + 0.5, window_size=7, data_range=1.0) < 0.9
+
+    def test_ms_ssim_size_guard(self, rng):
+        with pytest.raises(ValueError):
+            ms_ssim(rng.random((16, 16)), rng.random((16, 16)), levels=5)
+
+    def test_ms_ssim_identical(self, rng):
+        a = rng.random((64, 64))
+        assert np.isclose(ms_ssim(a, a, levels=2, window_size=7), 1.0)
+
+    def test_ms_ssim_orders_degradations(self, rng):
+        a = rng.random((64, 64))
+        mild = np.clip(a + rng.normal(0, 0.03, a.shape), 0, 1)
+        heavy = np.clip(a + rng.normal(0, 0.3, a.shape), 0, 1)
+        assert ms_ssim(a, heavy, levels=2, window_size=7) < ms_ssim(a, mild, levels=2, window_size=7)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        preds = np.array([1, 0, 0, 1, 1])
+        cm = confusion_matrix(labels, preds)
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 1, 1)
+        assert cm.total == 5
+
+    def test_eq3_accuracy(self):
+        cm = ConfusionMatrix(tp=30, fp=4, fn=5, tn=56)
+        assert np.isclose(cm.accuracy, 86 / 95)
+
+    def test_eq4_sensitivity(self):
+        cm = ConfusionMatrix(tp=30, fp=0, fn=6, tn=0)
+        assert np.isclose(cm.sensitivity, 30 / 36)
+
+    def test_eq5_fpr_and_specificity(self):
+        cm = ConfusionMatrix(tp=0, fp=10, fn=0, tn=49)
+        assert np.isclose(cm.fpr, 10 / 59)
+        assert np.isclose(cm.specificity, 49 / 59)
+        assert np.isclose(cm.fpr + cm.specificity, 1.0)
+
+    def test_degenerate_rates(self):
+        cm = ConfusionMatrix(tp=0, fp=0, fn=0, tn=5)
+        assert cm.sensitivity == 0.0
+
+    def test_helpers_agree(self, rng):
+        labels = (rng.random(50) > 0.5).astype(int)
+        preds = (rng.random(50) > 0.5).astype(int)
+        cm = confusion_matrix(labels, preds)
+        assert accuracy(labels, preds) == cm.accuracy
+        assert sensitivity(labels, preds) == cm.sensitivity
+        assert specificity(labels, preds) == cm.specificity
+
+    def test_table9_render(self):
+        table = ConfusionMatrix(1, 2, 3, 4).as_table()
+        assert "TP=1" in table and "TN=4" in table
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0.5, 1.0]))
+
+
+class TestROC:
+    def test_perfect_classifier(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_roc(labels, scores) == 1.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = (rng.random(2000) > 0.5).astype(int)
+        scores = rng.random(2000)
+        assert abs(auc_roc(labels, scores) - 0.5) < 0.05
+
+    def test_inverted_classifier(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_roc(labels, scores) == 0.0
+
+    def test_curve_monotone_and_anchored(self, rng):
+        labels = (rng.random(60) > 0.4).astype(int)
+        scores = rng.random(60)
+        fpr, tpr, thr = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert np.all(np.diff(thr) <= 0)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.ones(4, dtype=int), np.random.rand(4))
+
+    def test_tied_scores_collapsed(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert len(fpr) == 2  # origin + single operating point
+
+    @given(st.integers(2, 30))
+    def test_auc_invariant_to_monotone_transform(self, n):
+        rng = np.random.default_rng(n)
+        labels = np.array([0, 1] * n)
+        scores = rng.random(2 * n)
+        a = auc_roc(labels, scores)
+        b = auc_roc(labels, scores * 10.0 + 3.0)
+        assert np.isclose(a, b)
+
+
+class TestOptimalThreshold:
+    def test_finds_separating_point(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.01, 0.02, 0.05, 0.07, 0.9])
+        t, acc = optimal_threshold(labels, scores)
+        assert acc == 1.0
+        assert 0.05 < t <= 0.07
+
+    def test_paper_style_low_threshold(self):
+        """A 0.061-style tiny threshold arises when positives score low
+        but still above negatives — exactly the paper's Table 9 regime."""
+        labels = np.concatenate([np.ones(36), np.zeros(59)]).astype(int)
+        scores = np.concatenate([
+            np.linspace(0.062, 0.4, 36),   # positives, low absolute scores
+            np.linspace(0.0, 0.06, 59),    # negatives below 0.061
+        ])
+        t, acc = optimal_threshold(labels, scores)
+        assert acc == 1.0
+        assert t < 0.1

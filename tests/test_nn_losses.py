@@ -1,0 +1,131 @@
+"""Tests for loss functions, including Eq. 1's composite loss."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.losses import ms_ssim, ssim
+from repro.metrics import image as metrics_image
+from repro.tensor import Tensor
+from repro.tensor.gradcheck import gradcheck
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+class TestBasicLosses:
+    def test_mse_value(self):
+        loss = nn.MSELoss()(Tensor(np.array([1.0, 2.0])), Tensor(np.array([0.0, 0.0])))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_mse_gradcheck(self, rng):
+        pred = t(rng.normal(size=(2, 3)))
+        target = Tensor(rng.normal(size=(2, 3)))
+        assert gradcheck(lambda p: nn.MSELoss()(p, target), [pred])
+
+    def test_l1_value(self):
+        loss = nn.L1Loss()(Tensor(np.array([1.0, -2.0])), Tensor(np.zeros(2)))
+        assert np.isclose(loss.item(), 1.5)
+
+    def test_bce_matches_formula(self, rng):
+        p = rng.uniform(0.05, 0.95, size=10)
+        y = (rng.random(10) > 0.5).astype(float)
+        loss = nn.BCELoss()(Tensor(p), Tensor(y)).item()
+        expect = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        assert np.isclose(loss, expect)
+
+    def test_bce_gradcheck(self, rng):
+        p = t(rng.uniform(0.2, 0.8, size=6))
+        y = Tensor((rng.random(6) > 0.5).astype(float))
+        assert gradcheck(lambda pp: nn.BCELoss()(pp, y), [p])
+
+    def test_bce_with_logits_matches_bce(self, rng):
+        z = rng.normal(size=8)
+        y = (rng.random(8) > 0.5).astype(float)
+        from repro.tensor import functional as F
+
+        a = nn.BCEWithLogitsLoss()(Tensor(z), Tensor(y)).item()
+        b = nn.BCELoss()(F.sigmoid(Tensor(z)), Tensor(y)).item()
+        assert np.isclose(a, b, atol=1e-6)
+
+    def test_bce_with_logits_stable_at_extremes(self):
+        loss = nn.BCEWithLogitsLoss()(Tensor(np.array([100.0, -100.0])),
+                                      Tensor(np.array([1.0, 0.0])))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_bce_clamps_zero_one(self):
+        loss = nn.BCELoss()(Tensor(np.array([0.0, 1.0])), Tensor(np.array([0.0, 1.0])))
+        assert np.isfinite(loss.item())
+
+
+class TestSSIM:
+    def test_identical_images(self, rng):
+        x = Tensor(rng.random((1, 1, 24, 24)))
+        assert np.isclose(ssim(x, x, window_size=7).item(), 1.0)
+
+    def test_ssim_decreases_with_noise(self, rng):
+        x = rng.random((1, 1, 32, 32))
+        mild = x + rng.normal(0, 0.05, x.shape)
+        heavy = x + rng.normal(0, 0.3, x.shape)
+        s_mild = ssim(Tensor(x), Tensor(mild), window_size=7).item()
+        s_heavy = ssim(Tensor(x), Tensor(heavy), window_size=7).item()
+        assert s_heavy < s_mild < 1.0
+
+    def test_msssim_identical(self, rng):
+        x = Tensor(rng.random((1, 1, 32, 32)))
+        assert np.isclose(ms_ssim(x, x, levels=2, window_size=7).item(), 1.0, atol=1e-8)
+
+    def test_msssim_level_limit(self, rng):
+        x = Tensor(rng.random((1, 1, 16, 16)))
+        with pytest.raises(ValueError):
+            ms_ssim(x, x, levels=5, window_size=11)
+
+    def test_msssim_matches_numpy_metric(self, rng):
+        a = rng.random((40, 40))
+        b = np.clip(a + rng.normal(0, 0.1, a.shape), 0, 1)
+        loss_val = ms_ssim(Tensor(a[None, None]), Tensor(b[None, None]),
+                           levels=2, window_size=7).item()
+        metric_val = metrics_image.ms_ssim(a, b, levels=2, window_size=7)
+        assert np.isclose(loss_val, metric_val, atol=1e-6)
+
+    def test_ssim_matches_numpy_metric(self, rng):
+        a = rng.random((24, 24))
+        b = np.clip(a + rng.normal(0, 0.2, a.shape), 0, 1)
+        assert np.isclose(
+            ssim(Tensor(a[None, None]), Tensor(b[None, None]), window_size=7).item(),
+            metrics_image.ssim(a, b, window_size=7),
+            atol=1e-6,
+        )
+
+    def test_msssim_gradcheck(self, rng):
+        a = t(rng.random((1, 1, 16, 16)))
+        b = Tensor(rng.random((1, 1, 16, 16)))
+        assert gradcheck(
+            lambda x: ms_ssim(x, b, levels=1, window_size=5), [a], eps=1e-5, atol=1e-3
+        )
+
+
+class TestCompositeLoss:
+    def test_zero_for_identical(self, rng):
+        x = Tensor(rng.random((1, 1, 32, 32)))
+        loss = nn.CompositeLoss(levels=2, window_size=7)(x, x)
+        assert loss.item() < 1e-10
+
+    def test_eq1_structure(self, rng):
+        """Composite = MSE + 0.1 (1 − MS-SSIM), exactly."""
+        pred = Tensor(rng.random((1, 1, 32, 32)))
+        target = Tensor(rng.random((1, 1, 32, 32)))
+        comp = nn.CompositeLoss(alpha=0.1, levels=2, window_size=7)(pred, target).item()
+        mse = nn.MSELoss()(pred, target).item()
+        ms = ms_ssim(pred, target, levels=2, window_size=7).item()
+        assert np.isclose(comp, mse + 0.1 * (1.0 - ms), atol=1e-10)
+
+    def test_backward_flows(self, rng):
+        pred = t(rng.random((1, 1, 32, 32)))
+        target = Tensor(rng.random((1, 1, 32, 32)))
+        loss = nn.CompositeLoss(levels=2, window_size=7)(pred, target)
+        loss.backward()
+        assert pred.grad is not None
+        assert np.abs(pred.grad).max() > 0

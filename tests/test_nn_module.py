@@ -1,0 +1,142 @@
+"""Tests for the Module/Parameter system and layer mechanics."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(3, 2)
+        names = [n for n, _ in layer.named_parameters()]
+        assert set(names) == {"weight", "bias"}
+
+    def test_child_module_discovery(self):
+        net = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        params = net.parameters()
+        assert len(params) == 4  # two weights + two biases
+
+    def test_num_parameters(self):
+        net = nn.Linear(3, 2)
+        assert net.num_parameters() == 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.BatchNorm2d(3), nn.Sequential(nn.BatchNorm2d(3)))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = nn.Linear(2, 1)
+        out = net(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(1)), nn.BatchNorm2d(2))
+        b = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(2)), nn.BatchNorm2d(2))
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_includes_buffers(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_load_state_dict_strict_mismatch(self):
+        with pytest.raises(KeyError):
+            nn.Linear(2, 2).load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = nn.Linear(2, 2)
+        bad = net.state_dict()
+        bad["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(bad)
+
+    def test_save_load_npz(self, tmp_path):
+        a = nn.Conv2d(1, 2, 3, rng=np.random.default_rng(1))
+        b = nn.Conv2d(1, 2, 3, rng=np.random.default_rng(9))
+        path = str(tmp_path / "model.npz")
+        a.save(path)
+        b.load(path)
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        # parameters of children are discovered through the list
+        parent = nn.Sequential()
+        parent.ml = ml
+        assert len(parent.parameters()) == 4
+
+
+class TestLayerBehaviour:
+    def test_linear_matches_matmul(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        ref = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out.data, ref)
+
+    def test_conv2d_gaussian_init_std(self):
+        layer = nn.Conv2d(4, 8, 5, init_std=0.01, rng=np.random.default_rng(0))
+        assert abs(layer.weight.data.std() - 0.01) < 0.002
+
+    def test_conv2d_kaiming_when_no_std(self):
+        layer = nn.Conv2d(16, 16, 3, init_std=None, rng=np.random.default_rng(0))
+        # Kaiming std = sqrt(2/fan_in) with leaky slope 0
+        expect = np.sqrt(2.0 / (16 * 9))
+        assert abs(layer.weight.data.std() - expect) / expect < 0.15
+
+    def test_batchnorm_running_stats_in_eval(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(loc=4.0, size=(8, 2, 4, 4)))
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+        bn.eval()
+        frozen = bn.running_mean.copy()
+        bn(Tensor(rng.normal(size=(8, 2, 4, 4))))
+        assert np.array_equal(bn.running_mean, frozen)
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((100, 10)))
+        out_train = drop(x)
+        assert (out_train.data == 0).any()
+        # Inverted scaling keeps the expectation.
+        assert abs(out_train.data.mean() - 1.0) < 0.2
+        drop.eval()
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_sequential_indexing(self):
+        net = nn.Sequential(nn.ReLU(), nn.Sigmoid())
+        assert isinstance(net[0], nn.ReLU)
+        assert len(net) == 2
+
+    def test_conv3d_forward_shape(self, rng):
+        layer = nn.Conv3d(2, 4, 3, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 2, 4, 4, 4))))
+        assert out.shape == (1, 4, 4, 4, 4)
+
+    def test_upsample_module(self, rng):
+        up = nn.UpsampleBilinear2d(2)
+        assert up(Tensor(rng.normal(size=(1, 1, 4, 4)))).shape == (1, 1, 8, 8)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert np.array_equal(nn.Identity()(x).data, x.data)

@@ -1,0 +1,192 @@
+"""Tests for optimizers, LR schedules, data loading, and augmentation."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.augment import Compose, GaussianNoise, IntensityScale, RandomContrast, classification_augmentation
+from repro.nn.data import DataLoader, DistributedSampler, TensorDataset
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def quadratic_param():
+    """A parameter optimized toward zero of f(x) = x²."""
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestOptimizers:
+    def _minimize(self, opt_cls, steps=200, **kw):
+        p = quadratic_param()
+        opt = opt_cls([p], **kw)
+        for _ in range(steps):
+            opt.zero_grad()
+            p.grad = 2.0 * p.data  # d/dx x²
+            opt.step()
+        return p.data
+
+    def test_sgd_converges(self):
+        assert np.abs(self._minimize(nn.SGD, lr=0.1)).max() < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert np.abs(self._minimize(nn.SGD, lr=0.05, momentum=0.9)).max() < 1e-4
+
+    def test_adam_converges(self):
+        assert np.abs(self._minimize(nn.Adam, lr=0.3)).max() < 1e-3
+
+    def test_adam_bias_correction_first_step(self):
+        # First Adam step should be ≈ lr in the gradient direction.
+        p = Parameter(np.array([1.0]))
+        opt = nn.Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.1, atol=1e-6)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_none_grads(self):
+        p = quadratic_param()
+        before = p.data.copy()
+        nn.Adam([p], lr=0.1).step()
+        assert np.array_equal(p.data, before)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([quadratic_param()], lr=-1.0)
+
+
+class TestSchedulers:
+    def test_exponential_decay_factor(self):
+        """Paper §3.1.1: lr reduced by ×0.8 each epoch."""
+        opt = nn.Adam([quadratic_param()], lr=1e-4)
+        sched = nn.ExponentialLR(opt, gamma=0.8)
+        for epoch in range(1, 4):
+            sched.step()
+            assert np.isclose(opt.lr, 1e-4 * 0.8**epoch)
+
+    def test_step_lr(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_invalid_gamma(self):
+        opt = nn.SGD([quadratic_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.ExponentialLR(opt, gamma=1.5)
+
+
+class TestData:
+    def test_tensor_dataset(self, rng):
+        x, y = rng.normal(size=(10, 3)), rng.normal(size=10)
+        ds = TensorDataset(x, y)
+        assert len(ds) == 10
+        xi, yi = ds[4]
+        assert np.array_equal(xi, x[4]) and yi == y[4]
+
+    def test_tensor_dataset_misaligned(self, rng):
+        with pytest.raises(ValueError):
+            TensorDataset(rng.normal(size=(4, 2)), rng.normal(size=5))
+
+    def test_loader_batches(self, rng):
+        ds = TensorDataset(rng.normal(size=(10, 2)), rng.normal(size=10))
+        loader = DataLoader(ds, batch_size=3)
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[0][0].shape == (3, 2)
+        assert batches[-1][0].shape == (1, 2)
+        assert len(loader) == 4
+
+    def test_loader_drop_last(self, rng):
+        ds = TensorDataset(rng.normal(size=(10, 2)))
+        loader = DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(list(loader)) == 3 == len(loader)
+
+    def test_loader_shuffle_deterministic_per_seed(self, rng):
+        ds = TensorDataset(np.arange(20).reshape(20, 1))
+        a = np.concatenate([b[0].ravel() for b in DataLoader(ds, 5, shuffle=True, seed=1)])
+        b = np.concatenate([b[0].ravel() for b in DataLoader(ds, 5, shuffle=True, seed=1)])
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, np.arange(20))
+
+    def test_shuffle_and_sampler_conflict(self, rng):
+        ds = TensorDataset(np.arange(4).reshape(4, 1))
+        sampler = DistributedSampler(ds, 2, 0)
+        with pytest.raises(ValueError):
+            DataLoader(ds, shuffle=True, sampler=sampler)
+
+
+class TestDistributedSampler:
+    def test_partition_covers_dataset(self):
+        ds = TensorDataset(np.arange(10).reshape(10, 1))
+        all_idx = []
+        for rank in range(3):
+            s = DistributedSampler(ds, 3, rank, shuffle=False)
+            all_idx.extend(list(iter(s)))
+        # Padded to 12, wrapping the first two indices.
+        assert len(all_idx) == 12
+        assert set(all_idx) == set(range(10))
+
+    def test_ranks_disjoint_before_padding(self):
+        ds = TensorDataset(np.arange(12).reshape(12, 1))
+        parts = [set(iter(DistributedSampler(ds, 3, r, shuffle=False))) for r in range(3)]
+        assert parts[0] & parts[1] == set()
+        assert parts[0] & parts[2] == set()
+
+    def test_set_epoch_changes_order(self):
+        ds = TensorDataset(np.arange(16).reshape(16, 1))
+        s = DistributedSampler(ds, 2, 0, shuffle=True, seed=3)
+        a = list(iter(s))
+        s.set_epoch(1)
+        b = list(iter(s))
+        assert a != b
+
+    def test_invalid_rank(self):
+        ds = TensorDataset(np.arange(4).reshape(4, 1))
+        with pytest.raises(ValueError):
+            DistributedSampler(ds, 2, 5)
+
+
+class TestAugmentation:
+    def test_gaussian_noise_probability(self, rng):
+        aug = GaussianNoise(prob=1.0, variance=0.1, rng=rng)
+        x = np.zeros((8, 8))
+        out = aug(x)
+        assert abs(out.std() - np.sqrt(0.1)) < 0.1
+        never = GaussianNoise(prob=0.0, rng=rng)
+        assert np.array_equal(never(x), x)
+
+    def test_contrast_preserves_mean(self, rng):
+        aug = RandomContrast(prob=1.0, rng=rng)
+        x = rng.normal(loc=3.0, size=(16, 16))
+        out = aug(x)
+        assert np.isclose(out.mean(), x.mean(), atol=1e-9)
+
+    def test_intensity_scale_bounds(self, rng):
+        aug = IntensityScale(magnitude=0.1, rng=rng)
+        x = np.ones((4, 4))
+        out = aug(x)
+        assert 0.9 <= out.mean() <= 1.1
+
+    def test_compose_order(self, rng):
+        calls = []
+        c = Compose([lambda x: calls.append("a") or x, lambda x: calls.append("b") or x])
+        c(np.zeros(2))
+        assert calls == ["a", "b"]
+
+    def test_paper_stack_constructs(self, rng):
+        aug = classification_augmentation(rng)
+        out = aug(np.zeros((4, 8, 8)))
+        assert out.shape == (4, 8, 8)

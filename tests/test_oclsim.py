@@ -1,0 +1,125 @@
+"""Tests for the OpenCL-style runtime model (buffers, queue, events)."""
+
+import numpy as np
+import pytest
+
+from repro.hetero import INTEL_XEON_6128, NVIDIA_V100, InferenceEngine
+from repro.hetero.oclsim import (
+    Buffer,
+    CommandQueue,
+    DeviceMemoryError,
+    transfer_fraction,
+)
+from repro.models import DDnet
+
+
+class TestBuffers:
+    def test_allocation_accounting(self):
+        q = CommandQueue(NVIDIA_V100)
+        a = q.alloc("a", 1_000_000)
+        b = q.alloc("b", 2_000_000)
+        assert q.allocated == 3_000_000
+        a.release()
+        assert q.allocated == 2_000_000
+        assert q.peak_allocated == 3_000_000
+
+    def test_release_idempotent(self):
+        q = CommandQueue(NVIDIA_V100)
+        a = q.alloc("a", 100)
+        a.release()
+        a.release()
+        assert q.allocated == 0
+
+    def test_capacity_enforced(self):
+        q = CommandQueue(NVIDIA_V100, memory_bytes=1000)
+        q.alloc("a", 800)
+        with pytest.raises(DeviceMemoryError):
+            q.alloc("b", 300)
+
+    def test_negative_allocation(self):
+        with pytest.raises(ValueError):
+            CommandQueue(NVIDIA_V100).alloc("x", -1)
+
+
+class TestQueue:
+    def test_in_order_timestamps(self):
+        q = CommandQueue(NVIDIA_V100)
+        e1 = q.enqueue_kernel("k1", 0.010)
+        e2 = q.enqueue_kernel("k2", 0.020)
+        assert e1.end_s <= e2.start_s
+        assert e2.queued_s == e1.end_s
+        assert q.finish() == pytest.approx(e2.end_s)
+
+    def test_event_durations_include_launch(self):
+        q = CommandQueue(NVIDIA_V100)
+        ev = q.enqueue_kernel("k", 0.001)
+        assert ev.duration_s == pytest.approx(0.001 + NVIDIA_V100.launch_overhead_us * 1e-6)
+
+    def test_transfer_time_matches_bandwidth(self):
+        q = CommandQueue(NVIDIA_V100)
+        buf = q.alloc("x", 120_000_000)
+        ev = q.enqueue_write(buf)
+        assert ev.duration_s == pytest.approx(120_000_000 / 12.0e9)
+        assert ev.kind == "transfer"
+
+    def test_profile_aggregates_by_kind(self):
+        q = CommandQueue(NVIDIA_V100)
+        buf = q.alloc("x", 1_000_000)
+        q.enqueue_write(buf)
+        q.enqueue_kernel("conv:a", 0.005)
+        q.enqueue_kernel("conv:b", 0.005)
+        prof = q.profile()
+        assert prof["kernel"] == pytest.approx(0.010 + 2e-5)
+        assert prof["transfer"] > 0.0
+        assert prof["total"] == pytest.approx(q.finish())
+
+    def test_kernel_time_by_prefix(self):
+        q = CommandQueue(NVIDIA_V100)
+        q.enqueue_kernel("convolution:stem", 0.004)
+        q.enqueue_kernel("deconvolution:head", 0.006)
+        q.enqueue_kernel("convolution:db1", 0.001)
+        by = q.kernel_time_by_prefix()
+        assert by["convolution"] > by["deconvolution"] - 0.002
+        assert set(by) == {"convolution", "deconvolution"}
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CommandQueue(NVIDIA_V100).enqueue_kernel("k", -1.0)
+
+
+class TestEngineQueueIntegration:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                     dense_kernel=3, deconv_kernel=3,
+                     rng=np.random.default_rng(0)).eval()
+
+    def test_queue_run_matches_plain_run(self, net, rng):
+        x = rng.random((1, 1, 16, 16))
+        eng = InferenceEngine(net, INTEL_XEON_6128)
+        plain, _ = eng.run(x)
+        queued, trace, queue = eng.run_with_queue(x)
+        assert np.allclose(plain, queued)
+        # One event per kernel launch plus the two transfers.
+        kernel_events = [e for e in queue.events if e.kind == "kernel"]
+        assert len(kernel_events) == len(trace.launches)
+
+    def test_queue_total_close_to_trace_time(self, net, rng):
+        x = rng.random((1, 1, 16, 16))
+        eng = InferenceEngine(net, INTEL_XEON_6128)
+        _, trace, queue = eng.run_with_queue(x)
+        prof = queue.profile()
+        assert prof["kernel"] == pytest.approx(trace.modelled_time_s, rel=1e-9)
+
+    def test_transfers_negligible_vs_kernels(self, net, rng):
+        """§4.2: device-resident buffers keep transfer overhead small."""
+        x = rng.random((2, 1, 32, 32))
+        eng = InferenceEngine(net, INTEL_XEON_6128)
+        _, _, queue = eng.run_with_queue(x)
+        assert transfer_fraction(queue) < 0.05
+
+    def test_memory_guard_applies(self, net, rng):
+        x = rng.random((1, 1, 16, 16))
+        eng = InferenceEngine(net, NVIDIA_V100)
+        with pytest.raises(DeviceMemoryError):
+            eng.run_with_queue(x, memory_bytes=100)

@@ -1,0 +1,105 @@
+"""Tests for the §7 "other maladies" extension (pneumonia, nodules)."""
+
+import numpy as np
+import pytest
+
+from repro.data import chest_slice
+from repro.data.lesions import (
+    COVID_LESION_TYPES,
+    LESION_TYPES,
+    diffuse_pneumonia,
+    nodule,
+)
+from repro.data.phantom import ChestPhantomConfig
+from repro.data.phantom3d import DISEASE_LESIONS, chest_volume
+from scipy.ndimage import distance_transform_edt, label
+
+
+@pytest.fixture
+def lung_slice(rng):
+    return chest_slice(ChestPhantomConfig(size=64), rng, return_masks=True)
+
+
+class TestNewLesions:
+    def test_covid_menu_excludes_other_maladies(self):
+        assert "diffuse_pneumonia" not in COVID_LESION_TYPES
+        assert "nodule" not in COVID_LESION_TYPES
+        assert set(COVID_LESION_TYPES) | {"diffuse_pneumonia", "nodule"} == set(LESION_TYPES)
+
+    def test_pneumonia_is_multifocal(self, lung_slice, rng):
+        img, masks = lung_slice
+        out = diffuse_pneumonia(img, masks["lungs"], rng=rng, num_foci=8)
+        # Nearby foci merge at low thresholds; core regions stay distinct.
+        _, count = label((out - img) > 80.0)
+        assert count >= 3  # many scattered foci, not one blob
+
+    def test_pneumonia_bilateral_tendency(self, rng):
+        """With many foci, both lungs are usually affected."""
+        img, masks = chest_slice(ChestPhantomConfig(size=64),
+                                 np.random.default_rng(2), return_masks=True)
+        out = diffuse_pneumonia(img, masks["lungs"], rng=np.random.default_rng(3),
+                                num_foci=12)
+        changed = (out - img) > 20.0
+        assert (changed & masks["left_lung"]).any()
+        assert (changed & masks["right_lung"]).any()
+
+    def test_nodule_is_dense_and_compact(self, lung_slice, rng):
+        img, masks = lung_slice
+        out = nodule(img, masks["lungs"], rng=rng)
+        changed = (out - img) > 100.0
+        assert 0 < changed.sum() < 0.02 * img.size       # small
+        assert out[changed].mean() > -150.0              # near soft tissue
+
+    def test_lesions_confined_to_lungs(self, lung_slice, rng):
+        img, masks = lung_slice
+        for fn in (diffuse_pneumonia, nodule):
+            out = fn(img, masks["lungs"], rng=rng)
+            assert np.abs((out - img)[~masks["lungs"]]).max() < 1e-9
+
+    def test_empty_mask_raises(self, rng):
+        with pytest.raises(ValueError):
+            diffuse_pneumonia(np.zeros((16, 16)), np.zeros((16, 16), dtype=bool), rng=rng)
+
+
+class TestDiseaseVolumes:
+    def test_disease_menu_mapping(self):
+        assert DISEASE_LESIONS["covid"] == list(COVID_LESION_TYPES)
+        assert DISEASE_LESIONS["pneumonia"] == ["diffuse_pneumonia"]
+        assert DISEASE_LESIONS["nodule"] == ["nodule"]
+
+    @pytest.mark.parametrize("disease", ["covid", "pneumonia", "nodule"])
+    def test_each_disease_produces_lesions(self, disease):
+        vol, mask = chest_volume(32, 8, disease=disease,
+                                 rng=np.random.default_rng(5), return_lesion_mask=True)
+        assert mask.any()
+
+    def test_unknown_disease(self):
+        with pytest.raises(KeyError):
+            chest_volume(32, 8, disease="influenza")
+
+    def test_disease_overrides_covid_flag(self):
+        """disease='pneumonia' must use the pneumonia menu regardless of covid."""
+        _, m_pneu = chest_volume(32, 8, disease="pneumonia", covid=False,
+                                 rng=np.random.default_rng(9), return_lesion_mask=True)
+        assert m_pneu.any()
+
+    def test_covid_flag_alone_unchanged(self):
+        """Backwards compatibility: covid=True still uses the Fig. 1 menu."""
+        v1, m1 = chest_volume(32, 8, covid=True, rng=np.random.default_rng(4),
+                              return_lesion_mask=True)
+        v2, m2 = chest_volume(32, 8, disease="covid", rng=np.random.default_rng(4),
+                              return_lesion_mask=True)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(m1, m2)
+
+    def test_pneumonia_more_diffuse_than_nodule(self):
+        """Pneumonia spreads across far more voxels than a nodule."""
+        tot_p = tot_n = 0
+        for seed in range(3):
+            _, mp = chest_volume(32, 8, disease="pneumonia",
+                                 rng=np.random.default_rng(seed), return_lesion_mask=True)
+            _, mn = chest_volume(32, 8, disease="nodule",
+                                 rng=np.random.default_rng(seed), return_lesion_mask=True)
+            tot_p += mp.sum()
+            tot_n += mn.sum()
+        assert tot_p > tot_n

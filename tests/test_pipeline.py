@@ -1,0 +1,237 @@
+"""Tests for the three AI tools and the assembled framework."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data import ChestPhantomConfig, chest_volume, make_enhancement_pairs
+from repro.data.datasets import ClassificationDataset, EnhancementDataset
+from repro.models import DDnet, DenseNet3D
+from repro.pipeline import (
+    ClassificationAI,
+    ComputeCovid19Plus,
+    EnhancementAI,
+    SegmentationAI,
+    Trainer,
+    threshold_lung_mask,
+)
+from repro.tensor import Tensor
+
+
+def tiny_ddnet(seed=0):
+    return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                 dense_kernel=3, deconv_kernel=3, init_std=None,
+                 rng=np.random.default_rng(seed))
+
+
+def tiny_densenet(seed=0):
+    return DenseNet3D(block_layers=(1, 1, 1, 1), growth=4, init_features=4,
+                      rng=np.random.default_rng(seed))
+
+
+class TestTrainer:
+    def test_records_history(self, rng):
+        model = nn.Sequential(nn.Linear(4, 1))
+        ds = nn.TensorDataset(rng.normal(size=(8, 4)), rng.normal(size=(8, 1)))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        trainer = Trainer(model, opt, nn.MSELoss())
+        hist = trainer.fit(nn.DataLoader(ds, batch_size=4), epochs=3)
+        assert hist.epochs == 3
+        assert len(hist.lr) == 3
+
+    def test_validation_loss_tracked(self, rng):
+        model = nn.Sequential(nn.Linear(4, 1))
+        ds = nn.TensorDataset(rng.normal(size=(8, 4)), rng.normal(size=(8, 1)))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        hist = Trainer(model, opt, nn.MSELoss()).fit(
+            nn.DataLoader(ds, batch_size=4), epochs=2, val_loader=nn.DataLoader(ds, batch_size=4)
+        )
+        assert len(hist.val_loss) == 2
+
+    def test_scheduler_steps_each_epoch(self, rng):
+        model = nn.Sequential(nn.Linear(2, 1))
+        ds = nn.TensorDataset(rng.normal(size=(4, 2)), rng.normal(size=(4, 1)))
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        sched = nn.ExponentialLR(opt, gamma=0.8)
+        Trainer(model, opt, nn.MSELoss(), sched).fit(nn.DataLoader(ds, batch_size=2), epochs=3)
+        assert np.isclose(opt.lr, 1e-3 * 0.8**3)
+
+    def test_zero_epochs_rejected(self, rng):
+        model = nn.Sequential(nn.Linear(2, 1))
+        ds = nn.TensorDataset(rng.normal(size=(2, 2)), rng.normal(size=(2, 1)))
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        with pytest.raises(ValueError):
+            Trainer(model, opt, nn.MSELoss()).fit(nn.DataLoader(ds), epochs=0)
+
+    def test_linear_regression_converges(self, rng):
+        model = nn.Sequential(nn.Linear(3, 1))
+        w_true = np.array([[1.0], [-2.0], [0.5]])
+        x = rng.normal(size=(32, 3))
+        y = x @ w_true
+        ds = nn.TensorDataset(x, y)
+        opt = nn.Adam(model.parameters(), lr=5e-2)
+        hist = Trainer(model, opt, nn.MSELoss()).fit(nn.DataLoader(ds, batch_size=8), epochs=30)
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.05
+
+
+class TestEnhancementAI:
+    def test_training_reduces_composite_loss(self, rng):
+        lows, fulls = make_enhancement_pairs(6, size=16, physics=False,
+                                             blank_scan=300.0, rng=rng)
+        ds = EnhancementDataset(lows, fulls)
+        ai = EnhancementAI(model=tiny_ddnet(), lr=3e-3, msssim_levels=1, msssim_window=5)
+        hist = ai.train(ds, epochs=6, batch_size=2)
+        assert hist.improved()
+
+    def test_enhance_slice_shape_and_range(self, rng):
+        ai = EnhancementAI(model=tiny_ddnet(), msssim_levels=1, msssim_window=5)
+        out = ai.enhance_slice(rng.random((16, 16)))
+        assert out.shape == (16, 16)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_enhance_volume_chunked(self, rng):
+        ai = EnhancementAI(model=tiny_ddnet(), msssim_levels=1, msssim_window=5)
+        vol = rng.random((5, 16, 16))
+        out = ai.enhance_volume(vol, chunk=2)
+        assert out.shape == vol.shape
+
+    def test_shape_validation(self, rng):
+        ai = EnhancementAI(model=tiny_ddnet())
+        with pytest.raises(ValueError):
+            ai.enhance_slice(rng.random((4, 16, 16)))
+        with pytest.raises(ValueError):
+            ai.enhance_volume(rng.random((16, 16)))
+
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        ai = EnhancementAI(model=tiny_ddnet(1))
+        path = str(tmp_path / "ddnet.npz")
+        ai.save(path)
+        ai2 = EnhancementAI(model=tiny_ddnet(2))
+        ai2.load(path)
+        x = rng.random((16, 16))
+        assert np.allclose(ai.enhance_slice(x), ai2.enhance_slice(x))
+
+
+class TestSegmentationAI:
+    def test_threshold_mask_finds_lungs(self, rng):
+        vol = chest_volume(48, 8, rng=rng)
+        mask = threshold_lung_mask(vol)
+        assert 0.03 < mask.mean() < 0.5
+        # Everything the mask keeps must be lung-dark or a filled lesion.
+        assert (vol[mask] < 200).all()
+
+    def test_mask_excludes_exterior_air(self, rng):
+        vol = chest_volume(48, 8, rng=rng)
+        mask = threshold_lung_mask(vol)
+        assert not mask[:, 0, :].any()      # image border is outside air
+        assert not mask[:, :, 0].any()
+
+    def test_lesions_survive_masking(self):
+        vol, lesions = chest_volume(48, 8, covid=True, num_lesions=2,
+                                    rng=np.random.default_rng(3), return_lesion_mask=True)
+        seg = SegmentationAI()
+        segmented, mask = seg.apply(vol)
+        # Most lesion voxels stay in the lung field after hole filling.
+        kept = (lesions & mask).sum() / lesions.sum()
+        assert kept > 0.5
+
+    def test_apply_background_is_air(self, rng):
+        vol = chest_volume(32, 8, rng=rng)
+        segmented, mask = SegmentationAI().apply(vol)
+        assert np.all(segmented[~mask] == -1000.0)
+        assert np.array_equal(segmented[mask], vol[mask])
+
+    def test_ahnet_backend_requires_model(self):
+        with pytest.raises(ValueError):
+            SegmentationAI(backend="ahnet")
+        with pytest.raises(ValueError):
+            SegmentationAI(backend="unet")
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            threshold_lung_mask(rng.normal(size=(8, 8)))
+
+
+class TestClassificationAI:
+    def test_training_separates_classes(self):
+        ds = ClassificationDataset.generate(4, 4, size=16, num_slices=16,
+                                            rng=np.random.default_rng(0))
+        ai = ClassificationAI(model=tiny_densenet(), lr=3e-3)
+        hist = ai.train(ds, epochs=8, batch_size=4)
+        assert hist.improved()
+
+    def test_predict_proba_range(self, rng):
+        ai = ClassificationAI(model=tiny_densenet())
+        vol = chest_volume(16, 16, rng=rng)
+        p = ai.predict_proba(vol)
+        assert 0.0 < p < 1.0
+
+    def test_predict_threshold(self, rng):
+        ai = ClassificationAI(model=tiny_densenet())
+        vol = chest_volume(16, 16, rng=rng)
+        p = ai.predict_proba(vol)
+        assert ai.predict(vol, threshold=p - 0.01) == 1
+        assert ai.predict(vol, threshold=p + 0.01) == 0
+
+    def test_shape_validation(self, rng):
+        ai = ClassificationAI(model=tiny_densenet())
+        with pytest.raises(ValueError):
+            ai.predict_proba(rng.normal(size=(16, 16)))
+
+
+class TestFramework:
+    @pytest.fixture(scope="class")
+    def framework(self):
+        return ComputeCovid19Plus(
+            enhancement=EnhancementAI(model=tiny_ddnet(), msssim_levels=1, msssim_window=5),
+            classification=ClassificationAI(model=tiny_densenet()),
+            use_enhancement=True,
+        )
+
+    def test_diagnose_returns_result(self, framework, rng):
+        vol = chest_volume(16, 16, covid=True, rng=rng)
+        res = framework.diagnose(vol)
+        assert 0.0 <= res.probability <= 1.0
+        assert res.prediction in (0, 1)
+        assert res.enhanced
+        assert res.lung_mask.shape == vol.shape
+        assert "COVID-19" in res.label
+
+    def test_enhancement_stage_toggles(self, rng):
+        vol = chest_volume(16, 16, rng=np.random.default_rng(1))
+        with_enh = ComputeCovid19Plus(
+            enhancement=EnhancementAI(model=tiny_ddnet(5), msssim_levels=1, msssim_window=5),
+            classification=ClassificationAI(model=tiny_densenet()),
+            use_enhancement=True,
+        )
+        without = ComputeCovid19Plus(
+            classification=with_enh.classification, use_enhancement=False,
+        )
+        r1, r2 = with_enh.diagnose(vol), without.diagnose(vol)
+        assert r1.enhanced and not r2.enhanced
+
+    def test_score_batch(self, framework, rng):
+        vols = [chest_volume(16, 16, covid=bool(i % 2), rng=np.random.default_rng(i))
+                for i in range(3)]
+        scores = framework.score_batch(vols)
+        assert scores.shape == (3,)
+
+    def test_calibrate_threshold(self, framework):
+        vols = [chest_volume(16, 16, covid=bool(i % 2), rng=np.random.default_rng(10 + i))
+                for i in range(4)]
+        labels = [i % 2 for i in range(4)]
+        t = framework.calibrate_threshold(vols, labels)
+        assert 0.0 <= t <= 1.0
+        assert framework.threshold == t
+
+    def test_shape_validation(self, framework, rng):
+        with pytest.raises(ValueError):
+            framework.diagnose(rng.normal(size=(16, 16)))
+
+    def test_hu_roundtrip_through_enhancement(self, framework, rng):
+        vol = chest_volume(16, 16, rng=rng)
+        out = framework.enhance_volume_hu(vol)
+        assert out.shape == vol.shape
+        # Output stays within the display window used for normalization.
+        assert out.min() >= -1400.0 - 1e-6
+        assert out.max() <= 200.0 + 1e-6

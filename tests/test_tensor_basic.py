@@ -1,0 +1,279 @@
+"""Unit + property tests for the autograd engine's basic ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor.gradcheck import gradcheck
+
+
+def t(arr, rg=True):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=rg)
+
+
+class TestArithmetic:
+    def test_add_backward(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_add_broadcast_backward(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(4,)))
+        assert gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_mul_backward(self, rng):
+        a, b = t(rng.normal(size=(2, 3))), t(rng.normal(size=(2, 3)))
+        assert gradcheck(lambda x, y: x * y, [a, b])
+
+    def test_div_backward(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.uniform(0.5, 2.0, size=(2, 3)))
+        assert gradcheck(lambda x, y: x / y, [a, b])
+
+    def test_scalar_mixing(self):
+        a = t([1.0, 2.0])
+        out = 2.0 * a + 1.0 - a / 2.0
+        assert np.allclose(out.data, [2.5, 4.0])
+        out.backward(np.ones(2))
+        assert np.allclose(a.grad, [1.5, 1.5])
+
+    def test_pow_backward(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(3,)))
+        assert gradcheck(lambda x: x**3, [a])
+
+    def test_neg_sub(self, rng):
+        a, b = t(rng.normal(size=(3,))), t(rng.normal(size=(3,)))
+        assert gradcheck(lambda x, y: -x - y, [a, b])
+
+    def test_rsub(self):
+        a = t([1.0, 2.0])
+        out = 5.0 - a
+        out.backward(np.ones(2))
+        assert np.allclose(out.data, [4.0, 3.0])
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_exp_log_sqrt_abs(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4,)))
+        assert gradcheck(lambda x: x.exp(), [a])
+        assert gradcheck(lambda x: x.log(), [a])
+        assert gradcheck(lambda x: x.sqrt(), [a])
+        b = t(rng.normal(size=(4,)) + 0.1)
+        assert gradcheck(lambda x: x.abs(), [b])
+
+    def test_clip_gradient_masked(self):
+        a = t([-2.0, 0.5, 3.0])
+        out = a.clip(0.0, 1.0)
+        out.backward(np.ones(3))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_batched(self, rng):
+        a, b = t(rng.normal(size=(2, 3, 4))), t(rng.normal(size=(2, 4, 5)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_vec_mat(self, rng):
+        a, b = t(rng.normal(size=(4,))), t(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_mat_vec(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(4,)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_dot(self, rng):
+        a, b = t(rng.normal(size=(4,))), t(rng.normal(size=(4,)))
+        assert gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False), (1, True), ((0, 1), False)])
+    def test_sum(self, rng, axis, keepdims):
+        a = t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x: x.sum(axis=axis, keepdims=keepdims), [a])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean(self, rng, axis):
+        a = t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x: x.mean(axis=axis), [a])
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = t([[1.0, 5.0, 2.0]])
+        out = a.max()
+        out.backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split(self):
+        a = t([3.0, 3.0, 1.0])
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_min(self, rng):
+        a = t(rng.normal(size=(5,)))
+        out = a.min()
+        assert out.item() == a.data.min()
+
+
+class TestShape:
+    def test_reshape(self, rng):
+        a = t(rng.normal(size=(2, 6)))
+        assert gradcheck(lambda x: x.reshape(3, 4), [a])
+
+    def test_transpose(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert gradcheck(lambda x: x.transpose(2, 0, 1), [a])
+
+    def test_default_transpose_reverses(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem(self, rng):
+        a = t(rng.normal(size=(4, 4)))
+        assert gradcheck(lambda x: x[1:3, ::2], [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        out = a[np.array([0, 0, 2])]
+        out.backward(np.ones(3))
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_concat(self, rng):
+        a, b = t(rng.normal(size=(2, 3))), t(rng.normal(size=(2, 2)))
+        assert gradcheck(lambda x, y: F.concat([x, y], axis=1), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t(rng.normal(size=(2, 3))), t(rng.normal(size=(2, 3)))
+        assert gradcheck(lambda x, y: F.stack([x, y], axis=0), [a, b])
+
+    def test_pad(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        assert gradcheck(lambda x: F.pad(x, [(1, 1), (0, 2)]), [a])
+
+    def test_where(self, rng):
+        cond = np.array([True, False, True])
+        a, b = t(rng.normal(size=(3,))), t(rng.normal(size=(3,)))
+        assert gradcheck(lambda x, y: F.where(cond, x, y), [a, b])
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "fn",
+        [F.relu, lambda x: F.leaky_relu(x, 0.1), F.sigmoid, F.tanh,
+         lambda x: F.softmax(x, axis=-1), lambda x: F.log_softmax(x, axis=-1)],
+        ids=["relu", "leaky_relu", "sigmoid", "tanh", "softmax", "log_softmax"],
+    )
+    def test_gradcheck(self, rng, fn):
+        a = t(rng.normal(size=(3, 4)) + 0.05)  # nudge off the ReLU kink
+        assert gradcheck(fn, [a])
+
+    def test_leaky_relu_values(self):
+        a = t([-1.0, 2.0])
+        out = F.leaky_relu(a, 0.01)
+        assert np.allclose(out.data, [-0.01, 2.0])
+
+    def test_sigmoid_extreme_stability(self):
+        a = t([-1000.0, 0.0, 1000.0])
+        out = F.sigmoid(a)
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_softmax_sums_to_one(self, rng):
+        a = t(rng.normal(size=(4, 6)))
+        out = F.softmax(a, axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+
+class TestEngine:
+    def test_no_grad_blocks_graph(self, rng):
+        a = t(rng.normal(size=(3,)))
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.backward(np.ones(3))
+
+    def test_grad_accumulates_across_backwards(self):
+        a = t([2.0])
+        (a * 3.0).backward()
+        (a * 3.0).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_zero_grad(self):
+        a = t([2.0])
+        (a * 3.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x through the shared node.
+        a = t([3.0])
+        b = a * a
+        (b + b).backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t([1.0])
+        out = a
+        for _ in range(3000):
+            out = out * 1.0
+        out.backward()
+        assert np.allclose(a.grad, [1.0])
+
+    def test_non_scalar_backward_requires_grad_arg(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_detach_cuts_graph(self):
+        a = t([2.0])
+        b = (a * 3.0).detach()
+        assert not b.requires_grad
+
+    def test_float32_preserved_with_explicit_dtype(self):
+        a = Tensor(np.ones(3, dtype=np.float32), dtype=np.float32)
+        assert a.dtype == np.float32
+
+
+class TestProperties:
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=3, max_side=5),
+                      elements=st.floats(-10, 10)))
+    def test_add_commutative(self, arr):
+        a, b = Tensor(arr), Tensor(arr[::-1].copy().reshape(arr.shape))
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2, max_side=5),
+                      elements=st.floats(-10, 10)))
+    def test_double_transpose_identity(self, arr):
+        a = Tensor(arr)
+        assert np.array_equal(a.T.T.data, arr)
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 6)),
+                      elements=st.floats(-100, 100)))
+    def test_sum_matches_numpy(self, arr):
+        assert np.allclose(Tensor(arr).sum().item(), arr.sum())
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 6)),
+                      elements=st.floats(-50, 50)))
+    def test_relu_idempotent(self, arr):
+        a = Tensor(arr)
+        once = F.relu(a)
+        twice = F.relu(once)
+        assert np.array_equal(once.data, twice.data)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    def test_matmul_shape(self, m, k, n):
+        a = Tensor(np.ones((m, k)))
+        b = Tensor(np.ones((k, n)))
+        out = a @ b
+        assert out.shape == (m, n)
+        assert np.allclose(out.data, k)

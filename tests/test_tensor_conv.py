@@ -1,0 +1,176 @@
+"""Gradient and reference checks for convolution / transposed convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.gradcheck import gradcheck
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+def conv2d_reference(x, w, b, stride, padding):
+    """Literal quadruple-loop convolution used as ground truth."""
+    n, c, h, wd = x.shape
+    f, _, kh, kw = w.shape
+    xp = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (wd + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, f, ho, wo))
+    for ni in range(n):
+        for fi in range(f):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, fi, i, j] = (patch * w[fi]).sum() + (b[fi] if b is not None else 0.0)
+    return out
+
+
+def deconv2d_reference(x, w, stride, padding):
+    """Literal scatter deconvolution (the paper's Fig. 9a formulation)."""
+    n, c, h, wd = x.shape
+    _, f, kh, kw = w.shape
+    ho = (h - 1) * stride + kh
+    wo = (wd - 1) * stride + kw
+    out = np.zeros((n, f, ho, wo))
+    for ni in range(n):
+        for ci in range(c):
+            for i in range(h):
+                for j in range(wd):
+                    out[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw] += (
+                        x[ni, ci, i, j] * w[ci]
+                    )
+    if padding:
+        out = out[:, :, padding:-padding, padding:-padding]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = conv2d_reference(x, w, b, stride, padding)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 5, 5)))
+        w = t(rng.normal(size=(3, 2, 3, 3)) * 0.3)
+        b = t(rng.normal(size=3))
+        assert gradcheck(lambda a, ww, bb: F.conv2d(a, ww, bb, stride=1, padding=1), [x, w, b])
+
+    def test_gradcheck_strided(self, rng):
+        x = t(rng.normal(size=(1, 2, 6, 6)))
+        w = t(rng.normal(size=(2, 2, 3, 3)) * 0.3)
+        assert gradcheck(lambda a, ww: F.conv2d(a, ww, stride=2, padding=1), [x, w])
+
+    def test_1x1_conv_is_channel_mix(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        ref = np.einsum("nchw,fc->nfhw", x, w[:, :, 0, 0])
+        assert np.allclose(out, ref)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.ones((1, 3, 4, 4))), Tensor(np.ones((2, 4, 3, 3))))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.ones((3, 4, 4))), Tensor(np.ones((2, 3, 3, 3))))
+
+    @given(st.integers(1, 2), st.integers(0, 2))
+    def test_output_shape_formula(self, stride, padding):
+        x = Tensor(np.zeros((1, 1, 9, 9)))
+        w = Tensor(np.zeros((1, 1, 3, 3)))
+        out = F.conv2d(x, w, stride=stride, padding=padding)
+        expect = (9 + 2 * padding - 3) // stride + 1
+        assert out.shape == (1, 1, expect, expect)
+
+
+class TestConvTranspose2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 2), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 5, 5))
+        w = rng.normal(size=(3, 4, 3, 3))
+        out = F.conv_transpose2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        ref = deconv2d_reference(x, w, stride, padding)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 4, 4)))
+        w = t(rng.normal(size=(2, 3, 3, 3)) * 0.3)
+        b = t(rng.normal(size=3))
+        assert gradcheck(
+            lambda a, ww, bb: F.conv_transpose2d(a, ww, bb, stride=1, padding=1), [x, w, b]
+        )
+
+    def test_gradcheck_strided(self, rng):
+        x = t(rng.normal(size=(1, 2, 3, 3)))
+        w = t(rng.normal(size=(2, 2, 3, 3)) * 0.3)
+        assert gradcheck(lambda a, ww: F.conv_transpose2d(a, ww, stride=2, padding=1), [x, w])
+
+    def test_gradcheck_output_padding(self, rng):
+        x = t(rng.normal(size=(1, 1, 3, 3)))
+        w = t(rng.normal(size=(1, 2, 3, 3)) * 0.3)
+        assert gradcheck(
+            lambda a, ww: F.conv_transpose2d(a, ww, stride=2, padding=1, output_padding=1),
+            [x, w],
+        )
+
+    def test_adjointness_with_conv(self, rng):
+        """<conv(x), y> == <x, conv_transpose(y)> — the defining property."""
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        y = rng.normal(size=(1, 4, 6, 6))
+        cx = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        # conv weight (F, C, k) reinterpreted as transpose weight (F->C).
+        cty = F.conv_transpose2d(Tensor(y), Tensor(w), padding=1).data
+        assert np.allclose((cx * y).sum(), (x * cty).sum(), rtol=1e-9)
+
+    def test_upsampling_shape(self):
+        x = Tensor(np.zeros((1, 1, 8, 8)))
+        w = Tensor(np.zeros((1, 1, 4, 4)))
+        out = F.conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 1, 16, 16)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_transpose2d(Tensor(np.ones((1, 3, 4, 4))), Tensor(np.ones((2, 4, 3, 3))))
+
+
+class TestConv3d:
+    def test_matches_separable_construction(self, rng):
+        # A 3D conv with a kernel that is an outer product of 1D kernels
+        # equals sequential correlation along each axis.
+        x = rng.normal(size=(1, 1, 6, 6, 6))
+        k1 = rng.normal(size=3)
+        kernel = np.einsum("i,j,k->ijk", k1, k1, k1)[None, None]
+        out = F.conv3d(Tensor(x), Tensor(kernel), padding=1).data
+        from scipy.ndimage import correlate1d
+
+        ref = x[0, 0]
+        for axis in range(3):
+            ref = correlate1d(ref, k1, axis=axis, mode="constant")
+        assert np.allclose(out[0, 0], ref, atol=1e-9)
+
+    def test_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 1, 4, 4, 4)))
+        w = t(rng.normal(size=(2, 1, 3, 3, 3)) * 0.3)
+        assert gradcheck(lambda a, ww: F.conv3d(a, ww, padding=1), [x, w])
+
+    def test_transpose3d_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 3, 3, 3)))
+        w = t(rng.normal(size=(2, 1, 2, 2, 2)) * 0.3)
+        assert gradcheck(lambda a, ww: F.conv_transpose3d(a, ww, stride=2), [x, w])
+
+    def test_3d_output_shape(self):
+        x = Tensor(np.zeros((2, 3, 8, 8, 8)))
+        w = Tensor(np.zeros((5, 3, 3, 3, 3)))
+        assert F.conv3d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4, 4)

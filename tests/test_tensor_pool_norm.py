@@ -1,0 +1,172 @@
+"""Tests for pooling, up-sampling, and batch normalization ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.gradcheck import gradcheck
+from repro.tensor.ops_pool import _bilinear_matrix
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+class TestMaxPool:
+    def test_values_2x2(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = F.max_pool_nd(x, 2, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_ddnet_pool_halves_512_style(self):
+        # Paper Table 2: 3x3 stride-2 pooling takes 512->256; check the
+        # same arithmetic at reduced size 16->8.
+        x = Tensor(np.zeros((1, 1, 16, 16)))
+        assert F.max_pool_nd(x, 3, 2, 1).shape == (1, 1, 8, 8)
+
+    def test_gradcheck(self, rng):
+        # Distinct values avoid ties that break finite differencing.
+        vals = rng.permutation(36).astype(float).reshape(1, 1, 6, 6)
+        x = t(vals)
+        assert gradcheck(lambda a: F.max_pool_nd(a, 2, 2), [x], eps=1e-3)
+
+    def test_gradcheck_padded(self, rng):
+        vals = rng.permutation(25).astype(float).reshape(1, 1, 5, 5)
+        x = t(vals)
+        assert gradcheck(lambda a: F.max_pool_nd(a, 3, 2, 1), [x], eps=1e-3)
+
+    def test_gradient_routes_to_max_only(self):
+        x = t([[[[1.0, 9.0], [2.0, 3.0]]]])
+        F.max_pool_nd(x, 2, 2).sum().backward()
+        assert np.allclose(x.grad[0, 0], [[0, 1], [0, 0]])
+
+    def test_3d_pooling(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4, 4)))
+        out = F.max_pool_nd(x, 2, 2)
+        assert out.shape == (1, 2, 2, 2, 2)
+        ref = x.data.reshape(1, 2, 2, 2, 2, 2, 2, 2).max(axis=(3, 5, 7))
+        assert np.allclose(out.data, ref)
+
+    def test_padding_never_wins(self):
+        x = t(-np.ones((1, 1, 4, 4)))
+        out = F.max_pool_nd(x, 3, 2, 1)
+        assert np.all(out.data == -1.0)
+
+
+class TestAvgPool:
+    def test_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = F.avg_pool_nd(x, 2, 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 4, 4)))
+        assert gradcheck(lambda a: F.avg_pool_nd(a, 2, 2), [x])
+
+    def test_gradcheck_padded_strided(self, rng):
+        x = t(rng.normal(size=(1, 1, 5, 5)))
+        assert gradcheck(lambda a: F.avg_pool_nd(a, 3, 2, 1), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 5)))
+        out = F.global_avg_pool(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x.data.mean(axis=(2, 3)))
+
+
+class TestUpsample:
+    def test_bilinear_matrix_rows_sum_to_one(self):
+        m = _bilinear_matrix(7, 2)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_constant_preserved(self):
+        x = Tensor(np.full((1, 1, 4, 4), 3.5))
+        out = F.upsample_bilinear(x, 2)
+        assert out.shape == (1, 1, 8, 8)
+        assert np.allclose(out.data, 3.5)
+
+    def test_mean_preserved_approximately(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)))
+        out = F.upsample_bilinear(x, 2)
+        # Interior bilinear interpolation preserves the mean closely.
+        assert abs(out.data.mean() - x.data.mean()) < 0.1
+
+    def test_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 3, 3)))
+        assert gradcheck(lambda a: F.upsample_bilinear(a, 2), [x])
+
+    def test_trilinear_3d(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3, 3)))
+        out = F.upsample_bilinear(x, 2)
+        assert out.shape == (1, 1, 6, 6, 6)
+
+    def test_nearest_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = F.upsample_nearest(x, 2)
+        assert np.allclose(out.data[0, 0, :2, :2], 1.0)
+        assert np.allclose(out.data[0, 0, 2:, 2:], 4.0)
+
+    def test_nearest_gradcheck(self, rng):
+        x = t(rng.normal(size=(1, 2, 3, 3)))
+        assert gradcheck(lambda a: F.upsample_nearest(a, 2), [x])
+
+    @given(st.integers(2, 8), st.sampled_from([2, 4]))
+    def test_upsample_shape(self, n, scale):
+        x = Tensor(np.zeros((1, 1, n, n)))
+        out = F.upsample_bilinear(x, scale)
+        assert out.shape == (1, 1, n * scale, n * scale)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(8, 4, 6, 6)))
+        g, b = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        out = F.batch_norm(x, g, b, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-8)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_affine_applied(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 5, 5)))
+        g, b = Tensor(np.array([2.0, 3.0])), Tensor(np.array([-1.0, 1.0]))
+        out = F.batch_norm(x, g, b, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), [-1.0, 1.0], atol=1e-8)
+
+    def test_gradcheck_training(self, rng):
+        x = t(rng.normal(size=(3, 2, 3, 3)))
+        g = t(rng.uniform(0.5, 1.5, size=2))
+        b = t(rng.normal(size=2))
+        assert gradcheck(
+            lambda a, gg, bb: F.batch_norm(a, gg, bb, training=True), [x, g, b], atol=1e-3
+        )
+
+    def test_gradcheck_eval(self, rng):
+        x = t(rng.normal(size=(2, 2, 3, 3)))
+        g = t(rng.uniform(0.5, 1.5, size=2))
+        b = t(rng.normal(size=2))
+        rm, rv = rng.normal(size=2), rng.uniform(0.5, 2.0, size=2)
+        assert gradcheck(
+            lambda a, gg, bb: F.batch_norm(a, gg, bb, rm, rv, training=False), [x, g, b]
+        )
+
+    def test_running_stats_update(self, rng):
+        x = Tensor(rng.normal(loc=2.0, size=(16, 3, 4, 4)))
+        g, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        rm, rv = np.zeros(3), np.ones(3)
+        F.batch_norm(x, g, b, rm, rv, training=True, momentum=1.0)
+        assert np.allclose(rm, x.data.mean(axis=(0, 2, 3)))
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        g, b = Tensor(np.ones(1)), Tensor(np.zeros(1))
+        rm, rv = np.array([10.0]), np.array([4.0])
+        out = F.batch_norm(x, g, b, rm, rv, training=False)
+        assert np.allclose(out.data, (x.data - 10.0) / np.sqrt(4.0 + 1e-5))
+
+    def test_batchnorm_3d(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 4, 4)))
+        g, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        out = F.batch_norm(x, g, b, training=True)
+        assert out.shape == x.shape
+        assert np.allclose(out.data.mean(axis=(0, 2, 3, 4)), 0.0, atol=1e-8)

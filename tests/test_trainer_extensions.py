@@ -1,0 +1,103 @@
+"""Tests for gradient clipping and early stopping in the Trainer."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+from repro.pipeline.training import Trainer, clip_gradients
+from repro.tensor import Tensor
+
+
+def linear_setup(rng, n=16):
+    # Explicit rng: nn's default init generator is global state that
+    # other tests advance, and these tests need order independence.
+    model = nn.Sequential(nn.Linear(3, 1, rng=np.random.default_rng(0)))
+    x = rng.normal(size=(n, 3))
+    y = x @ np.array([[1.0], [-1.0], [0.5]])
+    return model, nn.TensorDataset(x, y)
+
+
+class TestClipGradients:
+    def test_norm_reduced_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.array([3.0, 4.0, 0.0, 0.0])  # norm 5
+        pre = clip_gradients([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        clip_gradients([p], max_norm=10.0)
+        assert np.allclose(p.grad, [0.1, 0.1])
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        clip_gradients([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_none_grads_skipped(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([5.0])
+        clip_gradients([a, b], max_norm=1.0)
+        assert b.grad is None
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+
+class TestTrainerClipping:
+    def test_clipped_training_still_converges(self, rng):
+        model, ds = linear_setup(rng)
+        opt = nn.Adam(model.parameters(), lr=5e-2)
+        trainer = Trainer(model, opt, nn.MSELoss(), grad_clip_norm=1.0)
+        hist = trainer.fit(nn.DataLoader(ds, batch_size=4), epochs=25)
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.3
+
+    def test_invalid_clip_norm(self, rng):
+        model, _ = linear_setup(rng)
+        with pytest.raises(ValueError):
+            Trainer(model, nn.Adam(model.parameters(), lr=1e-2), nn.MSELoss(),
+                    grad_clip_norm=-1.0)
+
+
+class TestEarlyStopping:
+    def test_stops_when_val_plateaus(self, rng):
+        model, ds = linear_setup(rng)
+        # A validation target unrelated to the training task: validation
+        # loss cannot keep improving, so patience must trigger.
+        val = nn.TensorDataset(rng.normal(size=(8, 3)), rng.normal(size=(8, 1)) * 100)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        # min_delta filters out the microscopic per-epoch val drift.
+        trainer = Trainer(model, opt, nn.MSELoss(), early_stop_patience=2,
+                          early_stop_min_delta=5.0)
+        hist = trainer.fit(nn.DataLoader(ds, batch_size=4), epochs=50,
+                           val_loader=nn.DataLoader(val, batch_size=4))
+        assert hist.stopped_early
+        assert hist.epochs < 50
+
+    def test_no_early_stop_while_improving(self, rng):
+        model, ds = linear_setup(rng)
+        opt = nn.Adam(model.parameters(), lr=5e-2)
+        trainer = Trainer(model, opt, nn.MSELoss(), early_stop_patience=3)
+        hist = trainer.fit(nn.DataLoader(ds, batch_size=4), epochs=8,
+                           val_loader=nn.DataLoader(ds, batch_size=4))
+        assert not hist.stopped_early
+        assert hist.epochs == 8
+
+    def test_requires_val_loader(self, rng):
+        model, ds = linear_setup(rng)
+        trainer = Trainer(model, nn.Adam(model.parameters(), lr=1e-2), nn.MSELoss(),
+                          early_stop_patience=2)
+        with pytest.raises(ValueError):
+            trainer.fit(nn.DataLoader(ds, batch_size=4), epochs=5)
+
+    def test_invalid_patience(self, rng):
+        model, _ = linear_setup(rng)
+        with pytest.raises(ValueError):
+            Trainer(model, nn.Adam(model.parameters(), lr=1e-2), nn.MSELoss(),
+                    early_stop_patience=0)
