@@ -1,0 +1,71 @@
+"""Serving throughput/latency sweep across scheduling policies & fleets.
+
+The ISSUE-1 serving benchmark: one seeded request stream is replayed
+through :class:`repro.serve.ServingEngine` for every (policy, fleet)
+combination, and the sweep pins the headline claim — on a mixed
+GPU+CPU+FPGA fleet the perf-model-aware scheduler sustains at least
+the throughput of round-robin (which wastes every Nth batch on the
+Arria-10's ~17 s service time).
+"""
+
+from conftest import save_text
+from repro.report import format_table
+from repro.serve import SCHEDULING_POLICIES, BatchPolicy, ServingEngine, make_workload
+
+FLEETS = ("gpus", "mixed")
+N_REQUESTS = 150
+RATE_PER_S = 20.0
+
+
+def _run(policy: str, fleet: str, requests):
+    engine = ServingEngine(
+        fleet=fleet, policy=policy,
+        batch_policy=BatchPolicy(max_batch=4, max_wait_s=0.25),
+        queue_capacity=128,
+    )
+    return engine.run(requests).summary()
+
+
+def test_serving_throughput_sweep(benchmark, results_dir):
+    requests = make_workload(N_REQUESTS, rate_per_s=RATE_PER_S,
+                             pattern="poisson", seed=7)
+    summaries = {}
+    for fleet in FLEETS:
+        for policy in SCHEDULING_POLICIES:
+            summaries[(fleet, policy)] = _run(policy, fleet, requests)
+    benchmark(_run, "perf-aware", "mixed", requests)
+
+    rows = []
+    for (fleet, policy), s in summaries.items():
+        rows.append({
+            "Fleet": fleet,
+            "Policy": policy,
+            "Throughput (req/s)": round(s["throughput_rps"], 3),
+            "p50 (s)": s["latency_p50_s"],
+            "p95 (s)": s["latency_p95_s"],
+            "p99 (s)": s["latency_p99_s"],
+            "Shed": s["shed_rejected"] + s["shed_timed_out"],
+            "Cache hits": s["cache_hits"],
+        })
+    text = format_table(
+        rows,
+        title=f"Serving sweep — {N_REQUESTS} requests @ {RATE_PER_S:g}/s "
+              "(Poisson, max_batch=4, max_wait=0.25s)",
+    )
+    busiest = summaries[("mixed", "perf-aware")]["device_utilization"]
+    text += "\n\nperf-aware/mixed utilization: " + ", ".join(
+        f"{name}={util:.1%}" for name, util in busiest.items())
+    save_text(results_dir, "serving_throughput.txt", text)
+
+    # Conservation on every run: offered = completed + shed (+ none lost).
+    for s in summaries.values():
+        assert s["requests"] == (s["completed"] + s["shed_rejected"]
+                                 + s["shed_timed_out"])
+    # Headline claim: perf-aware >= round-robin throughput on the
+    # heterogeneous fleet (acceptance criterion).
+    assert (summaries[("mixed", "perf-aware")]["throughput_rps"]
+            >= summaries[("mixed", "round-robin")]["throughput_rps"])
+    # On an all-GPU fleet the gap narrows but perf-aware must not regress
+    # below the worst naive policy by more than 10%.
+    gpu = {p: summaries[("gpus", p)]["throughput_rps"] for p in SCHEDULING_POLICIES}
+    assert gpu["perf-aware"] >= 0.9 * min(gpu.values())

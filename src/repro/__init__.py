@@ -17,6 +17,8 @@ CT Images* (ICPP 2021), including every substrate the paper depends on:
   instrumented kernels and optimization ablations,
 - ``repro.pipeline`` -- the Enhancement -> Segmentation -> Classification
   framework itself,
+- ``repro.serve`` -- discrete-event inference serving with dynamic
+  batching and fleet scheduling over the heterogeneous devices,
 - ``repro.epi`` -- the epidemiological model behind the motivation figure.
 
 See ``DESIGN.md`` for the experiment index and ``EXPERIMENTS.md`` for

@@ -7,7 +7,9 @@ code:
 - ``simulate``  — produce §3.1.2 low/full-dose training pairs (.npz),
 - ``tables``    — print the Table 4/5/7 performance-model reproductions,
 - ``epidemic``  — run the Fig. 2 variant-wave scenario,
-- ``inventory`` — print the Table 1 data-source registry.
+- ``inventory`` — print the Table 1 data-source registry,
+- ``serve``     — simulate serving a diagnosis-request stream over the
+  Table 4 device fleet with dynamic batching (``repro.serve``).
 """
 
 from __future__ import annotations
@@ -92,6 +94,55 @@ def _cmd_epidemic(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import BatchPolicy, ServingEngine, make_workload
+
+    try:
+        requests = make_workload(
+            args.requests, rate_per_s=args.rate, pattern=args.pattern,
+            seed=args.seed, dup_fraction=args.dup_fraction,
+        )
+        engine = ServingEngine(
+            fleet=args.fleet, policy=args.policy,
+            batch_policy=BatchPolicy(max_batch=args.max_batch,
+                                     max_wait_s=args.max_wait),
+            queue_capacity=args.queue_capacity,
+            verify_batches=args.verify_batches,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = engine.run(requests).summary()
+    print(f"served {summary['completed']}/{summary['requests']} requests "
+          f"({args.pattern} arrivals @ {args.rate:g}/s, policy {args.policy}, "
+          f"fleet {args.fleet})")
+    print(f"  throughput: {summary['throughput_rps']:.3f} req/s over "
+          f"{summary['makespan_s']:.2f} s")
+    print(f"  latency   : p50 {summary['latency_p50_s']:.3f}  "
+          f"p95 {summary['latency_p95_s']:.3f}  "
+          f"p99 {summary['latency_p99_s']:.3f} s")
+    print(f"  shed      : {summary['shed_rejected']} rejected, "
+          f"{summary['shed_timed_out']} timed out; "
+          f"{summary['slo_violations']} SLO violations")
+    print(f"  queue     : mean depth {summary['queue_mean_depth']:.2f}, "
+          f"max {summary['queue_max_depth']}")
+    print(f"  cache     : hit rate {summary['cache_hit_rate']:.1%} "
+          f"({summary['cache_hits']} hits)")
+    for name, util in summary["device_utilization"].items():
+        print(f"  {name:32s} util {util:6.1%}  "
+              f"batches {summary['device_batches'][name]}")
+    if summary["verified_batches"]:
+        print(f"  functionally verified {summary['verified_batches']} batch(es) "
+              "via diagnose_batch")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"wrote JSON summary to {args.json}")
+    return 0
+
+
 def _cmd_inventory(args) -> int:
     from repro.data import data_source_table
     from repro.report import format_table
@@ -133,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inventory", help="print the Table 1 registry")
     p.set_defaults(func=_cmd_inventory)
+
+    from repro.serve.request import ARRIVAL_PATTERNS
+    from repro.serve.scheduler import FLEET_PRESETS, SCHEDULING_POLICIES
+
+    p = sub.add_parser("serve", help="simulate serving a request stream "
+                                     "over the device fleet")
+    p.add_argument("--requests", type=int, default=200,
+                   help="workload size (number of diagnosis requests)")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="mean arrival rate, requests/s")
+    p.add_argument("--pattern", choices=ARRIVAL_PATTERNS, default="poisson")
+    p.add_argument("--policy", choices=SCHEDULING_POLICIES, default="perf-aware")
+    p.add_argument("--fleet", default="mixed",
+                   help=f"preset ({', '.join(FLEET_PRESETS)}) or "
+                        "comma-separated device names")
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--max-wait", type=float, default=0.25,
+                   help="dynamic-batching max wait, seconds")
+    p.add_argument("--queue-capacity", type=int, default=64)
+    p.add_argument("--dup-fraction", type=float, default=0.3,
+                   help="fraction of repeat scans (cache exercise)")
+    p.add_argument("--verify-batches", type=int, default=0,
+                   help="functionally execute this many served batches")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="also write the summary to this JSON file")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

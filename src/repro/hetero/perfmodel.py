@@ -214,6 +214,29 @@ class PerfModel:
 
         return PlatformPrediction(device, config, conv, deconv, other, reconfig)
 
+    def predict_batch(
+        self,
+        device: DeviceSpec,
+        batch: int = 1,
+        config: Optional[OptimizationConfig] = None,
+        input_size: int = 512,
+        slices_per_scan: int = 32,
+    ) -> PlatformPrediction:
+        """Predict times for a *batch* of scan chunks served together.
+
+        ``batch`` counts whole scans; each contributes
+        ``slices_per_scan`` slices to the kernel schedule's ``batch``
+        argument (the paper's reference chunk is 512×512×32, i.e.
+        ``batch=1``).  Times derive mechanically from the schedule, so
+        ``batch=1`` at the reference shape reproduces the Table 5
+        calibration exactly.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        schedule = ddnet_kernel_schedule(
+            input_size=input_size, batch=batch * slices_per_scan)
+        return self.predict(device, config, schedule)
+
     def predict_pytorch(self, device: DeviceSpec) -> Optional[float]:
         """Table 4 PyTorch column (None where PyTorch is unsupported)."""
         cal = self.calibration[device.name]

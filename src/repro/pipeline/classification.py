@@ -73,8 +73,23 @@ class ClassificationAI:
         return float(p.data[0])
 
     def predict_proba_batch(self, volumes_hu: Sequence[np.ndarray]) -> np.ndarray:
-        """Probabilities for a sequence of (D, H, W) HU volumes."""
-        return np.array([self.predict_proba(v) for v in volumes_hu])
+        """Probabilities for a sequence of (D, H, W) HU volumes.
+
+        Same-shaped volumes run as one stacked (N, 1, D, H, W) forward
+        pass (eval-mode batch norm keeps samples independent, so the
+        numbers match the per-volume path); mixed shapes fall back to
+        per-volume inference.
+        """
+        volumes = [np.asarray(v) for v in volumes_hu]
+        if not volumes:
+            return np.zeros(0)
+        if all(v.shape == volumes[0].shape for v in volumes):
+            self.model.eval()
+            with no_grad():
+                p = self.model.predict_proba(
+                    Tensor(np.stack(volumes)[:, None] / 1000.0))
+            return np.asarray(p.data, dtype=float).reshape(len(volumes))
+        return np.array([self.predict_proba(v) for v in volumes])
 
     def predict(self, volume_hu: np.ndarray, threshold: float = 0.5) -> int:
         """Binary decision at ``threshold`` (the paper tunes 0.061)."""

@@ -96,6 +96,46 @@ class ComputeCovid19Plus:
             segmented_volume=segmented,
         )
 
+    def diagnose_batch(self, volumes_hu: Sequence[np.ndarray]) -> List[DiagnosisResult]:
+        """Fig. 4 workflow on many scans with *stacked* execution.
+
+        The enhancement stage runs once over all slices concatenated
+        along the slice axis, and classification runs as one stacked
+        forward pass when the scans share a shape — the execution shape
+        a serving batch (``repro.serve``) dispatches to a device.  Every
+        stage operates per-slice / per-volume in eval mode, so results
+        are identical to calling :meth:`diagnose` per scan.
+        """
+        volumes = [np.asarray(v) for v in volumes_hu]
+        if not volumes:
+            return []
+        for v in volumes:
+            if v.ndim != 3:
+                raise ValueError(f"expected (D, H, W) volumes; got shape {v.shape}")
+        plane = volumes[0].shape[1:]
+        if any(v.shape[1:] != plane for v in volumes):
+            raise ValueError("batched scans must share in-plane (H, W) shape")
+        if self.use_enhancement:
+            depths = [v.shape[0] for v in volumes]
+            stacked = self.enhance_volume_hu(np.concatenate(volumes, axis=0))
+            splits = np.cumsum(depths)[:-1]
+            work = np.split(stacked, splits, axis=0)
+        else:
+            work = volumes
+        segmented, masks = zip(*(self.segmentation.apply(w) for w in work))
+        probs = self.classification.predict_proba_batch(segmented)
+        return [
+            DiagnosisResult(
+                probability=float(p),
+                prediction=int(p >= self.threshold),
+                threshold=self.threshold,
+                enhanced=self.use_enhancement,
+                lung_mask=mask,
+                segmented_volume=seg,
+            )
+            for p, mask, seg in zip(probs, masks, segmented)
+        ]
+
     def score_batch(self, volumes_hu: Sequence[np.ndarray]) -> np.ndarray:
         """Probabilities for many scans (for ROC evaluation)."""
         return np.array([self.diagnose(v).probability for v in volumes_hu])

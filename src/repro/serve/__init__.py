@@ -1,0 +1,67 @@
+"""Inference serving over the heterogeneous fleet (ROADMAP north star).
+
+The paper measures the pipeline one scan at a time (Tables 4–7); this
+subpackage *operates* it: a deterministic discrete-event serving
+simulator/runtime that admits a stream of diagnosis requests, batches
+them dynamically per pipeline stage, and schedules batches across the
+Table 4 device fleet using the calibrated perf model for service times.
+
+- :mod:`~repro.serve.request` — requests, SLOs, and arrival processes
+  (Poisson, burst, Fig. 2 epidemic wave),
+- :mod:`~repro.serve.queue` — bounded admission with backpressure and
+  timeout shedding,
+- :mod:`~repro.serve.batcher` — dynamic (max-batch / max-wait) batching,
+- :mod:`~repro.serve.scheduler` — round-robin / least-loaded /
+  perf-aware fleet placement with per-device slot accounting,
+- :mod:`~repro.serve.cache` — content-hash result cache (LRU),
+- :mod:`~repro.serve.engine` — the event loop, with functional batch
+  verification through :meth:`ComputeCovid19Plus.diagnose_batch`,
+- :mod:`~repro.serve.metrics` — p50/p95/p99 latency, throughput,
+  utilization, shed/violation counts.
+
+See ``docs/serving.md`` for the architecture and how modelled service
+times trace back to the paper's Tables 4–7.
+"""
+
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.engine import (
+    CACHE_HIT_LATENCY_S,
+    ServedRequest,
+    ServingEngine,
+    ServingReport,
+    TraceEvent,
+)
+from repro.serve.metrics import LatencyStats, percentile, summarize
+from repro.serve.queue import AdmissionQueue, QueueStats
+from repro.serve.request import (
+    ARRIVAL_PATTERNS,
+    SLO,
+    ScanRequest,
+    burst_arrivals,
+    epidemic_wave_arrivals,
+    make_workload,
+    poisson_arrivals,
+)
+from repro.serve.scheduler import (
+    FLEET_PRESETS,
+    SCHEDULING_POLICIES,
+    STAGES,
+    DeviceWorker,
+    FleetScheduler,
+    ServiceTimeModel,
+    fleet_from_spec,
+)
+
+__all__ = [
+    "SLO", "ScanRequest", "ARRIVAL_PATTERNS", "make_workload",
+    "poisson_arrivals", "burst_arrivals", "epidemic_wave_arrivals",
+    "AdmissionQueue", "QueueStats",
+    "Batch", "BatchPolicy", "DynamicBatcher",
+    "FleetScheduler", "DeviceWorker", "ServiceTimeModel",
+    "SCHEDULING_POLICIES", "STAGES", "FLEET_PRESETS", "fleet_from_spec",
+    "ResultCache",
+    "ServingEngine", "ServingReport", "ServedRequest", "TraceEvent",
+    "CACHE_HIT_LATENCY_S",
+    "LatencyStats", "percentile", "summarize",
+]

@@ -1,0 +1,93 @@
+"""Dynamic batching: max-batch / max-wait per pipeline stage.
+
+The classic serving trade-off (Clipper, TF-Serving, Triton): larger
+batches amortize per-launch overhead and raise device efficiency, but
+the first request in a batch pays the wait for the last.  A batch is
+emitted when it reaches ``max_batch`` requests *or* when its oldest
+member has waited ``max_wait_s`` — whichever comes first.  Each
+pipeline stage (enhance / segment / classify) owns one batcher, so
+requests re-batch between stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.serve.request import ScanRequest
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dynamic-batching knobs."""
+
+    max_batch: int = 4
+    max_wait_s: float = 0.25
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class Batch:
+    """A formed batch bound for one device."""
+
+    batch_id: int
+    stage: str
+    requests: List[ScanRequest]
+    formed_s: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class DynamicBatcher:
+    """Accumulates requests for one stage and emits ready batches."""
+
+    _next_batch_id = 0
+
+    def __init__(self, stage: str, policy: Optional[BatchPolicy] = None):
+        self.stage = stage
+        self.policy = policy or BatchPolicy()
+        self._pending: List[Tuple[float, ScanRequest]] = []  # (enqueue time, request)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _form(self, now: float) -> Batch:
+        take = self._pending[: self.policy.max_batch]
+        self._pending = self._pending[self.policy.max_batch:]
+        batch = Batch(DynamicBatcher._next_batch_id, self.stage,
+                      [r for _, r in take], now)
+        DynamicBatcher._next_batch_id += 1
+        return batch
+
+    def add(self, request: ScanRequest, now: float) -> Optional[Batch]:
+        """Enqueue; returns a batch iff the size trigger fires."""
+        self._pending.append((now, request))
+        if len(self._pending) >= self.policy.max_batch:
+            return self._form(now)
+        return None
+
+    def next_deadline(self) -> Optional[float]:
+        """When the oldest pending request's max-wait expires (None if empty)."""
+        if not self._pending:
+            return None
+        return self._pending[0][0] + self.policy.max_wait_s
+
+    def flush_due(self, now: float) -> Optional[Batch]:
+        """Emit a (possibly partial) batch if the wait trigger fired."""
+        deadline = self.next_deadline()
+        if deadline is None or now + 1e-12 < deadline:
+            return None
+        return self._form(now)
+
+    def drain(self, now: float) -> Optional[Batch]:
+        """Force out whatever is pending (end-of-stream)."""
+        if not self._pending:
+            return None
+        return self._form(now)

@@ -1,0 +1,284 @@
+"""The discrete-event serving loop (admission → batch → schedule → run).
+
+A deterministic simulator/runtime for operating the Fig. 4 pipeline at
+load.  Requests stream in from an arrival process, pass admission
+control (:mod:`repro.serve.queue`), are dynamically batched per stage
+(:mod:`repro.serve.batcher`), and each batch is placed on a Table 4
+device by the fleet scheduler (:mod:`repro.serve.scheduler`) which
+charges calibrated service times from :class:`repro.hetero.PerfModel`.
+Completed scans populate a content-hash result cache so repeat scans
+short-circuit the pipeline.
+
+Simulated time is *modelled* (paper-scale 512×512×32 chunks); results
+are *genuine* for up to ``verify_batches`` final-stage batches, which
+are functionally executed at reduced scale through
+:meth:`repro.pipeline.ComputeCovid19Plus.diagnose_batch`.
+
+Everything is driven off one event heap keyed ``(time, seq)``, so runs
+are bit-deterministic for a given workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.hetero.device import DeviceSpec
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import ScanRequest
+from repro.serve.scheduler import (
+    STAGES,
+    DeviceWorker,
+    FleetScheduler,
+    ServiceTimeModel,
+    fleet_from_spec,
+)
+
+#: Latency charged to a request answered from the result cache
+#: (hash lookup + response serialization; no device time).
+CACHE_HIT_LATENCY_S = 1e-3
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured entry of the engine's execution trace."""
+
+    t: float
+    kind: str  # arrival | cache_hit | shed | dispatch | backlog | complete | done
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ServedRequest:
+    """Terminal record for one request (completed or shed)."""
+
+    request: ScanRequest
+    completed_s: Optional[float] = None
+    latency_s: Optional[float] = None
+    from_cache: bool = False
+    shed_reason: Optional[str] = None  # None | "rejected" | "timeout"
+    result: Optional[object] = None  # DiagnosisResult when functionally verified
+
+
+@dataclass
+class ServingReport:
+    """Everything a run produced; ``summary()`` flattens it for output."""
+
+    offered: int
+    completed: List[ServedRequest]
+    shed: List[ServedRequest]
+    trace: List[TraceEvent]
+    workers: List[DeviceWorker]
+    policy: str
+    makespan_s: float
+    queue_stats: Dict[str, int]
+    queue_mean_depth: float
+    queue_max_depth: int
+    cache_stats: Dict[str, float]
+    utilization: Dict[str, float]
+    verified_batches: int
+
+    def summary(self) -> Dict[str, object]:
+        from repro.serve.metrics import summarize
+
+        return summarize(self)
+
+
+class ServingEngine:
+    """Discrete-event serving of diagnosis requests over a device fleet."""
+
+    def __init__(
+        self,
+        fleet: Union[str, Sequence[DeviceSpec]] = "mixed",
+        policy: str = "perf-aware",
+        batch_policy: Optional[BatchPolicy] = None,
+        queue_capacity: int = 64,
+        cache_capacity: int = 256,
+        slots_per_device: int = 1,
+        use_enhancement: bool = True,
+        service_model: Optional[ServiceTimeModel] = None,
+        verify_batches: int = 0,
+        framework=None,
+    ):
+        devices = fleet_from_spec(fleet) if isinstance(fleet, str) else list(fleet)
+        self.service_model = service_model or ServiceTimeModel()
+        self.scheduler = FleetScheduler(devices, policy=policy,
+                                        service_model=self.service_model,
+                                        slots=slots_per_device)
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.queue = AdmissionQueue(queue_capacity)
+        self.cache = ResultCache(cache_capacity)
+        self.stages = STAGES if use_enhancement else STAGES[1:]
+        self.verify_batches = verify_batches
+        self._framework = framework
+        self._verified = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def framework(self):
+        """Lazily built pipeline for functional batch verification."""
+        if self._framework is None:
+            from repro.pipeline import ComputeCovid19Plus
+
+            self._framework = ComputeCovid19Plus(
+                use_enhancement="enhance" in self.stages)
+        return self._framework
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[ScanRequest]) -> ServingReport:
+        """Serve a workload to completion; returns the full report."""
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._trace: List[TraceEvent] = []
+        self._completed: List[ServedRequest] = []
+        self._shed: List[ServedRequest] = []
+        self._backlog: "deque[Batch]" = deque()
+        self._batchers = {s: DynamicBatcher(s, self.batch_policy)
+                          for s in self.stages}
+        now = 0.0
+        for req in requests:
+            self._push(req.arrival_s, "arrival", req)
+        while self._heap:
+            t, _, kind, payload = heapq.heappop(self._heap)
+            now = max(now, t)
+            if kind == "arrival":
+                self._on_arrival(payload, now)
+            elif kind == "flush":
+                self._on_flush(payload, now)
+            elif kind == "complete":
+                self._on_complete(payload[0], payload[1], now)
+        self._emit(now, "done", completed=len(self._completed))
+        self.queue.check_conservation()
+        return ServingReport(
+            offered=len(requests),
+            completed=self._completed,
+            shed=self._shed,
+            trace=self._trace,
+            workers=self.scheduler.workers,
+            policy=self.scheduler.policy,
+            makespan_s=now,
+            queue_stats=self.queue.stats.as_dict(),
+            queue_mean_depth=self.queue.mean_depth(),
+            queue_max_depth=self.queue.max_depth(),
+            cache_stats=self.cache.stats(),
+            utilization=self.scheduler.utilization(now),
+            verified_batches=self._verified,
+        )
+
+    # -- event plumbing -------------------------------------------------
+    def _push(self, t: float, kind: str, payload) -> None:
+        heapq.heappush(self._heap, (t, next(self._seq), kind, payload))
+
+    def _emit(self, t: float, kind: str, **detail) -> None:
+        self._trace.append(TraceEvent(t, kind, detail))
+
+    # -- handlers -------------------------------------------------------
+    def _on_arrival(self, req: ScanRequest, now: float) -> None:
+        self._emit(now, "arrival", request=req.request_id, key=req.content_key)
+        hit = self.cache.get(req.content_key)
+        if hit is not None:
+            done = now + CACHE_HIT_LATENCY_S
+            self._completed.append(ServedRequest(
+                req, completed_s=done, latency_s=CACHE_HIT_LATENCY_S,
+                from_cache=True, result=hit if hit is not True else None))
+            self._emit(now, "cache_hit", request=req.request_id)
+            return
+        if not self.queue.offer(req, now):
+            self._shed.append(ServedRequest(req, shed_reason="rejected"))
+            self._emit(now, "shed", request=req.request_id, reason="rejected")
+            return
+        self._add_to_stage(self.stages[0], req, now)
+        self._pump_backlog(now)
+
+    def _on_flush(self, stage: str, now: float) -> None:
+        batcher = self._batchers[stage]
+        batch = batcher.flush_due(now)
+        if batch is not None:
+            self._dispatch_or_backlog(batch, now)
+        self._arm_flush(stage)
+        self._pump_backlog(now)
+
+    def _on_complete(self, worker: DeviceWorker, batch: Batch, now: float) -> None:
+        worker.complete(batch)
+        self._emit(now, "complete", stage=batch.stage, device=worker.spec.name,
+                   size=len(batch), batch=batch.batch_id)
+        idx = self.stages.index(batch.stage)
+        if idx + 1 < len(self.stages):
+            for req in batch.requests:
+                self._add_to_stage(self.stages[idx + 1], req, now)
+        else:
+            self._finalize_batch(batch, now)
+        self._pump_backlog(now)
+
+    # -- internals ------------------------------------------------------
+    def _add_to_stage(self, stage: str, req: ScanRequest, now: float) -> None:
+        batch = self._batchers[stage].add(req, now)
+        if batch is not None:
+            self._dispatch_or_backlog(batch, now)
+        self._arm_flush(stage)
+
+    def _arm_flush(self, stage: str) -> None:
+        deadline = self._batchers[stage].next_deadline()
+        if deadline is not None:
+            self._push(deadline, "flush", stage)
+
+    def _shed_expired(self, batch: Batch, now: float) -> Batch:
+        keep = []
+        for req in batch.requests:
+            if now - req.arrival_s > req.slo.queue_timeout_s:
+                self.queue.time_out(req, now)
+                self._shed.append(ServedRequest(req, shed_reason="timeout"))
+                self._emit(now, "shed", request=req.request_id, reason="timeout")
+            else:
+                keep.append(req)
+        batch.requests = keep
+        return batch
+
+    def _dispatch_or_backlog(self, batch: Batch, now: float) -> None:
+        batch = self._shed_expired(batch, now)
+        if not batch.requests:
+            return
+        worker = self.scheduler.pick(batch, now)
+        if worker is None:
+            self._backlog.append(batch)
+            self._emit(now, "backlog", stage=batch.stage, size=len(batch),
+                       depth=len(self._backlog))
+            return
+        done = self.scheduler.dispatch(worker, batch, now)
+        self._emit(now, "dispatch", stage=batch.stage, device=worker.spec.name,
+                   size=len(batch), service_s=done - now, batch=batch.batch_id)
+        self._push(done, "complete", (worker, batch))
+
+    def _pump_backlog(self, now: float) -> None:
+        while self._backlog:
+            batch = self._shed_expired(self._backlog[0], now)
+            if not batch.requests:
+                self._backlog.popleft()
+                continue
+            worker = self.scheduler.pick(batch, now)
+            if worker is None:
+                return
+            self._backlog.popleft()
+            done = self.scheduler.dispatch(worker, batch, now)
+            self._emit(now, "dispatch", stage=batch.stage,
+                       device=worker.spec.name, size=len(batch),
+                       service_s=done - now, batch=batch.batch_id)
+            self._push(done, "complete", (worker, batch))
+
+    def _finalize_batch(self, batch: Batch, now: float) -> None:
+        results: List[Optional[object]] = [None] * len(batch.requests)
+        if self._verified < self.verify_batches:
+            volumes = [req.materialize() for req in batch.requests]
+            results = list(self.framework.diagnose_batch(volumes))
+            self._verified += 1
+        for req, result in zip(batch.requests, results):
+            self.queue.release(req, now)
+            latency = now - req.arrival_s
+            self._completed.append(ServedRequest(
+                req, completed_s=now, latency_s=latency, result=result))
+            self.cache.put(req.content_key, result if result is not None else True)

@@ -1,0 +1,83 @@
+"""Serving metrics: latency percentiles, throughput, utilization.
+
+Summarizes a :class:`repro.serve.engine.ServingReport` into the
+flat dict the CLI prints / serializes: p50/p95/p99 end-to-end latency,
+sustained throughput, per-device utilization and batch counts, queue
+depth, shed and SLO-violation counts, and cache hit rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    vals = sorted(values)
+    if not vals:
+        return float("nan")
+    rank = max(1, -(-len(vals) * q // 100))  # ceil without math import
+    return float(vals[int(rank) - 1])
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """End-to-end latency distribution of completed requests."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        if not latencies:
+            return cls(0, float("nan"), float("nan"), float("nan"),
+                       float("nan"), float("nan"))
+        return cls(
+            count=len(latencies),
+            mean_s=float(sum(latencies) / len(latencies)),
+            p50_s=percentile(latencies, 50),
+            p95_s=percentile(latencies, 95),
+            p99_s=percentile(latencies, 99),
+            max_s=float(max(latencies)),
+        )
+
+
+def summarize(report) -> Dict[str, object]:
+    """Flatten a ServingReport into the CLI/benchmark summary dict."""
+    latencies = [r.latency_s for r in report.completed]
+    lat = LatencyStats.from_latencies(latencies)
+    makespan = report.makespan_s
+    throughput = len(report.completed) / makespan if makespan > 0 else 0.0
+    violations = sum(1 for r in report.completed
+                     if r.latency_s > r.request.slo.deadline_s)
+    return {
+        "requests": report.offered,
+        "completed": len(report.completed),
+        "shed_rejected": report.queue_stats["rejected"],
+        "shed_timed_out": report.queue_stats["timed_out"],
+        "slo_violations": violations,
+        "makespan_s": round(makespan, 4),
+        "throughput_rps": round(throughput, 4),
+        "latency_p50_s": round(lat.p50_s, 4),
+        "latency_p95_s": round(lat.p95_s, 4),
+        "latency_p99_s": round(lat.p99_s, 4),
+        "latency_mean_s": round(lat.mean_s, 4),
+        "latency_max_s": round(lat.max_s, 4),
+        "queue_mean_depth": round(report.queue_mean_depth, 3),
+        "queue_max_depth": report.queue_max_depth,
+        "cache_hit_rate": round(report.cache_stats["hit_rate"], 4),
+        "cache_hits": report.cache_stats["hits"],
+        "device_utilization": {k: round(v, 4)
+                               for k, v in report.utilization.items()},
+        "device_batches": {w.spec.name: w.batches_done for w in report.workers},
+        "device_requests": {w.spec.name: w.requests_done for w in report.workers},
+        "verified_batches": report.verified_batches,
+        "policy": report.policy,
+    }

@@ -1,0 +1,118 @@
+"""Bounded admission queue with backpressure and timeout shedding.
+
+Admission control happens *once*, at the front door: a request is
+admitted only while total in-system occupancy (queued + batched +
+in flight) is below ``capacity``.  Everything above that is shed
+immediately — backpressure the caller can see — and requests that
+out-wait their SLO's ``queue_timeout_s`` before reaching a device are
+shed late.  The stats object maintains the conservation law the tests
+pin: ``offered = admitted + rejected`` and
+``admitted = departed + timed_out + occupancy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.serve.request import ScanRequest
+
+
+@dataclass
+class QueueStats:
+    """Counters for the admission conservation law."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    departed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered, "admitted": self.admitted,
+            "rejected": self.rejected, "timed_out": self.timed_out,
+            "departed": self.departed,
+        }
+
+
+class AdmissionQueue:
+    """Front-door occupancy bound for the serving engine.
+
+    The engine owns request movement (batchers, backlog, devices); this
+    class owns the *count* of requests inside the system and the
+    shed/complete bookkeeping, sampling queue depth at every transition
+    so mean/max depth are measurable.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = QueueStats()
+        self._occupancy = 0
+        self.depth_samples: List[Tuple[float, int]] = []
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @property
+    def full(self) -> bool:
+        return self._occupancy >= self.capacity
+
+    def _sample(self, now: float) -> None:
+        self.depth_samples.append((now, self._occupancy))
+
+    def offer(self, request: ScanRequest, now: float) -> bool:
+        """Admit ``request`` or reject it (backpressure). Returns admitted?"""
+        self.stats.offered += 1
+        if self.full:
+            self.stats.rejected += 1
+            return False
+        self.stats.admitted += 1
+        self._occupancy += 1
+        self._sample(now)
+        return True
+
+    def time_out(self, request: ScanRequest, now: float) -> None:
+        """Shed an admitted request that out-waited its queue timeout."""
+        self._depart()
+        self.stats.timed_out += 1
+        self._sample(now)
+
+    def release(self, request: ScanRequest, now: float) -> None:
+        """An admitted request completed service."""
+        self._depart()
+        self.stats.departed += 1
+        self._sample(now)
+
+    def _depart(self) -> None:
+        if self._occupancy <= 0:
+            raise RuntimeError("queue accounting underflow")
+        self._occupancy -= 1
+
+    # ------------------------------------------------------------------
+    def mean_depth(self) -> float:
+        """Time-weighted mean occupancy over the sampled horizon."""
+        if len(self.depth_samples) < 2:
+            return float(self._occupancy)
+        ts = [t for t, _ in self.depth_samples]
+        ds = [d for _, d in self.depth_samples]
+        total = ts[-1] - ts[0]
+        if total <= 0:
+            return float(ds[-1])
+        area = sum(d * (t1 - t0)
+                   for (t0, d), t1 in zip(self.depth_samples[:-1], ts[1:]))
+        return area / total
+
+    def max_depth(self) -> int:
+        return max((d for _, d in self.depth_samples), default=self._occupancy)
+
+    def check_conservation(self) -> None:
+        """Raise if the admission conservation law is violated."""
+        s = self.stats
+        if s.offered != s.admitted + s.rejected:
+            raise AssertionError("offered != admitted + rejected")
+        if s.admitted != s.departed + s.timed_out + self._occupancy:
+            raise AssertionError("admitted != departed + timed_out + occupancy")

@@ -1,0 +1,176 @@
+"""Diagnosis requests, SLOs, and arrival-process generators.
+
+A served request is one CT scan awaiting the Fig. 4 enhance → segment →
+classify pipeline.  Requests are *descriptors*: the scan itself derives
+deterministically from ``seed`` via :func:`repro.data.chest_volume`, so
+the simulator can run timing-only at paper scale and materialize actual
+(reduced-scale) volumes only for the batches it functionally verifies.
+
+Arrival processes
+-----------------
+- :func:`poisson_arrivals` — memoryless steady traffic,
+- :func:`burst_arrivals` — Poisson background with a flash-crowd window,
+- :func:`epidemic_wave_arrivals` — inter-arrival intensity proportional
+  to the Fig. 2 multi-variant SEIR case curve
+  (:func:`repro.epi.uk_delta_wave_scenario`), i.e. scan traffic that
+  tracks an epidemic wave compressed into the simulated horizon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+ARRIVAL_PATTERNS = ("poisson", "burst", "wave")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objective attached to a request.
+
+    ``deadline_s`` is the end-to-end latency target (a completion past
+    it counts as a violation, not a failure); ``queue_timeout_s`` is the
+    hard bound after which a still-queued request is shed.
+    """
+
+    deadline_s: float = 30.0
+    queue_timeout_s: float = 120.0
+
+    def __post_init__(self):
+        if self.deadline_s <= 0 or self.queue_timeout_s <= 0:
+            raise ValueError("SLO times must be positive")
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """One diagnosis request: arrival time plus a scan descriptor."""
+
+    request_id: int
+    arrival_s: float
+    seed: int
+    size: int = 32
+    slices: int = 16
+    covid: bool = False
+    slo: SLO = field(default_factory=SLO)
+
+    @property
+    def content_key(self) -> str:
+        """Content hash of the scan payload.
+
+        The volume is a pure function of ``(seed, size, slices, covid)``,
+        so hashing the descriptor is equivalent to hashing the voxels —
+        two requests with equal keys carry byte-identical scans (repeat
+        scans of the same patient), which is what the result cache keys
+        on.
+        """
+        tag = f"{self.seed}:{self.size}:{self.slices}:{int(self.covid)}"
+        return hashlib.sha1(tag.encode()).hexdigest()[:16]
+
+    def materialize(self) -> np.ndarray:
+        """Generate the (slices, size, size) HU volume for this request."""
+        from repro.data import chest_volume
+
+        return chest_volume(self.size, self.slices, covid=self.covid,
+                            rng=np.random.default_rng(self.seed))
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+def poisson_arrivals(n: int, rate_per_s: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` arrival times of a homogeneous Poisson process (sorted)."""
+    if n < 0 or rate_per_s <= 0:
+        raise ValueError("need n >= 0 and rate > 0")
+    return np.cumsum(rng.exponential(1.0 / rate_per_s, size=n))
+
+
+def burst_arrivals(
+    n: int,
+    rate_per_s: float,
+    rng: np.random.Generator,
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.3,
+) -> np.ndarray:
+    """Poisson background with a flash-crowd burst.
+
+    The middle ``burst_fraction`` of requests arrive at
+    ``burst_factor × rate_per_s`` — an outbreak-day surge on top of
+    steady traffic.
+    """
+    lo = int(n * (1 - burst_fraction) / 2)
+    hi = n - lo
+    gaps = rng.exponential(1.0 / rate_per_s, size=n)
+    gaps[lo:hi] /= burst_factor
+    return np.cumsum(gaps)
+
+
+def epidemic_wave_arrivals(
+    n: int,
+    rate_per_s: float,
+    rng: np.random.Generator,
+    days: int = 240,
+    horizon_s: Optional[float] = None,
+) -> np.ndarray:
+    """Arrival times whose intensity follows the Fig. 2 case curve.
+
+    The UK Delta-wave scenario's daily cases-per-million series is
+    normalized into an arrival density over a simulated horizon of
+    ``horizon_s`` seconds (default ``n / rate_per_s``), and ``n``
+    arrivals are drawn by inverse-CDF sampling — traffic concentrates
+    where the epidemic curve peaks.
+    """
+    from repro.epi import uk_delta_wave_scenario
+
+    cases = uk_delta_wave_scenario().run(days)["cases_per_million"]
+    density = np.maximum(cases, 0.0) + 1e-9
+    cdf = np.cumsum(density)
+    cdf /= cdf[-1]
+    horizon = horizon_s if horizon_s is not None else n / rate_per_s
+    u = np.sort(rng.random(n))
+    day_positions = np.interp(u, np.concatenate([[0.0], cdf]),
+                              np.arange(days + 1, dtype=float))
+    return day_positions / days * horizon
+
+
+def make_workload(
+    n: int,
+    rate_per_s: float = 4.0,
+    pattern: str = "poisson",
+    seed: int = 0,
+    dup_fraction: float = 0.3,
+    size: int = 32,
+    slices: int = 16,
+    covid_prevalence: float = 0.4,
+    slo: Optional[SLO] = None,
+) -> List[ScanRequest]:
+    """Generate a request stream for the serving engine.
+
+    ``dup_fraction`` of requests re-submit a previously seen scan
+    (follow-up reads of the same patient), which is what exercises the
+    content-hash result cache.
+    """
+    if pattern not in ARRIVAL_PATTERNS:
+        raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
+    rng = np.random.default_rng(seed)
+    arrivals = {
+        "poisson": poisson_arrivals,
+        "burst": burst_arrivals,
+        "wave": epidemic_wave_arrivals,
+    }[pattern](n, rate_per_s, rng)
+    slo = slo or SLO()
+    requests: List[ScanRequest] = []
+    for i, t in enumerate(arrivals):
+        if requests and rng.random() < dup_fraction:
+            ref = requests[int(rng.integers(len(requests)))]
+            scan_seed, covid = ref.seed, ref.covid
+        else:
+            scan_seed = int(rng.integers(2**31))
+            covid = bool(rng.random() < covid_prevalence)
+        requests.append(ScanRequest(
+            request_id=i, arrival_s=float(t), seed=scan_seed,
+            size=size, slices=slices, covid=covid, slo=slo,
+        ))
+    return requests

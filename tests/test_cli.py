@@ -44,6 +44,41 @@ class TestCli:
         np.save(path, chest_volume(16, 16, rng=np.random.default_rng(0)))
         assert main(["diagnose", "--input", path, "--no-enhancement"]) == 0
 
+    def test_serve_reports_metrics(self, capsys):
+        assert main(["serve", "--requests", "40", "--rate", "10",
+                     "--policy", "perf-aware"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "cache" in out and "hit rate" in out
+        assert "Nvidia V100 GPU" in out  # per-device utilization lines
+
+    def test_serve_is_deterministic(self, capsys):
+        argv = ["serve", "--requests", "30", "--rate", "8", "--seed", "5",
+                "--policy", "least-loaded", "--fleet", "gpus"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_writes_json_summary(self, tmp_path, capsys):
+        import json
+
+        out_file = str(tmp_path / "serve.json")
+        assert main(["serve", "--requests", "25", "--pattern", "burst",
+                     "--policy", "round-robin", "--fleet", "V100,T4",
+                     "--json", out_file]) == 0
+        with open(out_file) as fh:
+            summary = json.load(fh)
+        assert summary["requests"] == 25
+        assert summary["completed"] + summary["shed_rejected"] + \
+            summary["shed_timed_out"] == 25
+        assert "latency_p99_s" in summary and "device_utilization" in summary
+
+    def test_serve_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--policy", "fifo"])
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
@@ -51,4 +86,5 @@ class TestCli:
     def test_parser_has_all_commands(self):
         parser = build_parser()
         subs = next(a for a in parser._actions if a.dest == "command")
-        assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic", "inventory"}
+        assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic",
+                                     "inventory", "serve"}

@@ -243,6 +243,29 @@ class TestPerfModel:
         p_ref = pm.predict(NVIDIA_V100)
         assert p_small.total_s < p_ref.total_s / 4
 
+    def test_predict_batch1_pins_table5_calibration(self, pm):
+        """Regression: batch=1 at the reference shape must reproduce the
+        Table 5 calibration predictions exactly (the serving layer's
+        batch-parameterized query is the same model, not a new one)."""
+        for name, device in DEVICES.items():
+            base = pm.predict(device)
+            batched = pm.predict_batch(device, batch=1)
+            assert batched.convolution_s == pytest.approx(base.convolution_s, rel=1e-12)
+            assert batched.deconvolution_s == pytest.approx(base.deconvolution_s, rel=1e-12)
+            assert batched.other_s == pytest.approx(base.other_s, rel=1e-12)
+
+    def test_predict_batch_scales_linearly(self, pm):
+        """The kernel schedule is linear in batch, so service time is too
+        — the amortization the serving batcher exploits is in launch
+        overheads and queueing, not in the roofline itself."""
+        t1 = pm.predict_batch(NVIDIA_V100, batch=1).total_s
+        t4 = pm.predict_batch(NVIDIA_V100, batch=4).total_s
+        assert t4 == pytest.approx(4 * t1, rel=1e-6)
+
+    def test_predict_batch_rejects_bad_batch(self, pm):
+        with pytest.raises(ValueError):
+            pm.predict_batch(NVIDIA_V100, batch=0)
+
 
 class TestFpga:
     def test_ladder_fits_single_bitstream(self):

@@ -210,6 +210,34 @@ class TestFramework:
         r1, r2 = with_enh.diagnose(vol), without.diagnose(vol)
         assert r1.enhanced and not r2.enhanced
 
+    def test_diagnose_batch_matches_diagnose(self, framework):
+        vols = [chest_volume(16, 16, covid=bool(i % 2), rng=np.random.default_rng(50 + i))
+                for i in range(3)]
+        batch = framework.diagnose_batch(vols)
+        singles = [framework.diagnose(v) for v in vols]
+        assert len(batch) == 3
+        for b, s in zip(batch, singles):
+            assert b.probability == pytest.approx(s.probability, abs=1e-9)
+            assert b.prediction == s.prediction
+            assert b.enhanced == s.enhanced
+            np.testing.assert_array_equal(b.lung_mask, s.lung_mask)
+
+    def test_diagnose_batch_mixed_depths(self, framework):
+        vols = [chest_volume(16, 16, rng=np.random.default_rng(60)),
+                chest_volume(16, 32, rng=np.random.default_rng(61))]
+        results = framework.diagnose_batch(vols)
+        for r, v in zip(results, vols):
+            assert r.segmented_volume.shape == v.shape
+            assert 0.0 <= r.probability <= 1.0
+
+    def test_diagnose_batch_validation(self, framework, rng):
+        assert framework.diagnose_batch([]) == []
+        with pytest.raises(ValueError):
+            framework.diagnose_batch([rng.normal(size=(16, 16))])
+        with pytest.raises(ValueError):
+            framework.diagnose_batch([chest_volume(16, 16, rng=rng),
+                                      chest_volume(32, 16, rng=rng)])
+
     def test_score_batch(self, framework, rng):
         vols = [chest_volume(16, 16, covid=bool(i % 2), rng=np.random.default_rng(i))
                 for i in range(3)]
