@@ -1,0 +1,105 @@
+"""Chaos benchmark: serving under mid-wave device crashes.
+
+The ISSUE-2 resilience benchmark: one seeded epidemic-wave request
+stream is replayed through :class:`repro.serve.ServingEngine` while the
+two fastest GPUs crash mid-wave (scripted, deterministic), comparing a
+failover-enabled run (retry + circuit breakers + graceful degradation)
+against a failover-disabled run (first failure sheds the batch).  The
+headline claim — failover completes strictly more requests than
+shedding on first fault — is asserted, and the comparison table is
+written to ``benchmarks/results/serving_chaos.txt``.
+"""
+
+from conftest import save_text
+from repro.report import format_table
+from repro.resilience import (
+    DegradeConfig,
+    FaultConfig,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.serve import BatchPolicy, ServingEngine, make_workload
+
+N_REQUESTS = 200
+RATE_PER_S = 12.0
+SEED = 7
+FAULT_SEED = 3
+CRASHING = ("Nvidia V100 GPU", "Nvidia P100 GPU")
+
+
+def _fault_config(requests):
+    horizon = requests[-1].arrival_s
+    return FaultConfig(
+        seed=FAULT_SEED, transient_rate=0.05, straggler_rate=0.05,
+        crash_times={CRASHING[0]: 0.45 * horizon,
+                     CRASHING[1]: 0.55 * horizon},
+    )
+
+
+def _run(requests, faults, failover: bool, degrade: bool):
+    resilience = ResilienceConfig(
+        faults=faults,
+        retry=RetryPolicy() if failover else None,
+        degrade=DegradeConfig() if degrade else None,
+    )
+    engine = ServingEngine(
+        fleet="all", policy="perf-aware",
+        batch_policy=BatchPolicy(max_batch=4, max_wait_s=0.25),
+        queue_capacity=128, resilience=resilience,
+    )
+    return engine.run(requests).summary()
+
+
+def test_serving_chaos(benchmark, results_dir):
+    requests = make_workload(N_REQUESTS, rate_per_s=RATE_PER_S,
+                             pattern="wave", seed=SEED, dup_fraction=0.2)
+    faults = _fault_config(requests)
+    arms = {
+        "no faults": _run(requests, None, failover=False, degrade=False),
+        "faults, no failover": _run(requests, faults, failover=False,
+                                    degrade=True),
+        "faults + failover": _run(requests, faults, failover=True,
+                                  degrade=True),
+    }
+    benchmark(_run, requests, faults, True, True)
+
+    rows = []
+    for name, s in arms.items():
+        rows.append({
+            "Arm": name,
+            "Completed": s["completed"],
+            "Shed (fault)": s["shed_fault"],
+            "Shed (other)": s["shed_queue_full"] + s["shed_timeout"],
+            "Retries": s["retries"],
+            "Degraded": s["degraded_completed"],
+            "Throughput (req/s)": round(s["throughput_rps"], 3),
+            "p99 (s)": s["latency_p99_s"],
+        })
+    text = format_table(
+        rows,
+        title=f"Serving chaos — {N_REQUESTS} requests @ {RATE_PER_S:g}/s "
+              f"(wave), {len(CRASHING)}/6 devices crash mid-wave",
+    )
+    chaos = arms["faults + failover"]
+    text += "\n\nfault events: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(chaos["fault_events"].items()))
+    text += "\ncrashed: " + ", ".join(
+        f"{n} (avail {a:.1%})"
+        for n, a in chaos["device_availability"].items() if a < 1.0)
+    text += (f"\nbreakers: " + ", ".join(
+        f"{n}={s}" for n, s in sorted(chaos["breaker_states"].items())))
+    save_text(results_dir, "serving_chaos.txt", text)
+
+    # Conservation on every arm: offered = completed + shed.
+    for s in arms.values():
+        assert s["requests"] == (s["completed"] + s["shed_queue_full"]
+                                 + s["shed_timeout"] + s["shed_fault"])
+    # Headline claim: failover strictly beats shed-on-first-fault.
+    assert (arms["faults + failover"]["completed"]
+            > arms["faults, no failover"]["completed"])
+    # Both crashing devices were detected dead and drained.
+    assert all(chaos["breaker_states"][n] == "dead" for n in CRASHING)
+    assert all(0.0 < chaos["device_availability"][n] < 1.0 for n in CRASHING)
+    # The fault-free arm is untouched by the resilience machinery.
+    assert arms["no faults"]["shed_fault"] == 0
+    assert arms["no faults"]["completed"] >= arms["faults + failover"]["completed"]

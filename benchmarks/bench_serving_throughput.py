@@ -44,7 +44,7 @@ def test_serving_throughput_sweep(benchmark, results_dir):
             "p50 (s)": s["latency_p50_s"],
             "p95 (s)": s["latency_p95_s"],
             "p99 (s)": s["latency_p99_s"],
-            "Shed": s["shed_rejected"] + s["shed_timed_out"],
+            "Shed": s["shed_queue_full"] + s["shed_timeout"],
             "Cache hits": s["cache_hits"],
         })
     text = format_table(
@@ -59,8 +59,8 @@ def test_serving_throughput_sweep(benchmark, results_dir):
 
     # Conservation on every run: offered = completed + shed (+ none lost).
     for s in summaries.values():
-        assert s["requests"] == (s["completed"] + s["shed_rejected"]
-                                 + s["shed_timed_out"])
+        assert s["requests"] == (s["completed"] + s["shed_queue_full"]
+                                 + s["shed_timeout"] + s["shed_fault"])
     # Headline claim: perf-aware >= round-robin throughput on the
     # heterogeneous fleet (acceptance criterion).
     assert (summaries[("mixed", "perf-aware")]["throughput_rps"]

@@ -94,6 +94,33 @@ def _cmd_epidemic(args) -> int:
     return 0
 
 
+def _build_resilience(args):
+    """Translate the serve subcommand's fault flags into a config."""
+    import math
+
+    from repro.resilience import (
+        DegradeConfig,
+        FaultConfig,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    want_faults = args.faults or args.mttf is not None
+    if not (want_faults or args.degrade):
+        return None
+    faults = None
+    if want_faults:
+        faults = FaultConfig(
+            seed=args.fault_seed if args.fault_seed is not None else args.seed,
+            mttf_s=args.mttf if args.mttf is not None else math.inf,
+        )
+    return ResilienceConfig(
+        faults=faults,
+        retry=None if args.no_failover else RetryPolicy(),
+        degrade=DegradeConfig() if args.degrade else None,
+    )
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -104,12 +131,14 @@ def _cmd_serve(args) -> int:
             args.requests, rate_per_s=args.rate, pattern=args.pattern,
             seed=args.seed, dup_fraction=args.dup_fraction,
         )
+        resilience = _build_resilience(args)
         engine = ServingEngine(
             fleet=args.fleet, policy=args.policy,
             batch_policy=BatchPolicy(max_batch=args.max_batch,
                                      max_wait_s=args.max_wait),
             queue_capacity=args.queue_capacity,
             verify_batches=args.verify_batches,
+            resilience=resilience,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -123,8 +152,9 @@ def _cmd_serve(args) -> int:
     print(f"  latency   : p50 {summary['latency_p50_s']:.3f}  "
           f"p95 {summary['latency_p95_s']:.3f}  "
           f"p99 {summary['latency_p99_s']:.3f} s")
-    print(f"  shed      : {summary['shed_rejected']} rejected, "
-          f"{summary['shed_timed_out']} timed out; "
+    print(f"  shed      : {summary['shed_queue_full']} queue-full, "
+          f"{summary['shed_timeout']} timed out, "
+          f"{summary['shed_fault']} faulted; "
           f"{summary['slo_violations']} SLO violations")
     print(f"  queue     : mean depth {summary['queue_mean_depth']:.2f}, "
           f"max {summary['queue_max_depth']}")
@@ -133,6 +163,19 @@ def _cmd_serve(args) -> int:
     for name, util in summary["device_utilization"].items():
         print(f"  {name:32s} util {util:6.1%}  "
               f"batches {summary['device_batches'][name]}")
+    if resilience is not None:
+        events = ", ".join(f"{k}={v}" for k, v in
+                           sorted(summary["fault_events"].items())) or "none"
+        print(f"  faults    : {events}; {summary['retries']} retries "
+              f"({summary['retries_gave_up']} gave up)")
+        down = {n: a for n, a in summary["device_availability"].items() if a < 1.0}
+        if down:
+            print("  crashed   : " + ", ".join(
+                f"{n} (avail {a:.1%})" for n, a in down.items()))
+        if summary["degrade_switches"]:
+            print(f"  degraded  : {summary['degraded_completed']} requests served "
+                  f"without enhancement "
+                  f"({summary['degrade_switches']} mode switches)")
     if summary["verified_batches"]:
         print(f"  functionally verified {summary['verified_batches']} batch(es) "
               "via diagnose_batch")
@@ -208,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-batches", type=int, default=0,
                    help="functionally execute this many served batches")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", action="store_true",
+                   help="enable seeded fault injection (transient kernel "
+                        "failures, stragglers, FPGA reconfiguration stalls)")
+    p.add_argument("--mttf", type=float, default=None,
+                   help="mean time to device crash, seconds (implies --faults; "
+                        "omit for no crashes)")
+    p.add_argument("--fault-seed", type=int, default=None,
+                   help="fault stream seed (default: --seed)")
+    p.add_argument("--no-failover", action="store_true",
+                   help="disable retry/failover: first failure sheds the batch")
+    p.add_argument("--degrade", action="store_true",
+                   help="enable graceful degradation (skip Enhancement AI "
+                        "under queue/latency pressure)")
     p.add_argument("--json", help="also write the summary to this JSON file")
     p.set_defaults(func=_cmd_serve)
     return parser

@@ -12,7 +12,7 @@ registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -66,11 +66,17 @@ class InferenceEngine:
         device: DeviceSpec,
         config: Optional[OptimizationConfig] = None,
         perf_model: Optional[PerfModel] = None,
+        fault_hook: Optional[Callable[[str, str, float], float]] = None,
     ):
         self.model = model
         self.device = device
         self.config = config or OptimizationConfig.ref_pf_lu()
         self.perf_model = perf_model or PerfModel()
+        #: Optional per-launch fault hook ``(kind, site, time_s) -> time_s``.
+        #: May raise (e.g. :class:`repro.resilience.faults.KernelFault`) to
+        #: abort the inference, or return an adjusted launch time — the
+        #: resilience layer's kernel-granularity fault injection point.
+        self.fault_hook = fault_hook
         cal = self.perf_model.calibration[device.name]
         # Per-kind time rates derived from the calibrated efficiencies.
         self._flops_rate = {
@@ -94,6 +100,8 @@ class InferenceEngine:
         else:
             t = result.counts.bytes_moved / self._bw_rate
         t += self.device.launch_overhead_us * 1e-6
+        if self.fault_hook is not None:
+            t = self.fault_hook(kind, site, t)
         trace.record(kind, site, result.counts, t)
         if self._queue is not None:
             # Queue events carry the pure kernel duration; the queue adds

@@ -1,0 +1,72 @@
+"""Fault injection, failover, and graceful degradation for serving.
+
+``repro.serve`` (PR 1) assumed a perfect fleet; this subpackage makes
+the serving engine survive an imperfect one:
+
+- :mod:`~repro.resilience.faults` — a seeded, deterministic fault
+  injector (transient kernel failures, device crashes, stragglers,
+  FPGA-reconfiguration stalls) plus a kernel-granularity hook for
+  :class:`repro.hetero.runtime.InferenceEngine`,
+- :mod:`~repro.resilience.health` — per-device circuit breakers
+  (closed → open → half-open probe, plus a terminal dead state) driven
+  by heartbeat events in the discrete-event loop,
+- :mod:`~repro.resilience.failover` — bounded retries with exponential
+  backoff and excluded-device re-dispatch; exhausted batches are shed
+  with the distinct ``fault`` reason,
+- :mod:`~repro.resilience.degrade` — a pressure-driven controller that
+  flips the pipeline to the Fig. 13 ``use_enhancement=False`` arm
+  (results tagged ``degraded=True``) until queue depth and p95 latency
+  subside.
+
+:class:`ResilienceConfig` bundles the four layers; pass it to
+:class:`repro.serve.ServingEngine` to arm them.  See
+``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilience.degrade import DegradationController, DegradeConfig
+from repro.resilience.failover import FailoverManager, RetryPolicy
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    BatchOutcome,
+    FaultConfig,
+    FaultInjector,
+    KernelFault,
+    kernel_fault_hook,
+)
+from repro.resilience.health import (
+    BreakerState,
+    CircuitBreaker,
+    FleetHealth,
+    HealthConfig,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything the serving engine needs to survive a faulty fleet.
+
+    ``faults=None`` runs fault-free (health/degrade layers still work —
+    useful for degradation under pure overload); ``retry=None`` disables
+    failover so first failures shed immediately (the chaos benchmark's
+    baseline arm); ``degrade=None`` disables graceful degradation.
+    """
+
+    faults: Optional[FaultConfig] = None
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    health: HealthConfig = field(default_factory=HealthConfig)
+    degrade: Optional[DegradeConfig] = None
+
+
+__all__ = [
+    "ResilienceConfig",
+    "FaultConfig", "FaultInjector", "BatchOutcome", "FAULT_KINDS",
+    "KernelFault", "kernel_fault_hook",
+    "HealthConfig", "CircuitBreaker", "BreakerState", "FleetHealth",
+    "RetryPolicy", "FailoverManager",
+    "DegradeConfig", "DegradationController",
+]

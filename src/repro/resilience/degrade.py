@@ -1,0 +1,89 @@
+"""Graceful degradation: shed quality, not requests.
+
+The paper's Fig. 13 original-vs-enhanced comparison (also evaluated in
+the companion framework paper, arXiv:2112.09216) gives the serving
+system a principled degraded mode: the pipeline still produces a
+diagnosis without the Enhancement AI stage, just from lower-quality
+input — and enhancement is by far the most expensive stage (§5.1.1).
+
+The :class:`DegradationController` watches admission-queue depth and
+the p95 of recent completion latencies.  When either crosses its high
+watermark — an overloaded or shrunken fleet — newly admitted requests
+enter the pipeline at the segmentation stage (``use_enhancement=False``
+arm) and their results are tagged ``degraded=True``.  Hysteresis (a low
+watermark plus a minimum dwell time) prevents mode flapping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+
+def _p95(values) -> float:
+    """Nearest-rank p95 (local copy to keep this module import-light)."""
+    vals = sorted(values)
+    if not vals:
+        return 0.0
+    rank = max(1, -(-len(vals) * 95 // 100))
+    return float(vals[rank - 1])
+
+
+@dataclass(frozen=True)
+class DegradeConfig:
+    """Watermarks and hysteresis of the degradation controller."""
+
+    #: Enter degraded mode when queue occupancy reaches this.
+    queue_high: int = 24
+    #: Leave degraded mode only once occupancy is back at or below this.
+    queue_low: int = 8
+    #: Enter degraded mode when p95 completion latency reaches this.
+    p95_high_s: float = 20.0
+    #: Completion-latency window length (number of completions).
+    window: int = 32
+    #: Minimum seconds between mode switches.
+    min_dwell_s: float = 2.0
+
+    def __post_init__(self):
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue_low must be <= queue_high")
+        if self.queue_high < 1 or self.p95_high_s <= 0:
+            raise ValueError("watermarks must be positive")
+        if self.window < 1 or self.min_dwell_s < 0:
+            raise ValueError("window must be >= 1 and dwell >= 0")
+
+
+class DegradationController:
+    """Pressure-driven switch between the full and no-enhancement arms."""
+
+    def __init__(self, config: DegradeConfig = DegradeConfig()):
+        self.config = config
+        self.active = False
+        self.switches: List[Tuple[float, str]] = []
+        self._latencies: Deque[float] = deque(maxlen=config.window)
+        self._last_switch = float("-inf")
+
+    def record_latency(self, latency_s: float) -> None:
+        self._latencies.append(latency_s)
+
+    def p95_s(self) -> float:
+        return _p95(self._latencies)
+
+    def evaluate(self, now: float, queue_depth: int) -> bool:
+        """Update the mode from current pressure; returns ``active``."""
+        cfg = self.config
+        if now - self._last_switch < cfg.min_dwell_s:
+            return self.active
+        p95 = self.p95_s()
+        if not self.active:
+            if queue_depth >= cfg.queue_high or p95 >= cfg.p95_high_s:
+                self.active = True
+                self._last_switch = now
+                self.switches.append((now, "degraded"))
+        else:
+            if queue_depth <= cfg.queue_low and p95 < cfg.p95_high_s:
+                self.active = False
+                self._last_switch = now
+                self.switches.append((now, "full"))
+        return self.active

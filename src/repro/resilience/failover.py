@@ -1,0 +1,73 @@
+"""Retry/failover: requeue failed batches onto the surviving fleet.
+
+When a dispatched batch fails (transient kernel fault, device crash,
+launch onto a corpse) the :class:`FailoverManager` decides its future:
+retry after exponential backoff with the failed device added to the
+batch's excluded set — so the re-dispatch, routed through the existing
+perf-aware policy, lands somewhere else — or, after ``max_retries``
+attempts, give the batch up so the engine sheds its requests with the
+distinct ``fault`` reason.
+
+If the exclusion set ever covers every *healthy* device (e.g. the batch
+has bounced across a shrinking fleet), exclusions are forgiven rather
+than stranding the batch: a healthy device that failed one attempt is
+still better than certain loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff."""
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 8.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s <= 0 or self.backoff_max_s <= 0:
+            raise ValueError("backoff times must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        return min(self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max_s)
+
+
+class FailoverManager:
+    """Per-batch retry accounting for the serving engine."""
+
+    def __init__(self, policy: Optional[RetryPolicy] = None):
+        self.policy = policy or RetryPolicy()
+        self.retries = 0
+        self.gave_up = 0
+
+    def on_failure(self, batch, device_name: str, now: float,
+                   healthy: Set[str]) -> Optional[float]:
+        """Register a failed attempt; returns the retry time or None (shed).
+
+        Mutates ``batch``: bumps its attempt counter and excludes the
+        failed device from re-dispatch.
+        """
+        batch.attempt += 1
+        batch.excluded_devices.add(device_name)
+        if batch.attempt > self.policy.max_retries or not healthy:
+            self.gave_up += 1
+            return None
+        if healthy <= batch.excluded_devices:
+            # Every healthy device already failed this batch once;
+            # forgive rather than strand.
+            batch.excluded_devices.clear()
+        self.retries += 1
+        return now + self.policy.backoff_s(batch.attempt)

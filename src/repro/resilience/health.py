@@ -1,0 +1,171 @@
+"""Per-device health: circuit breakers driven by heartbeat events.
+
+Each fleet device gets a :class:`CircuitBreaker` with the classic
+state machine:
+
+    CLOSED ──(K consecutive failures)──► OPEN
+    OPEN ──(cooldown elapses)──► HALF_OPEN (one probe batch allowed)
+    HALF_OPEN ──probe succeeds──► CLOSED
+    HALF_OPEN ──probe fails──► OPEN (cooldown grows by ``cooldown_factor``)
+
+plus a terminal DEAD state for devices the heartbeat sweep finds
+crashed.  The serving engine's discrete-event loop emits a heartbeat
+every ``heartbeat_s`` of simulated time; the sweep marks crashed
+devices dead and lets OPEN breakers age toward their half-open probe.
+The scheduler excludes every device whose breaker currently refuses
+traffic (:meth:`FleetHealth.unavailable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Circuit-breaker and heartbeat knobs."""
+
+    #: K consecutive failures flip a CLOSED breaker OPEN.
+    failure_threshold: int = 3
+    #: Seconds an OPEN breaker waits before allowing a half-open probe.
+    cooldown_s: float = 5.0
+    #: Cooldown growth after a failed probe (capped at ``cooldown_max_s``).
+    cooldown_factor: float = 2.0
+    cooldown_max_s: float = 60.0
+    #: Simulated-time interval of the engine's heartbeat sweep.
+    heartbeat_s: float = 0.5
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s <= 0 or self.cooldown_max_s <= 0:
+            raise ValueError("cooldowns must be positive")
+        if self.cooldown_factor < 1.0:
+            raise ValueError("cooldown_factor must be >= 1")
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+
+
+class CircuitBreaker:
+    """One device's failure-driven admission gate."""
+
+    def __init__(self, name: str, config: Optional[HealthConfig] = None):
+        self.name = name
+        self.config = config or HealthConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self.opens = 0
+        self.opened_at: Optional[float] = None
+        self.cooldown_s = self.config.cooldown_s
+        self._probe_in_flight = False
+        self.transitions: List[Tuple[float, str]] = []
+
+    def _set(self, state: BreakerState, now: float) -> None:
+        if state is not self.state:
+            self.state = state
+            self.transitions.append((now, state.value))
+
+    # ------------------------------------------------------------------
+    def allows(self, now: float) -> bool:
+        """May the scheduler place a batch on this device right now?
+
+        Ages an OPEN breaker into HALF_OPEN when its cooldown has
+        elapsed; a HALF_OPEN breaker admits exactly one probe at a time.
+        """
+        if self.state is BreakerState.DEAD:
+            return False
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and now >= self.opened_at + self.cooldown_s:
+                self._set(BreakerState.HALF_OPEN, now)
+            else:
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            return not self._probe_in_flight
+        return True
+
+    def begin_probe(self) -> None:
+        """The engine dispatched the half-open probe batch."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_in_flight = True
+
+    def record_success(self, now: float) -> None:
+        self._probe_in_flight = False
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.cooldown_s = self.config.cooldown_s  # healed: reset backoff
+            self._set(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        self._probe_in_flight = False
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state is BreakerState.DEAD:
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self.cooldown_s = min(self.cooldown_s * self.config.cooldown_factor,
+                                  self.config.cooldown_max_s)
+            self._open(now)
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.config.failure_threshold):
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self.opens += 1
+        self.opened_at = now
+        self._set(BreakerState.OPEN, now)
+
+    def mark_dead(self, now: float) -> None:
+        self._probe_in_flight = False
+        self._set(BreakerState.DEAD, now)
+
+
+class FleetHealth:
+    """Breaker registry plus the heartbeat sweep over the fleet."""
+
+    def __init__(self, device_names: Sequence[str],
+                 config: Optional[HealthConfig] = None):
+        self.config = config or HealthConfig()
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(name, self.config) for name in device_names}
+        self.heartbeats = 0
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        return self.breakers[name]
+
+    def unavailable(self, now: float) -> Set[str]:
+        """Devices the scheduler must skip at ``now``."""
+        return {n for n, b in self.breakers.items() if not b.allows(now)}
+
+    def dead(self) -> Set[str]:
+        return {n for n, b in self.breakers.items()
+                if b.state is BreakerState.DEAD}
+
+    def any_alive(self) -> bool:
+        return any(b.state is not BreakerState.DEAD
+                   for b in self.breakers.values())
+
+    def on_heartbeat(self, now: float,
+                     alive: Callable[[str], bool]) -> Set[str]:
+        """One sweep: mark crashed devices dead; returns newly dead names."""
+        self.heartbeats += 1
+        newly_dead = set()
+        for name, breaker in self.breakers.items():
+            if breaker.state is not BreakerState.DEAD and not alive(name):
+                breaker.mark_dead(now)
+                newly_dead.add(name)
+        return newly_dead
+
+    def states(self) -> Dict[str, str]:
+        return {n: b.state.value for n, b in self.breakers.items()}

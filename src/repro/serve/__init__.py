@@ -19,8 +19,14 @@ Table 4 device fleet using the calibrated perf model for service times.
 - :mod:`~repro.serve.metrics` — p50/p95/p99 latency, throughput,
   utilization, shed/violation counts.
 
+Fault tolerance lives in the sibling :mod:`repro.resilience` package:
+pass a :class:`repro.resilience.ResilienceConfig` to
+:class:`ServingEngine` to arm fault injection, circuit breakers,
+retry/failover, and graceful degradation.
+
 See ``docs/serving.md`` for the architecture and how modelled service
-times trace back to the paper's Tables 4–7.
+times trace back to the paper's Tables 4–7, and ``docs/resilience.md``
+for the fault model.
 """
 
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
@@ -30,6 +36,7 @@ from repro.serve.engine import (
     ServedRequest,
     ServingEngine,
     ServingReport,
+    ShedReason,
     TraceEvent,
 )
 from repro.serve.metrics import LatencyStats, percentile, summarize
@@ -62,6 +69,6 @@ __all__ = [
     "SCHEDULING_POLICIES", "STAGES", "FLEET_PRESETS", "fleet_from_spec",
     "ResultCache",
     "ServingEngine", "ServingReport", "ServedRequest", "TraceEvent",
-    "CACHE_HIT_LATENCY_S",
+    "ShedReason", "CACHE_HIT_LATENCY_S",
     "LatencyStats", "percentile", "summarize",
 ]

@@ -12,7 +12,7 @@ requests re-batch between stages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.serve.request import ScanRequest
 
@@ -33,25 +33,40 @@ class BatchPolicy:
 
 @dataclass
 class Batch:
-    """A formed batch bound for one device."""
+    """A formed batch bound for one device.
+
+    ``attempt`` and ``excluded_devices`` are failover state
+    (:mod:`repro.resilience.failover`): how many dispatches have failed,
+    and which devices the re-dispatch must avoid.
+    """
 
     batch_id: int
     stage: str
     requests: List[ScanRequest]
     formed_s: float
+    attempt: int = 0
+    excluded_devices: Set[str] = field(default_factory=set)
 
     def __len__(self) -> int:
         return len(self.requests)
 
 
 class DynamicBatcher:
-    """Accumulates requests for one stage and emits ready batches."""
+    """Accumulates requests for one stage and emits ready batches.
+
+    ``id_counter`` (an iterator of ints) can be shared across the
+    stages of one engine run so batch ids are process-global-state-free
+    and restart at 0 every run — the fault injector keys its per-batch
+    random streams on the id, so reproducibility depends on it.
+    """
 
     _next_batch_id = 0
 
-    def __init__(self, stage: str, policy: Optional[BatchPolicy] = None):
+    def __init__(self, stage: str, policy: Optional[BatchPolicy] = None,
+                 id_counter=None):
         self.stage = stage
         self.policy = policy or BatchPolicy()
+        self._ids = id_counter
         self._pending: List[Tuple[float, ScanRequest]] = []  # (enqueue time, request)
 
     @property
@@ -61,10 +76,12 @@ class DynamicBatcher:
     def _form(self, now: float) -> Batch:
         take = self._pending[: self.policy.max_batch]
         self._pending = self._pending[self.policy.max_batch:]
-        batch = Batch(DynamicBatcher._next_batch_id, self.stage,
-                      [r for _, r in take], now)
-        DynamicBatcher._next_batch_id += 1
-        return batch
+        if self._ids is not None:
+            batch_id = next(self._ids)
+        else:
+            batch_id = DynamicBatcher._next_batch_id
+            DynamicBatcher._next_batch_id += 1
+        return Batch(batch_id, self.stage, [r for _, r in take], now)
 
     def add(self, request: ScanRequest, now: float) -> Optional[Batch]:
         """Enqueue; returns a batch iff the size trigger fires."""

@@ -9,13 +9,23 @@ charges calibrated service times from :class:`repro.hetero.PerfModel`.
 Completed scans populate a content-hash result cache so repeat scans
 short-circuit the pipeline.
 
+With a :class:`repro.resilience.ResilienceConfig` attached, the fleet
+is no longer perfect: the fault injector decides each dispatch's fate
+(transient failure, device crash, straggler, FPGA-reconfiguration
+stall), heartbeat events drive per-device circuit breakers, failed
+batches retry with exponential backoff onto non-excluded healthy
+devices, and a degradation controller flips new admissions to the
+Fig. 13 no-enhancement arm under pressure (results tagged
+``degraded``).  Requests whose batch exhausts its retries are shed
+with the distinct :attr:`ShedReason.FAULT`.
+
 Simulated time is *modelled* (paper-scale 512×512×32 chunks); results
 are *genuine* for up to ``verify_batches`` final-stage batches, which
 are functionally executed at reduced scale through
 :meth:`repro.pipeline.ComputeCovid19Plus.diagnose_batch`.
 
 Everything is driven off one event heap keyed ``(time, seq)``, so runs
-are bit-deterministic for a given workload.
+are bit-deterministic for a given workload — fault injection included.
 """
 
 from __future__ import annotations
@@ -24,9 +34,15 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.hetero.device import DeviceSpec
+from repro.resilience import ResilienceConfig
+from repro.resilience.degrade import DegradationController
+from repro.resilience.failover import FailoverManager
+from repro.resilience.faults import FaultInjector
+from repro.resilience.health import BreakerState, FleetHealth
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.queue import AdmissionQueue
@@ -44,12 +60,21 @@ from repro.serve.scheduler import (
 CACHE_HIT_LATENCY_S = 1e-3
 
 
+class ShedReason(str, Enum):
+    """Why a request left the system without a result."""
+
+    QUEUE_FULL = "queue_full"  # rejected at admission (backpressure)
+    TIMEOUT = "timeout"        # out-waited its SLO queue timeout
+    FAULT = "fault"            # its batch exhausted failover retries
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One structured entry of the engine's execution trace."""
 
     t: float
-    kind: str  # arrival | cache_hit | shed | dispatch | backlog | complete | done
+    kind: str  # arrival | cache_hit | shed | dispatch | backlog | complete
+    #        # | fault | retry | heartbeat | degrade | done
     detail: Dict[str, object] = field(default_factory=dict)
 
 
@@ -61,8 +86,9 @@ class ServedRequest:
     completed_s: Optional[float] = None
     latency_s: Optional[float] = None
     from_cache: bool = False
-    shed_reason: Optional[str] = None  # None | "rejected" | "timeout"
+    shed_reason: Optional[ShedReason] = None
     result: Optional[object] = None  # DiagnosisResult when functionally verified
+    degraded: bool = False  # served through the no-enhancement arm
 
 
 @dataclass
@@ -82,6 +108,13 @@ class ServingReport:
     cache_stats: Dict[str, float]
     utilization: Dict[str, float]
     verified_batches: int
+    # -- resilience layer (empty/zero on fault-free runs) ---------------
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    gave_up: int = 0
+    availability: Dict[str, float] = field(default_factory=dict)
+    degrade_log: List[Tuple[float, str]] = field(default_factory=list)
+    health_states: Dict[str, str] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         from repro.serve.metrics import summarize
@@ -104,6 +137,7 @@ class ServingEngine:
         service_model: Optional[ServiceTimeModel] = None,
         verify_batches: int = 0,
         framework=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         devices = fleet_from_spec(fleet) if isinstance(fleet, str) else list(fleet)
         self.service_model = service_model or ServiceTimeModel()
@@ -116,7 +150,18 @@ class ServingEngine:
         self.stages = STAGES if use_enhancement else STAGES[1:]
         self.verify_batches = verify_batches
         self._framework = framework
+        self._framework_degraded = None
         self._verified = 0
+        # -- resilience layers (all None ⇒ the PR-1 perfect fleet) ------
+        self.resilience = resilience
+        self.injector = (FaultInjector(resilience.faults, devices)
+                         if resilience and resilience.faults else None)
+        self.health = (FleetHealth([d.name for d in devices], resilience.health)
+                       if resilience else None)
+        self.failover = (FailoverManager(resilience.retry)
+                         if resilience and resilience.retry else None)
+        self.degrade_ctl = (DegradationController(resilience.degrade)
+                            if resilience and resilience.degrade else None)
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +174,27 @@ class ServingEngine:
                 use_enhancement="enhance" in self.stages)
         return self._framework
 
+    @property
+    def framework_degraded(self):
+        """The no-enhancement (Fig. 13 original) arm for degraded batches.
+
+        Shares the primary framework's segmentation and classification
+        tools, so a degraded result differs from the full-quality one
+        only by the skipped Enhancement AI stage.
+        """
+        if self._framework_degraded is None:
+            from repro.pipeline import ComputeCovid19Plus
+
+            base = self.framework
+            self._framework_degraded = ComputeCovid19Plus(
+                enhancement=base.enhancement,
+                segmentation=base.segmentation,
+                classification=base.classification,
+                threshold=base.threshold,
+                use_enhancement=False,
+            )
+        return self._framework_degraded
+
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[ScanRequest]) -> ServingReport:
         """Serve a workload to completion; returns the full report."""
@@ -138,11 +204,16 @@ class ServingEngine:
         self._completed: List[ServedRequest] = []
         self._shed: List[ServedRequest] = []
         self._backlog: "deque[Batch]" = deque()
-        self._batchers = {s: DynamicBatcher(s, self.batch_policy)
+        batch_ids = itertools.count()  # per-run ids: faults key on them
+        self._batchers = {s: DynamicBatcher(s, self.batch_policy, batch_ids)
                           for s in self.stages}
+        self._fault_counts: Dict[str, int] = {}
+        self._degraded_ids: Set[int] = set()
         now = 0.0
         for req in requests:
             self._push(req.arrival_s, "arrival", req)
+        if self.resilience is not None and self._heap:
+            self._push(self.health.config.heartbeat_s, "heartbeat", None)
         while self._heap:
             t, _, kind, payload = heapq.heappop(self._heap)
             now = max(now, t)
@@ -152,6 +223,12 @@ class ServingEngine:
                 self._on_flush(payload, now)
             elif kind == "complete":
                 self._on_complete(payload[0], payload[1], now)
+            elif kind == "fail":
+                self._on_fail(payload[0], payload[1], payload[2], now)
+            elif kind == "retry":
+                self._on_retry(payload, now)
+            elif kind == "heartbeat":
+                self._on_heartbeat(now)
         self._emit(now, "done", completed=len(self._completed))
         self.queue.check_conservation()
         return ServingReport(
@@ -168,6 +245,12 @@ class ServingEngine:
             cache_stats=self.cache.stats(),
             utilization=self.scheduler.utilization(now),
             verified_batches=self._verified,
+            fault_stats=dict(self._fault_counts),
+            retries=self.failover.retries if self.failover else 0,
+            gave_up=self.failover.gave_up if self.failover else 0,
+            availability=self.scheduler.availability(now),
+            degrade_log=list(self.degrade_ctl.switches) if self.degrade_ctl else [],
+            health_states=self.health.states() if self.health else {},
         )
 
     # -- event plumbing -------------------------------------------------
@@ -189,10 +272,17 @@ class ServingEngine:
             self._emit(now, "cache_hit", request=req.request_id)
             return
         if not self.queue.offer(req, now):
-            self._shed.append(ServedRequest(req, shed_reason="rejected"))
-            self._emit(now, "shed", request=req.request_id, reason="rejected")
+            self._shed.append(ServedRequest(req, shed_reason=ShedReason.QUEUE_FULL))
+            self._emit(now, "shed", request=req.request_id,
+                       reason=ShedReason.QUEUE_FULL.value)
             return
-        self._add_to_stage(self.stages[0], req, now)
+        self._evaluate_degrade(now)
+        entry_stage = self.stages[0]
+        if (self.degrade_ctl is not None and self.degrade_ctl.active
+                and entry_stage == "enhance" and len(self.stages) > 1):
+            entry_stage = self.stages[1]
+            self._degraded_ids.add(req.request_id)
+        self._add_to_stage(entry_stage, req, now)
         self._pump_backlog(now)
 
     def _on_flush(self, stage: str, now: float) -> None:
@@ -205,6 +295,8 @@ class ServingEngine:
 
     def _on_complete(self, worker: DeviceWorker, batch: Batch, now: float) -> None:
         worker.complete(batch)
+        if self.health is not None:
+            self.health.breaker(worker.spec.name).record_success(now)
         self._emit(now, "complete", stage=batch.stage, device=worker.spec.name,
                    size=len(batch), batch=batch.batch_id)
         idx = self.stages.index(batch.stage)
@@ -215,7 +307,98 @@ class ServingEngine:
             self._finalize_batch(batch, now)
         self._pump_backlog(now)
 
+    def _on_fail(self, worker: DeviceWorker, batch: Batch, kind: str,
+                 now: float) -> None:
+        """A dispatched batch failed on ``worker`` (fault injection)."""
+        worker.fail(batch)
+        name = worker.spec.name
+        if kind in ("crash", "dead") and worker.alive:
+            crash_at = self.injector.crash_time(name) if self.injector else now
+            worker.crashed_at = min(crash_at, now)
+        self._fault_counts[kind] = self._fault_counts.get(kind, 0) + 1
+        self._emit(now, "fault", device=name, fault=kind, batch=batch.batch_id,
+                   stage=batch.stage, size=len(batch), attempt=batch.attempt)
+        if self.health is not None:
+            breaker = self.health.breaker(name)
+            breaker.record_failure(now)
+            if kind in ("crash", "dead"):
+                breaker.mark_dead(now)
+        if self.failover is not None:
+            retry_at = self.failover.on_failure(
+                batch, name, now, self._healthy_names(now))
+            if retry_at is not None:
+                self._push(retry_at, "retry", batch)
+                self._emit(now, "retry", batch=batch.batch_id,
+                           attempt=batch.attempt, retry_at=round(retry_at, 6))
+                self._pump_backlog(now)
+                return
+        self._shed_batch_fault(batch, now)
+        self._pump_backlog(now)
+
+    def _on_retry(self, batch: Batch, now: float) -> None:
+        self._dispatch_or_backlog(batch, now)
+        self._pump_backlog(now)
+
+    def _on_heartbeat(self, now: float) -> None:
+        """Periodic health sweep: crash detection, degrade check, re-pump."""
+        if self.health is not None:
+            alive = ((lambda name: self.injector.alive(name, now))
+                     if self.injector else (lambda name: True))
+            newly_dead = self.health.on_heartbeat(now, alive)
+            for w in self.scheduler.workers:
+                if w.spec.name in newly_dead and w.alive:
+                    w.crashed_at = (self.injector.crash_time(w.spec.name)
+                                    if self.injector else now)
+            if newly_dead:
+                self._emit(now, "heartbeat", dead=sorted(newly_dead))
+        self._evaluate_degrade(now)
+        self._pump_backlog(now)
+        if self._backlog and self.health is not None and not self.health.any_alive():
+            # The whole fleet is gone: nothing will ever serve these.
+            while self._backlog:
+                self._shed_batch_fault(self._backlog.popleft(), now)
+        if self._heap or (self._backlog and
+                          (self.health is None or self.health.any_alive())):
+            self._push(now + self.health.config.heartbeat_s, "heartbeat", None)
+
     # -- internals ------------------------------------------------------
+    def _healthy_names(self, now: float) -> Set[str]:
+        """Devices that can still take traffic (alive, breaker not DEAD)."""
+        names = set()
+        for w in self.scheduler.workers:
+            if not w.alive:
+                continue
+            if self.injector is not None and not self.injector.alive(w.spec.name, now):
+                continue
+            if (self.health is not None and
+                    self.health.breaker(w.spec.name).state is BreakerState.DEAD):
+                continue
+            names.add(w.spec.name)
+        return names
+
+    def _excluded_for(self, batch: Batch, now: float) -> Set[str]:
+        excl = set(batch.excluded_devices)
+        if self.health is not None:
+            excl |= self.health.unavailable(now)
+        if batch.excluded_devices and not (
+                {w.spec.name for w in self.scheduler.workers} - excl):
+            # The batch's own exclusions (plus open breakers) cover the
+            # whole fleet — forgive its exclusions rather than strand it.
+            batch.excluded_devices.clear()
+            excl = (self.health.unavailable(now)
+                    if self.health is not None else set())
+        return excl
+
+    def _evaluate_degrade(self, now: float) -> None:
+        if self.degrade_ctl is None:
+            return
+        before = self.degrade_ctl.active
+        after = self.degrade_ctl.evaluate(now, self.queue.occupancy)
+        if after != before:
+            self._emit(now, "degrade", active=after,
+                       queue_depth=self.queue.occupancy,
+                       p95_s=round(self.degrade_ctl.p95_s(), 4))
+
     def _add_to_stage(self, stage: str, req: ScanRequest, now: float) -> None:
         batch = self._batchers[stage].add(req, now)
         if batch is not None:
@@ -232,27 +415,66 @@ class ServingEngine:
         for req in batch.requests:
             if now - req.arrival_s > req.slo.queue_timeout_s:
                 self.queue.time_out(req, now)
-                self._shed.append(ServedRequest(req, shed_reason="timeout"))
-                self._emit(now, "shed", request=req.request_id, reason="timeout")
+                self._shed.append(ServedRequest(req, shed_reason=ShedReason.TIMEOUT))
+                self._emit(now, "shed", request=req.request_id,
+                           reason=ShedReason.TIMEOUT.value)
             else:
                 keep.append(req)
         batch.requests = keep
         return batch
 
+    def _shed_batch_fault(self, batch: Batch, now: float) -> None:
+        """Shed every request of a batch that exhausted its retries."""
+        for req in batch.requests:
+            self.queue.fault(req, now)
+            self._shed.append(ServedRequest(req, shed_reason=ShedReason.FAULT))
+            self._emit(now, "shed", request=req.request_id,
+                       reason=ShedReason.FAULT.value)
+        batch.requests = []
+
+    def _try_dispatch(self, batch: Batch, now: float) -> bool:
+        """Place ``batch`` on a device (consulting the fault injector)."""
+        worker = self.scheduler.pick(batch, now,
+                                     exclude=self._excluded_for(batch, now))
+        if worker is None:
+            return False
+        service = self.service_model.batch_time(worker.spec, batch.stage,
+                                                len(batch))
+        outcome = (self.injector.outcome(worker.spec, batch.batch_id, now,
+                                         service, batch.attempt)
+                   if self.injector is not None else None)
+        if self.health is not None:
+            self.health.breaker(worker.spec.name).begin_probe()
+        detail = dict(stage=batch.stage, device=worker.spec.name,
+                      size=len(batch), batch=batch.batch_id)
+        if outcome is not None and outcome.fails:
+            # Doomed launch: the device is busy until the failure fires.
+            self.scheduler.dispatch(worker, batch, now,
+                                    service_s=outcome.fail_after_s)
+            self._emit(now, "dispatch", service_s=outcome.fail_after_s,
+                       fault=outcome.kind, **detail)
+            self._push(now + outcome.fail_after_s, "fail",
+                       (worker, batch, outcome.kind))
+            return True
+        if outcome is not None:
+            service = outcome.service_s
+            if outcome.kind != "ok":  # straggler / reconfig survive, slower
+                self._fault_counts[outcome.kind] = \
+                    self._fault_counts.get(outcome.kind, 0) + 1
+                detail["fault"] = outcome.kind
+        done = self.scheduler.dispatch(worker, batch, now, service_s=service)
+        self._emit(now, "dispatch", service_s=done - now, **detail)
+        self._push(done, "complete", (worker, batch))
+        return True
+
     def _dispatch_or_backlog(self, batch: Batch, now: float) -> None:
         batch = self._shed_expired(batch, now)
         if not batch.requests:
             return
-        worker = self.scheduler.pick(batch, now)
-        if worker is None:
+        if not self._try_dispatch(batch, now):
             self._backlog.append(batch)
             self._emit(now, "backlog", stage=batch.stage, size=len(batch),
                        depth=len(self._backlog))
-            return
-        done = self.scheduler.dispatch(worker, batch, now)
-        self._emit(now, "dispatch", stage=batch.stage, device=worker.spec.name,
-                   size=len(batch), service_s=done - now, batch=batch.batch_id)
-        self._push(done, "complete", (worker, batch))
 
     def _pump_backlog(self, now: float) -> None:
         while self._backlog:
@@ -260,25 +482,41 @@ class ServingEngine:
             if not batch.requests:
                 self._backlog.popleft()
                 continue
-            worker = self.scheduler.pick(batch, now)
-            if worker is None:
+            if not self._try_dispatch(batch, now):
                 return
             self._backlog.popleft()
-            done = self.scheduler.dispatch(worker, batch, now)
-            self._emit(now, "dispatch", stage=batch.stage,
-                       device=worker.spec.name, size=len(batch),
-                       service_s=done - now, batch=batch.batch_id)
-            self._push(done, "complete", (worker, batch))
 
     def _finalize_batch(self, batch: Batch, now: float) -> None:
-        results: List[Optional[object]] = [None] * len(batch.requests)
-        if self._verified < self.verify_batches:
-            volumes = [req.materialize() for req in batch.requests]
-            results = list(self.framework.diagnose_batch(volumes))
+        results: Dict[int, object] = {}
+        if self._verified < self.verify_batches and batch.requests:
+            # Degraded requests skipped the enhancement stage in the
+            # timing pipeline; the functional pass must match.
+            normal = [r for r in batch.requests
+                      if r.request_id not in self._degraded_ids]
+            degraded = [r for r in batch.requests
+                        if r.request_id in self._degraded_ids]
+            if normal:
+                outs = self.framework.diagnose_batch(
+                    [r.materialize() for r in normal])
+                results.update({r.request_id: o for r, o in zip(normal, outs)})
+            if degraded:
+                outs = self.framework_degraded.diagnose_batch(
+                    [r.materialize() for r in degraded])
+                results.update({r.request_id: o for r, o in zip(degraded, outs)})
             self._verified += 1
-        for req, result in zip(batch.requests, results):
+        for req in batch.requests:
             self.queue.release(req, now)
             latency = now - req.arrival_s
+            is_degraded = req.request_id in self._degraded_ids
+            result = results.get(req.request_id)
             self._completed.append(ServedRequest(
-                req, completed_s=now, latency_s=latency, result=result))
-            self.cache.put(req.content_key, result if result is not None else True)
+                req, completed_s=now, latency_s=latency, result=result,
+                degraded=is_degraded))
+            if self.degrade_ctl is not None:
+                self.degrade_ctl.record_latency(latency)
+            if not is_degraded:
+                # Degraded results are lower quality — never cache them
+                # where a full-quality repeat scan would hit.
+                self.cache.put(req.content_key,
+                               result if result is not None else True)
+        self._evaluate_degrade(now)

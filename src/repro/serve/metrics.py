@@ -3,7 +3,10 @@
 Summarizes a :class:`repro.serve.engine.ServingReport` into the
 flat dict the CLI prints / serializes: p50/p95/p99 end-to-end latency,
 sustained throughput, per-device utilization and batch counts, queue
-depth, shed and SLO-violation counts, and cache hit rate.
+depth, shed counts split by :class:`~repro.serve.engine.ShedReason`
+(``queue_full`` / ``timeout`` / ``fault``), SLO violations, cache hit
+rate, and — when the resilience layer is armed — fault/retry counters,
+per-device availability, and degraded-mode accounting.
 """
 
 from __future__ import annotations
@@ -57,11 +60,13 @@ def summarize(report) -> Dict[str, object]:
     throughput = len(report.completed) / makespan if makespan > 0 else 0.0
     violations = sum(1 for r in report.completed
                      if r.latency_s > r.request.slo.deadline_s)
+    degraded = sum(1 for r in report.completed if r.degraded)
     return {
         "requests": report.offered,
         "completed": len(report.completed),
-        "shed_rejected": report.queue_stats["rejected"],
-        "shed_timed_out": report.queue_stats["timed_out"],
+        "shed_queue_full": report.queue_stats["rejected"],
+        "shed_timeout": report.queue_stats["timed_out"],
+        "shed_fault": report.queue_stats["faulted"],
         "slo_violations": violations,
         "makespan_s": round(makespan, 4),
         "throughput_rps": round(throughput, 4),
@@ -78,6 +83,16 @@ def summarize(report) -> Dict[str, object]:
                                for k, v in report.utilization.items()},
         "device_batches": {w.spec.name: w.batches_done for w in report.workers},
         "device_requests": {w.spec.name: w.requests_done for w in report.workers},
+        "device_failures": {w.spec.name: w.batches_failed
+                            for w in report.workers},
+        "device_availability": {k: round(v, 4)
+                                for k, v in report.availability.items()},
+        "fault_events": dict(report.fault_stats),
+        "retries": report.retries,
+        "retries_gave_up": report.gave_up,
+        "degraded_completed": degraded,
+        "degrade_switches": len(report.degrade_log),
+        "breaker_states": dict(report.health_states),
         "verified_batches": report.verified_batches,
         "policy": report.policy,
     }

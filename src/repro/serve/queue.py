@@ -5,9 +5,10 @@ admitted only while total in-system occupancy (queued + batched +
 in flight) is below ``capacity``.  Everything above that is shed
 immediately — backpressure the caller can see — and requests that
 out-wait their SLO's ``queue_timeout_s`` before reaching a device are
-shed late.  The stats object maintains the conservation law the tests
-pin: ``offered = admitted + rejected`` and
-``admitted = departed + timed_out + occupancy``.
+shed late.  Batches that exhaust their failover retries shed their
+requests with the ``fault`` reason.  The stats object maintains the
+conservation law the tests pin: ``offered = admitted + rejected`` and
+``admitted = departed + timed_out + faulted + occupancy``.
 """
 
 from __future__ import annotations
@@ -26,13 +27,14 @@ class QueueStats:
     admitted: int = 0
     rejected: int = 0
     timed_out: int = 0
+    faulted: int = 0
     departed: int = 0
 
     def as_dict(self) -> dict:
         return {
             "offered": self.offered, "admitted": self.admitted,
             "rejected": self.rejected, "timed_out": self.timed_out,
-            "departed": self.departed,
+            "faulted": self.faulted, "departed": self.departed,
         }
 
 
@@ -81,6 +83,12 @@ class AdmissionQueue:
         self.stats.timed_out += 1
         self._sample(now)
 
+    def fault(self, request: ScanRequest, now: float) -> None:
+        """Shed an admitted request whose batch exhausted its retries."""
+        self._depart()
+        self.stats.faulted += 1
+        self._sample(now)
+
     def release(self, request: ScanRequest, now: float) -> None:
         """An admitted request completed service."""
         self._depart()
@@ -114,5 +122,6 @@ class AdmissionQueue:
         s = self.stats
         if s.offered != s.admitted + s.rejected:
             raise AssertionError("offered != admitted + rejected")
-        if s.admitted != s.departed + s.timed_out + self._occupancy:
-            raise AssertionError("admitted != departed + timed_out + occupancy")
+        if s.admitted != s.departed + s.timed_out + s.faulted + self._occupancy:
+            raise AssertionError(
+                "admitted != departed + timed_out + faulted + occupancy")

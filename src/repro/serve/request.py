@@ -70,20 +70,37 @@ class ScanRequest:
         return hashlib.sha1(tag.encode()).hexdigest()[:16]
 
     def materialize(self) -> np.ndarray:
-        """Generate the (slices, size, size) HU volume for this request."""
-        from repro.data import chest_volume
+        """The (slices, size, size) HU volume for this request.
 
-        return chest_volume(self.size, self.slices, covid=self.covid,
-                            rng=np.random.default_rng(self.seed))
+        Memoized: the volume is synthesized once and cached on the
+        request, so failover re-dispatch (and multi-stage verification)
+        of the same request never re-synthesizes data.  Callers must
+        treat the returned array as read-only.
+        """
+        cached = getattr(self, "_volume", None)
+        if cached is None:
+            from repro.data import chest_volume
+
+            cached = chest_volume(self.size, self.slices, covid=self.covid,
+                                  rng=np.random.default_rng(self.seed))
+            # Frozen dataclass: stash the cache outside the field set.
+            object.__setattr__(self, "_volume", cached)
+        return cached
 
 
 # ---------------------------------------------------------------------------
 # Arrival processes
 # ---------------------------------------------------------------------------
+def _validate_arrival_args(n: int, rate_per_s: float) -> None:
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    if rate_per_s <= 0:
+        raise ValueError(f"need rate > 0, got {rate_per_s}")
+
+
 def poisson_arrivals(n: int, rate_per_s: float, rng: np.random.Generator) -> np.ndarray:
     """``n`` arrival times of a homogeneous Poisson process (sorted)."""
-    if n < 0 or rate_per_s <= 0:
-        raise ValueError("need n >= 0 and rate > 0")
+    _validate_arrival_args(n, rate_per_s)
     return np.cumsum(rng.exponential(1.0 / rate_per_s, size=n))
 
 
@@ -100,6 +117,9 @@ def burst_arrivals(
     ``burst_factor × rate_per_s`` — an outbreak-day surge on top of
     steady traffic.
     """
+    _validate_arrival_args(n, rate_per_s)
+    if burst_factor <= 0 or not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError("need burst_factor > 0 and burst_fraction in [0, 1]")
     lo = int(n * (1 - burst_fraction) / 2)
     hi = n - lo
     gaps = rng.exponential(1.0 / rate_per_s, size=n)
@@ -122,6 +142,7 @@ def epidemic_wave_arrivals(
     arrivals are drawn by inverse-CDF sampling — traffic concentrates
     where the epidemic curve peaks.
     """
+    _validate_arrival_args(n, rate_per_s)
     from repro.epi import uk_delta_wave_scenario
 
     cases = uk_delta_wave_scenario().run(days)["cases_per_million"]

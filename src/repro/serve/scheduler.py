@@ -20,7 +20,7 @@ scheduler enforces it and keeps per-device accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.hetero.device import DEVICES, DeviceSpec, get_device
 from repro.hetero.perfmodel import PerfModel
@@ -111,7 +111,7 @@ class ServiceTimeModel:
 
 @dataclass
 class DeviceWorker:
-    """One fleet member with in-flight and utilization accounting."""
+    """One fleet member with in-flight, fault, and utilization accounting."""
 
     spec: DeviceSpec
     slots: int = 1
@@ -120,11 +120,18 @@ class DeviceWorker:
     busy_s: float = 0.0
     batches_done: int = 0
     requests_done: int = 0
+    batches_failed: int = 0
     max_in_flight: int = 0
+    #: Simulated time at which the device permanently died (None = alive).
+    crashed_at: Optional[float] = None
 
     @property
     def available(self) -> bool:
         return self.in_flight < self.slots
+
+    @property
+    def alive(self) -> bool:
+        return self.crashed_at is None
 
     def begin(self, now: float, service_s: float) -> float:
         """Start a batch; returns its completion time."""
@@ -143,6 +150,13 @@ class DeviceWorker:
         self.in_flight -= 1
         self.batches_done += 1
         self.requests_done += len(batch)
+
+    def fail(self, batch: Batch) -> None:
+        """A dispatched batch failed (fault) instead of completing."""
+        if self.in_flight <= 0:
+            raise RuntimeError(f"{self.spec.name}: failure without dispatch")
+        self.in_flight -= 1
+        self.batches_failed += 1
 
 
 class FleetScheduler:
@@ -168,44 +182,71 @@ class FleetScheduler:
         self.lookahead = lookahead
         self._rr_index = 0
 
-    def pick(self, batch: Batch, now: float) -> Optional[DeviceWorker]:
-        """The worker to run ``batch``, or None if every slot is busy."""
-        free = [w for w in self.workers if w.available]
+    def pick(self, batch: Batch, now: float,
+             exclude: Optional[Set[str]] = None) -> Optional[DeviceWorker]:
+        """The worker to run ``batch``, or None if no eligible slot is free.
+
+        ``exclude`` removes devices from consideration entirely — the
+        resilience layer passes the union of the batch's failed devices
+        and every device whose circuit breaker currently refuses traffic
+        (:meth:`repro.resilience.health.FleetHealth.unavailable`).
+        """
+        exclude = exclude or set()
+        eligible = [w for w in self.workers if w.spec.name not in exclude]
+        free = [w for w in eligible if w.available]
         if not free:
             return None
         if self.policy == "round-robin":
             # Rotate over the *whole* fleet so the policy stays
-            # heterogeneity-blind; skip to the next free worker.
+            # heterogeneity-blind; skip to the next free eligible worker.
             n = len(self.workers)
             for step in range(n):
                 w = self.workers[(self._rr_index + step) % n]
-                if w.available:
+                if w.available and w.spec.name not in exclude:
                     self._rr_index = (self._rr_index + step + 1) % n
                     return w
             return None
         if self.policy == "least-loaded":
             return min(free, key=lambda w: (w.in_flight, w.busy_s, w.spec.name))
-        # perf-aware: estimated completion delay over the WHOLE fleet,
-        # with lookahead.  Take the best free device unless it is more
-        # than ``lookahead``× slower than waiting for the fleet's best
-        # (busy) device: an idle sibling GPU is worth dispatching to,
-        # a 17 s FPGA batch is not.  Pure greedy-ETA would serialize
+        # perf-aware: estimated completion delay over the whole ELIGIBLE
+        # fleet, with lookahead.  Take the best free device unless it is
+        # more than ``lookahead``× slower than waiting for the fleet's
+        # best (busy) device: an idle sibling GPU is worth dispatching
+        # to, a 17 s FPGA batch is not.  Pure greedy-ETA would serialize
         # everything onto the single fastest device; pure free-only
         # ETA would feed the FPGA whenever the GPUs are briefly busy.
         def delay(w: DeviceWorker) -> float:
             return max(0.0, w.free_at - now) + self.service_model.batch_time(
                 w.spec, batch.stage, len(batch))
-        best = min(self.workers, key=lambda w: (delay(w), w.spec.name))
+        best = min(eligible, key=lambda w: (delay(w), w.spec.name))
         cand = min(free, key=lambda w: (delay(w), w.spec.name))
         return cand if delay(cand) <= self.lookahead * delay(best) else None
 
-    def dispatch(self, worker: DeviceWorker, batch: Batch, now: float) -> float:
-        """Charge ``batch`` to ``worker``; returns completion time."""
-        service = self.service_model.batch_time(worker.spec, batch.stage, len(batch))
-        return worker.begin(now, service)
+    def dispatch(self, worker: DeviceWorker, batch: Batch, now: float,
+                 service_s: Optional[float] = None) -> float:
+        """Charge ``batch`` to ``worker``; returns completion time.
+
+        ``service_s`` overrides the modelled service time — the engine
+        passes the fault-adjusted duration (straggler slowdown,
+        reconfiguration stall, or time-to-failure for a doomed launch).
+        """
+        if service_s is None:
+            service_s = self.service_model.batch_time(
+                worker.spec, batch.stage, len(batch))
+        return worker.begin(now, service_s)
 
     def utilization(self, makespan: float) -> Dict[str, float]:
         """busy-time / makespan per device (can exceed 1 with slots > 1)."""
         if makespan <= 0:
             return {w.spec.name: 0.0 for w in self.workers}
         return {w.spec.name: w.busy_s / makespan for w in self.workers}
+
+    def availability(self, makespan: float) -> Dict[str, float]:
+        """Fraction of the run each device was alive (1.0 = never crashed)."""
+        if makespan <= 0:
+            return {w.spec.name: 1.0 for w in self.workers}
+        return {
+            w.spec.name: 1.0 if w.alive
+            else max(0.0, min(w.crashed_at, makespan)) / makespan
+            for w in self.workers
+        }

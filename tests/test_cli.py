@@ -71,8 +71,8 @@ class TestCli:
         with open(out_file) as fh:
             summary = json.load(fh)
         assert summary["requests"] == 25
-        assert summary["completed"] + summary["shed_rejected"] + \
-            summary["shed_timed_out"] == 25
+        assert summary["completed"] + summary["shed_queue_full"] + \
+            summary["shed_timeout"] + summary["shed_fault"] == 25
         assert "latency_p99_s" in summary and "device_utilization" in summary
 
     def test_serve_rejects_unknown_policy(self):

@@ -16,6 +16,7 @@ from repro.serve import (
     ScanRequest,
     ServiceTimeModel,
     ServingEngine,
+    ShedReason,
     burst_arrivals,
     epidemic_wave_arrivals,
     fleet_from_spec,
@@ -45,6 +46,33 @@ class TestRequests:
     def test_poisson_validates(self):
         with pytest.raises(ValueError):
             poisson_arrivals(10, 0.0, np.random.default_rng(0))
+
+    def test_zero_and_negative_rates_rejected_everywhere(self):
+        rng = np.random.default_rng(0)
+        for gen in (poisson_arrivals, burst_arrivals, epidemic_wave_arrivals):
+            for rate in (0.0, -2.0):
+                with pytest.raises(ValueError):
+                    gen(10, rate, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, 1.0, rng)
+        with pytest.raises(ValueError):
+            burst_arrivals(10, 1.0, rng, burst_factor=0.0)
+        with pytest.raises(ValueError):
+            burst_arrivals(10, 1.0, rng, burst_fraction=1.5)
+
+    def test_empty_streams(self):
+        rng = np.random.default_rng(0)
+        for gen in (poisson_arrivals, burst_arrivals, epidemic_wave_arrivals):
+            t = gen(0, 4.0, rng)
+            assert isinstance(t, np.ndarray) and t.shape == (0,)
+        assert make_workload(0, rate_per_s=4.0, seed=0) == []
+
+    def test_all_patterns_monotone_nondecreasing(self):
+        for pattern in ("poisson", "burst", "wave"):
+            reqs = make_workload(200, rate_per_s=6.0, pattern=pattern, seed=11)
+            t = np.array([r.arrival_s for r in reqs])
+            assert np.all(np.diff(t) >= 0)
+            assert np.all(t >= 0)
 
     def test_burst_compresses_middle(self):
         t = burst_arrivals(300, 1.0, np.random.default_rng(0), burst_factor=8.0)
@@ -77,6 +105,11 @@ class TestRequests:
         assert vol.shape == (4, 16, 16)
         assert np.array_equal(vol, r.materialize())  # pure function of seed
 
+    def test_materialize_is_memoized(self):
+        # Retries re-materialize; the synthesis must run only once.
+        r = req(0, 0.0, seed=5, size=16, slices=4)
+        assert r.materialize() is r.materialize()
+
     def test_slo_and_pattern_validation(self):
         with pytest.raises(ValueError):
             SLO(deadline_s=-1.0)
@@ -105,7 +138,7 @@ class TestAdmissionQueue:
         q.check_conservation()
         assert q.occupancy == 3
         assert q.stats.as_dict() == {"offered": 5, "admitted": 5, "rejected": 0,
-                                     "timed_out": 1, "departed": 1}
+                                     "timed_out": 1, "faulted": 0, "departed": 1}
 
     def test_underflow_raises(self):
         q = AdmissionQueue(capacity=2)
@@ -238,6 +271,28 @@ class TestFleetScheduler:
         with pytest.raises(RuntimeError):
             w.complete(b)
 
+    def test_pick_with_every_device_excluded(self, service_model):
+        fleet = fleet_from_spec("gpus")
+        everyone = {d.name for d in fleet}
+        for policy in ("round-robin", "least-loaded", "perf-aware"):
+            s = FleetScheduler(fleet, policy, service_model)
+            assert s.pick(self._batch(), 0.0, exclude=everyone) is None
+        # Partial exclusion still yields a non-excluded worker.
+        s = FleetScheduler(fleet, "perf-aware", service_model)
+        w = s.pick(self._batch(), 0.0, exclude={"Nvidia V100 GPU"})
+        assert w is not None and w.spec.name != "Nvidia V100 GPU"
+
+    def test_failure_accounting(self, service_model):
+        s = FleetScheduler([NVIDIA_V100], "round-robin", service_model)
+        b = self._batch()
+        w = s.pick(b, 0.0)
+        s.dispatch(w, b, 0.0)
+        w.fail(b)
+        assert w.in_flight == 0 and w.batches_failed == 1
+        assert w.batches_done == 0 and w.requests_done == 0
+        with pytest.raises(RuntimeError):
+            w.fail(b)
+
     def test_policy_validation(self, service_model):
         with pytest.raises(ValueError):
             FleetScheduler([NVIDIA_V100], "random", service_model)
@@ -334,7 +389,7 @@ class TestEngineInvariants:
         rep = ServingEngine(fleet="Arria", policy="round-robin",
                             queue_capacity=4).run(reqs)
         assert rep.queue_stats["rejected"] > 0
-        assert all(r.shed_reason == "rejected" for r in rep.shed
+        assert all(r.shed_reason is ShedReason.QUEUE_FULL for r in rep.shed
                    if r.latency_s is None)
 
     def test_timeout_shedding_on_slow_fleet(self):
