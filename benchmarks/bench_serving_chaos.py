@@ -7,8 +7,13 @@ failover-enabled run (retry + circuit breakers + graceful degradation)
 against a failover-disabled run (first failure sheds the batch).  The
 headline claim — failover completes strictly more requests than
 shedding on first fault — is asserted, and the comparison table is
-written to ``benchmarks/results/serving_chaos.txt``.
+written to ``benchmarks/results/serving_chaos.txt``.  The failover
+arm's full telemetry event stream is exported to
+``benchmarks/results/serving_chaos_trace.jsonl`` (uploaded as a CI
+artifact; replay it with ``repro trace summary``).
 """
+
+import os
 
 from conftest import save_text
 from repro.report import format_table
@@ -19,6 +24,7 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.serve import BatchPolicy, ServingEngine, make_workload
+from repro.telemetry import export_jsonl
 
 N_REQUESTS = 200
 RATE_PER_S = 12.0
@@ -47,21 +53,27 @@ def _run(requests, faults, failover: bool, degrade: bool):
         batch_policy=BatchPolicy(max_batch=4, max_wait_s=0.25),
         queue_capacity=128, resilience=resilience,
     )
-    return engine.run(requests).summary()
+    return engine.run(requests)
 
 
 def test_serving_chaos(benchmark, results_dir):
     requests = make_workload(N_REQUESTS, rate_per_s=RATE_PER_S,
                              pattern="wave", seed=SEED, dup_fraction=0.2)
     faults = _fault_config(requests)
-    arms = {
+    reports = {
         "no faults": _run(requests, None, failover=False, degrade=False),
         "faults, no failover": _run(requests, faults, failover=False,
                                     degrade=True),
         "faults + failover": _run(requests, faults, failover=True,
                                   degrade=True),
     }
+    arms = {name: r.summary() for name, r in reports.items()}
     benchmark(_run, requests, faults, True, True)
+
+    # Export the failover arm's full telemetry spine; CI uploads it and
+    # `repro trace summary` replays it bit-identically.
+    trace_path = os.path.join(results_dir, "serving_chaos_trace.jsonl")
+    export_jsonl(trace_path, reports["faults + failover"].events)
 
     rows = []
     for name, s in arms.items():

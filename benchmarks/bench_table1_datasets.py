@@ -5,7 +5,6 @@ synthetic stand-ins expose the same scan counts and labels; times the
 materialization of one scan per source.
 """
 
-import numpy as np
 
 from conftest import save_text
 from repro.data import bimcv, data_source_table, lidc, mayo_clinic, midrc

@@ -7,7 +7,7 @@ reduced resolution to prove the architecture executes.
 
 import numpy as np
 
-from conftest import save_text, tiny_ddnet
+from conftest import save_text
 from repro.models import DDnet, ddnet_layer_table
 from repro.report import format_table
 from repro.tensor import Tensor, no_grad

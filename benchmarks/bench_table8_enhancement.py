@@ -10,7 +10,7 @@ f(X) strictly closer to Y than X is, in both MSE and (MS-)SSIM.
 import numpy as np
 
 from conftest import save_text
-from repro.metrics import mse, ms_ssim, ssim
+from repro.metrics import mse, ms_ssim
 from repro.report import format_table
 
 

@@ -6,11 +6,9 @@ paper does (its operating point is 0.061), and prints the confusion
 matrix in the Table 9 layout.
 """
 
-import numpy as np
 
 from conftest import save_text
 from repro.metrics import confusion_matrix, optimal_threshold
-from repro.report import format_table
 
 
 def test_table9_confusion_matrix(benchmark, results_dir, diagnosis):

@@ -8,13 +8,12 @@ table/figure (visible with ``pytest -s``) and writes it under
 """
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 import pytest
 
-import repro.nn as nn
 from repro.ct.hounsfield import denormalize_unit, normalize_unit
 from repro.data import make_classification_volumes, make_enhancement_pairs
 from repro.data.datasets import (

@@ -9,7 +9,11 @@ code:
 - ``epidemic``  — run the Fig. 2 variant-wave scenario,
 - ``inventory`` — print the Table 1 data-source registry,
 - ``serve``     — simulate serving a diagnosis-request stream over the
-  Table 4 device fleet with dynamic batching (``repro.serve``).
+  Table 4 device fleet with dynamic batching (``repro.serve``);
+  ``--trace-out`` exports the run's telemetry events as JSONL,
+- ``trace``     — work with exported traces: ``trace summary FILE``
+  recomputes the serving summary (bit-identical latency percentiles,
+  throughput, shed counts) from the events alone.
 """
 
 from __future__ import annotations
@@ -59,7 +63,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_tables(args) -> int:
-    from repro.hetero import DEVICES, PerfModel
+    from repro.hetero import PerfModel
     from repro.report import format_table
 
     pm = PerfModel()
@@ -143,7 +147,8 @@ def _cmd_serve(args) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    summary = engine.run(requests).summary()
+    report = engine.run(requests)
+    summary = report.summary()
     print(f"served {summary['completed']}/{summary['requests']} requests "
           f"({args.pattern} arrivals @ {args.rate:g}/s, policy {args.policy}, "
           f"fleet {args.fleet})")
@@ -180,6 +185,47 @@ def _cmd_serve(args) -> int:
         print(f"  functionally verified {summary['verified_batches']} batch(es) "
               "via diagnose_batch")
     if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"wrote JSON summary to {args.json}")
+    if args.trace_out:
+        from repro.telemetry import export_jsonl
+
+        export_jsonl(args.trace_out, report.events)
+        print(f"wrote {len(report.events)} telemetry events to "
+              f"{args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.serve.metrics import summarize_trace
+    from repro.telemetry import load_jsonl
+
+    try:
+        events = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(events)
+    print(f"{len(events)} events: {summary['completed']}/"
+          f"{summary['requests']} requests completed")
+    print(f"  throughput: {summary['throughput_rps']:.3f} req/s over "
+          f"{summary['makespan_s']:.2f} s")
+    print(f"  latency   : p50 {summary['latency_p50_s']:.3f}  "
+          f"p95 {summary['latency_p95_s']:.3f}  "
+          f"p99 {summary['latency_p99_s']:.3f} s")
+    print(f"  shed      : {summary['shed_queue_full']} queue-full, "
+          f"{summary['shed_timeout']} timed out, "
+          f"{summary['shed_fault']} faulted; "
+          f"{summary['slo_violations']} SLO violations")
+    print(f"  cache     : {summary['cache_hits']} hits")
+    if summary["fault_events"] or summary["retries"]:
+        faults = ", ".join(f"{k}={v}" for k, v in
+                           sorted(summary["fault_events"].items())) or "none"
+        print(f"  faults    : {faults}; {summary['retries']} retries")
+    if args.json:
+        import json
+
         with open(args.json, "w") as fh:
             json.dump(summary, fh, indent=2)
         print(f"wrote JSON summary to {args.json}")
@@ -265,7 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable graceful degradation (skip Enhancement AI "
                         "under queue/latency pressure)")
     p.add_argument("--json", help="also write the summary to this JSON file")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="export the run's telemetry events as JSONL "
+                        "(replay with `repro trace summary FILE`)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("trace", help="work with exported telemetry traces")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser(
+        "summary", help="recompute the serving summary from a JSONL trace")
+    ps.add_argument("file", help="trace written by `repro serve --trace-out`")
+    ps.add_argument("--json", help="also write the summary to this JSON file")
+    ps.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -9,7 +9,7 @@ isocenter, perpendicular to the central ray, at source distance SDD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

@@ -11,7 +11,6 @@ fancy-indexed gathers.  No Python loop over rays.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ is lazy — a :class:`SyntheticSource` materializes scans on demand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
@@ -25,7 +25,7 @@ from repro.ct.geometry import FanBeamGeometry, paper_geometry
 from repro.ct.hounsfield import hu_to_mu, mu_to_hu, normalize_unit
 from repro.ct.noise import PAPER_BLANK_SCAN
 from repro.ct.sinogram import simulate_low_dose_pair
-from repro.data.phantom import ChestPhantomConfig, chest_slice, slice_masks
+from repro.data.phantom import ChestPhantomConfig, chest_slice
 from repro.data.phantom3d import chest_volume
 from repro.data.registry import DATA_SOURCES
 from repro.nn.data import Dataset

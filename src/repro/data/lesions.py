@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
-from scipy.ndimage import binary_erosion, distance_transform_edt, gaussian_filter
+from scipy.ndimage import distance_transform_edt, gaussian_filter
 
 HU_GGO = -350.0
 HU_CONSOLIDATION = 20.0

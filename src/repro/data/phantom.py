@@ -10,8 +10,8 @@ so the slices flow directly into the CT physics chain via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 from scipy.ndimage import gaussian_filter

@@ -9,11 +9,11 @@ maximal mid-thorax), and COVID lesions span several adjacent slices so
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.data.lesions import COVID_LESION_TYPES, LESION_TYPES, add_lesion
+from repro.data.lesions import COVID_LESION_TYPES, add_lesion
 from repro.data.phantom import ChestPhantomConfig, chest_slice, slice_masks
 
 #: Lesion menus per disease (``disease`` argument of :func:`chest_volume`).

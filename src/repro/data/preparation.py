@@ -10,7 +10,7 @@ Three operations the paper applies to harmonize its four sources:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -1,0 +1,68 @@
+"""A small reusable discrete-event kernel.
+
+The serving engine (PR 1) grew its event heap, sequence counter, and
+handler dispatch inline; this module extracts them so any simulator in
+the repo — serving, future sharded/multi-queue variants — runs on the
+same deterministic core: a heap of ``(time, seq, kind, payload)``
+entries popped in ``(time, seq)`` order, with ``seq`` a monotone
+counter that makes same-time ordering exactly insertion order.  The
+loop clock never goes backwards (``now = max(now, t)``), so handlers
+always observe non-decreasing time — the property every trace and
+metrics consumer relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["EventLoop"]
+
+Handler = Callable[[object, float], None]
+
+
+class EventLoop:
+    """Deterministic discrete-event loop: schedule, register, run."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._handlers: Dict[str, Handler] = {}
+        self.now = 0.0
+        self.processed = 0
+
+    # -- wiring ---------------------------------------------------------
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register the handler for ``kind`` (one handler per kind)."""
+        self._handlers[kind] = handler
+
+    def schedule(self, t: float, kind: str, payload: object = None) -> None:
+        """Enqueue an event; same-``t`` events fire in insertion order."""
+        heapq.heappush(self._heap, (float(t), next(self._seq), kind, payload))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Events still on the heap."""
+        return len(self._heap)
+
+    # -- execution ------------------------------------------------------
+    def step(self) -> Optional[str]:
+        """Pop and dispatch one event; returns its kind (None if idle)."""
+        if not self._heap:
+            return None
+        t, _, kind, payload = heapq.heappop(self._heap)
+        self.now = max(self.now, t)
+        handler = self._handlers.get(kind)
+        if handler is None:
+            raise KeyError(f"no handler registered for event kind {kind!r}")
+        self.processed += 1
+        handler(payload, self.now)
+        return kind
+
+    def run(self) -> float:
+        """Drain the heap (handlers may schedule more); returns ``now``."""
+        while self._heap:
+            self.step()
+        return self.now

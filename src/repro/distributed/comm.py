@@ -14,7 +14,7 @@ single-process large-batch training) while the *wall-clock* is modelled
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Literal, Sequence
 
 import numpy as np

@@ -10,7 +10,7 @@ gap between the roofline and the paper's measured kernel times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional
+from typing import Dict, Literal
 
 DeviceType = Literal["gpu", "cpu", "fpga"]
 

@@ -20,10 +20,9 @@ the heterogeneous-inference example exercise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.hetero.counters import OpCounts
 from repro.hetero.device import DeviceSpec
 
 #: Host↔device transfer bandwidth (PCIe 3.0 x16 effective).

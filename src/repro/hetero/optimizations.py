@@ -8,7 +8,7 @@ effective bandwidth, or pipeline throughput (Table 7 / §4.2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List
 
 

@@ -33,10 +33,9 @@ overhead factor (kernel dispatch, no fusion), calibrated from Table 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.hetero.counters import OpCounts
 from repro.hetero.device import DEVICES, DeviceSpec
 from repro.hetero.optimizations import OptimizationConfig
 from repro.hetero.schedule import KernelInvocation, ddnet_kernel_schedule, schedule_totals

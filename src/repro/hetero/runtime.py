@@ -7,14 +7,28 @@ wall-clock per kernel launch.  This is the reproduction of the paper's
 OpenCL inference path: same operation sequence, same optimization
 switch (naive vs refactored deconvolution), portable across the device
 registry.
+
+Instrumentation rides the :mod:`repro.telemetry` spine:
+:class:`ExecutionTrace` is a *view* over ``kernel_launch`` events on an
+:class:`~repro.telemetry.EventBus` — pass ``bus=`` to share the spine
+with the serving engine (one bus for kernel launches, shed decisions,
+breaker transitions, and heartbeats alike), or let each trace own a
+private bus for standalone use.  Each launch is emitted at the trace's
+cumulative modelled time, so the event stream doubles as a modelled
+timeline; ``launches`` / ``counts`` / ``modelled_time_s`` are derived
+properties, and a trace exported with
+:func:`repro.telemetry.export_jsonl` rebuilds losslessly via
+:meth:`ExecutionTrace.from_events`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
+
+from repro.telemetry import EventBus, open_span
 
 from repro.hetero.counters import OpCounts
 from repro.hetero.device import DeviceSpec
@@ -34,27 +48,98 @@ from repro.hetero.schedule import TABLE5_GROUPS
 from repro.models.ddnet import DDnet
 
 
-@dataclass
-class ExecutionTrace:
-    """Per-launch log plus aggregate counts and modelled time."""
+#: Source tag of every kernel-launch event the runtime emits.
+HETERO_SOURCE = "hetero.runtime"
 
-    launches: List[Dict] = field(default_factory=list)
-    counts: Dict[str, OpCounts] = field(default_factory=dict)
-    modelled_time_s: float = 0.0
+#: Process-wide trace ids so traces sharing one bus stay separable.
+_trace_ids = itertools.count()
+
+
+def _as_opcounts(value) -> OpCounts:
+    """Accept a live :class:`OpCounts` or its JSONL dict form."""
+    if isinstance(value, OpCounts):
+        return value
+    return OpCounts(**{k: value[k] for k in ("loads", "stores", "flops")})
+
+
+class ExecutionTrace:
+    """Per-launch log as a view over ``kernel_launch`` telemetry events.
+
+    ``record`` advances the trace's cumulative modelled clock and emits
+    one event per launch; ``launches`` / ``counts`` /
+    ``modelled_time_s`` are derived from those events, so the bus *is*
+    the trace — export it, reload it, and the view is identical.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 source: str = HETERO_SOURCE):
+        self.bus = bus if bus is not None else EventBus()
+        self.source = source
+        self.trace_id = next(_trace_ids)
+        self._clock = 0.0  # cumulative modelled seconds within this trace
 
     def record(self, kind: str, site: str, counts: OpCounts, time_s: float) -> None:
-        self.launches.append({"kind": kind, "site": site, "time_s": time_s})
-        self.counts[kind] = self.counts.get(kind, OpCounts()) + counts
-        self.modelled_time_s += time_s
+        self._clock += time_s
+        # Payload key is ``op`` (not ``kind``): the event's own ``kind``
+        # is the stream type, ``kernel_launch``.
+        self.bus.emit(self._clock, "kernel_launch", self.source,
+                      trace=self.trace_id, op=kind, site=site,
+                      time_s=time_s, counts=counts)
+
+    # -- derived views ---------------------------------------------------
+    def events(self):
+        """This trace's ``kernel_launch`` events, in launch order."""
+        return [e for e in self.bus.of_kind("kernel_launch")
+                if e.payload.get("trace") == self.trace_id]
+
+    @property
+    def launches(self) -> List[Dict]:
+        return [{"kind": e.payload["op"], "site": e.payload["site"],
+                 "time_s": e.payload["time_s"]} for e in self.events()]
+
+    @property
+    def counts(self) -> Dict[str, OpCounts]:
+        out: Dict[str, OpCounts] = {}
+        for e in self.events():
+            kind = e.payload["op"]
+            out[kind] = out.get(kind, OpCounts()) + _as_opcounts(
+                e.payload["counts"])
+        return out
+
+    @property
+    def modelled_time_s(self) -> float:
+        return sum(e.payload["time_s"] for e in self.events())
 
     def group_counts(self) -> Dict[str, OpCounts]:
+        counts = self.counts
         grouped: Dict[str, OpCounts] = {}
         for group, kinds in TABLE5_GROUPS.items():
             acc = OpCounts()
             for k in kinds:
-                acc = acc + self.counts.get(k, OpCounts())
+                acc = acc + counts.get(k, OpCounts())
             grouped[group] = acc
         return grouped
+
+    @classmethod
+    def from_events(cls, events: Iterable,
+                    trace_id: Optional[int] = None) -> "ExecutionTrace":
+        """Rebuild a trace view from events (e.g. a loaded JSONL file).
+
+        ``trace_id`` selects one trace when several share the stream;
+        by default the first ``kernel_launch`` event's trace is used.
+        """
+        trace = cls()
+        for e in events:
+            if e.kind != "kernel_launch":
+                continue
+            if trace_id is None:
+                trace_id = e.payload.get("trace")
+            if e.payload.get("trace") != trace_id:
+                continue
+            trace.record(e.payload["op"], e.payload["site"],
+                         _as_opcounts(e.payload["counts"]),
+                         float(e.payload["time_s"]))
+        return trace
 
 
 class InferenceEngine:
@@ -67,9 +152,14 @@ class InferenceEngine:
         config: Optional[OptimizationConfig] = None,
         perf_model: Optional[PerfModel] = None,
         fault_hook: Optional[Callable[[str, str, float], float]] = None,
+        bus: Optional[EventBus] = None,
     ):
         self.model = model
         self.device = device
+        #: Optional shared telemetry bus: every trace this engine
+        #: produces emits its kernel launches (and an ``inference``
+        #: span) here, e.g. the serving engine's spine.
+        self.bus = bus
         self.config = config or OptimizationConfig.ref_pf_lu()
         self.perf_model = perf_model or PerfModel()
         #: Optional per-launch fault hook ``(kind, site, time_s) -> time_s``.
@@ -149,7 +239,9 @@ class InferenceEngine:
         instrumented kernel layer with device-time accounting.
         """
         m = self.model
-        trace = ExecutionTrace()
+        trace = ExecutionTrace(bus=self.bus)
+        span = open_span(trace.bus, "inference", source=trace.source,
+                         t_start=0.0)
         h = self._conv_bn_act(trace, "stem", np.asarray(x, dtype=np.float64),
                               m.stem.conv, m.stem.bn)
         stem = h
@@ -194,6 +286,8 @@ class InferenceEngine:
         out = out + m.head.bias.data.reshape(1, -1, 1, 1)
         if m.residual:
             out = out + np.asarray(x, dtype=np.float64)
+        span.close(trace.modelled_time_s, trace=trace.trace_id,
+                   device=self.device.name, launches=len(trace.launches))
         return out, trace
 
     def run_with_queue(self, x: np.ndarray, memory_bytes: Optional[float] = None):

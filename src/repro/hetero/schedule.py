@@ -9,7 +9,7 @@ the architecture instead of being typed in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.hetero.counters import OpCounts, kernel_op_counts
 
@@ -84,7 +84,6 @@ def ddnet_kernel_schedule(
     invs += _conv("stem", size, base_channels, 1, 7, batch)
     for b in range(num_blocks):
         size //= 2
-        outs = batch * size * size * base_channels
         invs.append(KernelInvocation(
             "pooling", f"pool{b + 1}",
             kernel_op_counts("pooling", out_h=size, out_w=size, ch=base_channels,

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 import numpy as np
-from scipy.ndimage import uniform_filter
 
 from repro.nn.losses import MSSSIM_WEIGHTS, _gaussian_window
 

@@ -15,7 +15,7 @@ parametric with the 121 configuration available via
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro import nn
 from repro.models.dense_block import DenseBlock3D

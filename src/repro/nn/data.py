@@ -9,11 +9,10 @@ sharding semantics the paper's multi-GPU runs did.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
 
 
 class Dataset:

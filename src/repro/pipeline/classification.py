@@ -7,7 +7,7 @@ probability of COVID-19 positivity.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ volume-level inference over [0, 1]-normalized images (§3.1.1).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -4,6 +4,12 @@ A thin epoch loop shared by the Enhancement and Classification tools:
 batched iteration, optimizer + LR-schedule stepping, optional
 per-epoch validation, and a :class:`TrainingHistory` that records the
 train/validation loss series the paper plots in Fig. 11.
+
+Pass ``telemetry=`` (a :class:`repro.telemetry.EventBus`) and the loop
+emits onto the shared spine: one ``step`` event per optimizer step and
+one ``epoch`` event per epoch (source ``pipeline.trainer``), timed on
+the trainer's cumulative step-count clock — the training analogue of
+the serving engine's simulated seconds.
 """
 
 from __future__ import annotations
@@ -80,6 +86,7 @@ class Trainer:
         grad_clip_norm: Optional[float] = None,
         early_stop_patience: Optional[int] = None,
         early_stop_min_delta: float = 0.0,
+        telemetry=None,
     ):
         if grad_clip_norm is not None and grad_clip_norm <= 0:
             raise ValueError("grad_clip_norm must be positive")
@@ -93,6 +100,14 @@ class Trainer:
         self.early_stop_patience = early_stop_patience
         self.early_stop_min_delta = early_stop_min_delta
         self.history = TrainingHistory()
+        #: Optional repro.telemetry.EventBus; see the module docstring.
+        self.telemetry = telemetry
+        self._step = 0  # cumulative optimizer steps == the event clock
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(float(self._step), kind, "pipeline.trainer",
+                                **payload)
 
     def _epoch_loss(self, loader: DataLoader, train: bool) -> float:
         losses = []
@@ -107,7 +122,10 @@ class Trainer:
                 if self.grad_clip_norm is not None:
                     clip_gradients(self.optimizer.params, self.grad_clip_norm)
                 self.optimizer.step()
+                self._step += 1
                 losses.append(loss.item())
+                self._emit("step", step=self._step, loss=loss.item(),
+                           lr=self.optimizer.lr)
             else:
                 with no_grad():
                     pred = self.model(Tensor(x))
@@ -135,6 +153,10 @@ class Trainer:
             if val_loader is not None:
                 val_loss = self._epoch_loss(val_loader, train=False)
                 self.history.val_loss.append(val_loss)
+            self._emit("epoch", epoch=epoch + 1, train_loss=train_loss,
+                       val_loss=(self.history.val_loss[-1]
+                                 if self.history.val_loss else None),
+                       lr=self.optimizer.lr)
             if self.scheduler is not None:
                 self.scheduler.step()
             if verbose:

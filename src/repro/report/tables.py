@@ -6,7 +6,7 @@ renders them readably in a terminal (and in pytest -s output).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 
 def _fmt(value: Any) -> str:

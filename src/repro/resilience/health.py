@@ -1,4 +1,4 @@
-"""Per-device health: circuit breakers driven by heartbeat events.
+"""Per-device health: circuit breakers driven by telemetry events.
 
 Each fleet device gets a :class:`CircuitBreaker` with the classic
 state machine:
@@ -14,6 +14,14 @@ every ``heartbeat_s`` of simulated time; the sweep marks crashed
 devices dead and lets OPEN breakers age toward their half-open probe.
 The scheduler excludes every device whose breaker currently refuses
 traffic (:meth:`FleetHealth.unavailable`).
+
+Breakers sit *on* the event spine in both directions: attach a
+:class:`repro.telemetry.EventBus` (constructor ``bus=`` or
+:meth:`FleetHealth.attach`) and success/failure transitions are driven
+by the ``complete`` / ``fault`` events the dispatch layer emits —
+no direct ``record_success``/``record_failure`` calls from the engine
+— while every state change is emitted back as a
+``breaker_transition`` event (source = device name).
 """
 
 from __future__ import annotations
@@ -58,9 +66,11 @@ class HealthConfig:
 class CircuitBreaker:
     """One device's failure-driven admission gate."""
 
-    def __init__(self, name: str, config: Optional[HealthConfig] = None):
+    def __init__(self, name: str, config: Optional[HealthConfig] = None,
+                 bus=None):
         self.name = name
         self.config = config or HealthConfig()
+        self.bus = bus  # optional repro.telemetry.EventBus
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.failures = 0
@@ -73,8 +83,13 @@ class CircuitBreaker:
 
     def _set(self, state: BreakerState, now: float) -> None:
         if state is not self.state:
+            previous = self.state
             self.state = state
             self.transitions.append((now, state.value))
+            if self.bus is not None:
+                self.bus.emit(now, "breaker_transition", self.name,
+                              device=self.name, state=state.value,
+                              previous=previous.value)
 
     # ------------------------------------------------------------------
     def allows(self, now: float) -> bool:
@@ -135,11 +150,38 @@ class FleetHealth:
     """Breaker registry plus the heartbeat sweep over the fleet."""
 
     def __init__(self, device_names: Sequence[str],
-                 config: Optional[HealthConfig] = None):
+                 config: Optional[HealthConfig] = None, bus=None):
         self.config = config or HealthConfig()
         self.breakers: Dict[str, CircuitBreaker] = {
             name: CircuitBreaker(name, self.config) for name in device_names}
         self.heartbeats = 0
+        self.bus = None
+        if bus is not None:
+            self.attach(bus)
+
+    def attach(self, bus) -> None:
+        """Drive the breakers from ``complete`` / ``fault`` bus events.
+
+        Successes and failures then need no direct calls from the
+        dispatch layer: its events *are* the breaker inputs.  State
+        changes are emitted back as ``breaker_transition`` events.
+        """
+        self.bus = bus
+        for breaker in self.breakers.values():
+            breaker.bus = bus
+        bus.subscribe(self._on_event, kinds=("complete", "fault"))
+
+    def _on_event(self, event) -> None:
+        name = event.payload.get("device")
+        breaker = self.breakers.get(name)
+        if breaker is None:
+            return
+        if event.kind == "complete":
+            breaker.record_success(event.t)
+        else:
+            breaker.record_failure(event.t)
+            if event.payload.get("fault") in ("crash", "dead"):
+                breaker.mark_dead(event.t)
 
     def breaker(self, name: str) -> CircuitBreaker:
         return self.breakers[name]

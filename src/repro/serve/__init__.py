@@ -14,10 +14,21 @@ Table 4 device fleet using the calibrated perf model for service times.
 - :mod:`~repro.serve.scheduler` — round-robin / least-loaded /
   perf-aware fleet placement with per-device slot accounting,
 - :mod:`~repro.serve.cache` — content-hash result cache (LRU),
-- :mod:`~repro.serve.engine` — the event loop, with functional batch
+- :mod:`~repro.serve.lifecycle` — per-request admission and terminal
+  accounting (completed / shed with a :class:`ShedReason`),
+- :mod:`~repro.serve.dispatch` — stage batchers, backlog, device
+  placement, fault injection, failover,
+- :mod:`~repro.serve.engine` — the composition root over the
+  :class:`repro.des.EventLoop` kernel, with functional batch
   verification through :meth:`ComputeCovid19Plus.diagnose_batch`,
 - :mod:`~repro.serve.metrics` — p50/p95/p99 latency, throughput,
-  utilization, shed/violation counts.
+  utilization, shed/violation counts; :func:`summarize_trace`
+  recomputes the summary from an exported JSONL event stream.
+
+The whole subpackage rides the :mod:`repro.telemetry` spine: one
+:class:`~repro.telemetry.EventBus` carries every transition, one
+:class:`~repro.telemetry.MetricsRegistry` holds the queue-conservation
+ledger, fault counters, and the latency histogram.
 
 Fault tolerance lives in the sibling :mod:`repro.resilience` package:
 pass a :class:`repro.resilience.ResilienceConfig` to
@@ -31,15 +42,23 @@ for the fault model.
 
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
 from repro.serve.cache import ResultCache
+from repro.serve.dispatch import DispatchController
 from repro.serve.engine import (
     CACHE_HIT_LATENCY_S,
+    BatchVerifier,
     ServedRequest,
     ServingEngine,
     ServingReport,
     ShedReason,
     TraceEvent,
 )
-from repro.serve.metrics import LatencyStats, percentile, summarize
+from repro.serve.lifecycle import RequestLifecycle
+from repro.serve.metrics import (
+    LatencyStats,
+    percentile,
+    summarize,
+    summarize_trace,
+)
 from repro.serve.queue import AdmissionQueue, QueueStats
 from repro.serve.request import (
     ARRIVAL_PATTERNS,
@@ -70,5 +89,6 @@ __all__ = [
     "ResultCache",
     "ServingEngine", "ServingReport", "ServedRequest", "TraceEvent",
     "ShedReason", "CACHE_HIT_LATENCY_S",
-    "LatencyStats", "percentile", "summarize",
+    "RequestLifecycle", "DispatchController", "BatchVerifier",
+    "LatencyStats", "percentile", "summarize", "summarize_trace",
 ]

@@ -1,0 +1,245 @@
+"""Batch dispatch: stage batchers, device placement, faults, failover.
+
+The batch-movement unit of the decomposed serving engine.  It owns the
+per-stage dynamic batchers, the overflow backlog, and every interaction
+with the fleet scheduler — including the resilience path: consulting
+the fault injector at dispatch time, scheduling ``fail`` events for
+doomed launches, and driving retry/backoff through the failover
+manager.
+
+It emits ``dispatch`` / ``backlog`` / ``complete`` / ``fault`` /
+``retry`` events on the shared bus and counts injected faults in
+registry counters ``serve.faults.<kind>``.  Circuit breakers are *not*
+called directly for success/failure: :class:`repro.resilience.health.
+FleetHealth` subscribes to the ``complete`` and ``fault`` events this
+unit emits (see :meth:`FleetHealth.attach`), which keeps the breaker
+state machine purely event-driven.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Sequence, Set
+
+from repro.resilience.faults import FAULT_KINDS
+from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.serve.lifecycle import SERVE_SOURCE, RequestLifecycle
+from repro.serve.request import ScanRequest
+from repro.serve.scheduler import DeviceWorker, FleetScheduler, ServiceTimeModel
+from repro.telemetry import EventBus, MetricsRegistry
+
+#: Registry name prefix for injected-fault counters (reset per run).
+FAULT_COUNTER_PREFIX = "serve.faults."
+
+
+class DispatchController:
+    """Moves batches from stage batchers onto fleet devices."""
+
+    def __init__(
+        self,
+        scheduler: FleetScheduler,
+        service_model: ServiceTimeModel,
+        batch_policy: BatchPolicy,
+        stages: Sequence[str],
+        bus: EventBus,
+        registry: MetricsRegistry,
+        lifecycle: RequestLifecycle,
+        injector=None,
+        failover=None,
+        health=None,
+    ):
+        self.scheduler = scheduler
+        self.service_model = service_model
+        self.batch_policy = batch_policy
+        self.stages = tuple(stages)
+        self.bus = bus
+        self.registry = registry
+        self.lifecycle = lifecycle
+        self.injector = injector
+        self.failover = failover
+        self.health = health
+        self.loop = None
+        self._backlog: "deque[Batch]" = deque()
+        self._batchers: Dict[str, DynamicBatcher] = {}
+
+    def begin_run(self, loop) -> None:
+        """Bind a fresh event loop and reset per-run dispatch state."""
+        self.loop = loop
+        self._backlog = deque()
+        batch_ids = itertools.count()  # per-run ids: faults key on them
+        self._batchers = {s: DynamicBatcher(s, self.batch_policy, batch_ids)
+                          for s in self.stages}
+        for kind in FAULT_KINDS:
+            self.registry.counter(FAULT_COUNTER_PREFIX + kind).reset()
+
+    # -- telemetry ------------------------------------------------------
+    def emit(self, t: float, kind: str, **payload) -> None:
+        self.bus.emit(t, kind, SERVE_SOURCE, **payload)
+
+    def _count_fault(self, kind: str) -> None:
+        self.registry.counter(FAULT_COUNTER_PREFIX + kind).inc()
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Injected-fault counts for this run (zero kinds omitted)."""
+        out = {}
+        for kind in FAULT_KINDS:
+            n = self.registry.counter(FAULT_COUNTER_PREFIX + kind).value
+            if n:
+                out[kind] = n
+        return out
+
+    @property
+    def backlog_depth(self) -> int:
+        return len(self._backlog)
+
+    # -- event-loop handlers --------------------------------------------
+    def on_flush(self, stage: str, now: float) -> None:
+        batcher = self._batchers[stage]
+        batch = batcher.flush_due(now)
+        if batch is not None:
+            self.dispatch_or_backlog(batch, now)
+        self.arm_flush(stage)
+        self.pump_backlog(now)
+
+    def on_complete(self, worker: DeviceWorker, batch: Batch,
+                    now: float) -> None:
+        worker.complete(batch)
+        # FleetHealth.record_success rides this event (see attach()).
+        self.emit(now, "complete", stage=batch.stage, device=worker.spec.name,
+                  size=len(batch), batch=batch.batch_id)
+        idx = self.stages.index(batch.stage)
+        if idx + 1 < len(self.stages):
+            for req in batch.requests:
+                self.add_to_stage(self.stages[idx + 1], req, now)
+        else:
+            self.lifecycle.finalize_batch(batch, now)
+        self.pump_backlog(now)
+
+    def on_fail(self, worker: DeviceWorker, batch: Batch, kind: str,
+                now: float) -> None:
+        """A dispatched batch failed on ``worker`` (fault injection)."""
+        worker.fail(batch)
+        name = worker.spec.name
+        if kind in ("crash", "dead") and worker.alive:
+            crash_at = self.injector.crash_time(name) if self.injector else now
+            worker.crashed_at = min(crash_at, now)
+        self._count_fault(kind)
+        # FleetHealth.record_failure / mark_dead ride this event.
+        self.emit(now, "fault", device=name, fault=kind, batch=batch.batch_id,
+                  stage=batch.stage, size=len(batch), attempt=batch.attempt)
+        if self.failover is not None:
+            retry_at = self.failover.on_failure(
+                batch, name, now, self.healthy_names(now))
+            if retry_at is not None:
+                self.loop.schedule(retry_at, "retry", batch)
+                self.emit(now, "retry", batch=batch.batch_id,
+                          attempt=batch.attempt, retry_at=round(retry_at, 6))
+                self.pump_backlog(now)
+                return
+        self.lifecycle.shed_batch_fault(batch, now)
+        self.pump_backlog(now)
+
+    def on_retry(self, batch: Batch, now: float) -> None:
+        self.dispatch_or_backlog(batch, now)
+        self.pump_backlog(now)
+
+    # -- placement ------------------------------------------------------
+    def healthy_names(self, now: float) -> Set[str]:
+        """Devices that can still take traffic (alive, breaker not DEAD)."""
+        from repro.resilience.health import BreakerState
+
+        names = set()
+        for w in self.scheduler.workers:
+            if not w.alive:
+                continue
+            if self.injector is not None and not self.injector.alive(
+                    w.spec.name, now):
+                continue
+            if (self.health is not None and
+                    self.health.breaker(w.spec.name).state is BreakerState.DEAD):
+                continue
+            names.add(w.spec.name)
+        return names
+
+    def excluded_for(self, batch: Batch, now: float) -> Set[str]:
+        excl = set(batch.excluded_devices)
+        if self.health is not None:
+            excl |= self.health.unavailable(now)
+        if batch.excluded_devices and not (
+                {w.spec.name for w in self.scheduler.workers} - excl):
+            # The batch's own exclusions (plus open breakers) cover the
+            # whole fleet — forgive its exclusions rather than strand it.
+            batch.excluded_devices.clear()
+            excl = (self.health.unavailable(now)
+                    if self.health is not None else set())
+        return excl
+
+    def add_to_stage(self, stage: str, req: ScanRequest, now: float) -> None:
+        batch = self._batchers[stage].add(req, now)
+        if batch is not None:
+            self.dispatch_or_backlog(batch, now)
+        self.arm_flush(stage)
+
+    def arm_flush(self, stage: str) -> None:
+        deadline = self._batchers[stage].next_deadline()
+        if deadline is not None:
+            self.loop.schedule(deadline, "flush", stage)
+
+    def try_dispatch(self, batch: Batch, now: float) -> bool:
+        """Place ``batch`` on a device (consulting the fault injector)."""
+        worker = self.scheduler.pick(batch, now,
+                                     exclude=self.excluded_for(batch, now))
+        if worker is None:
+            return False
+        service = self.service_model.batch_time(worker.spec, batch.stage,
+                                                len(batch))
+        outcome = (self.injector.outcome(worker.spec, batch.batch_id, now,
+                                         service, batch.attempt)
+                   if self.injector is not None else None)
+        if self.health is not None:
+            self.health.breaker(worker.spec.name).begin_probe()
+        detail = dict(stage=batch.stage, device=worker.spec.name,
+                      size=len(batch), batch=batch.batch_id)
+        if outcome is not None and outcome.fails:
+            # Doomed launch: the device is busy until the failure fires.
+            self.scheduler.dispatch(worker, batch, now,
+                                    service_s=outcome.fail_after_s)
+            self.emit(now, "dispatch", service_s=outcome.fail_after_s,
+                      fault=outcome.kind, **detail)
+            self.loop.schedule(now + outcome.fail_after_s, "fail",
+                               (worker, batch, outcome.kind))
+            return True
+        if outcome is not None:
+            service = outcome.service_s
+            if outcome.kind != "ok":  # straggler / reconfig survive, slower
+                self._count_fault(outcome.kind)
+                detail["fault"] = outcome.kind
+        done = self.scheduler.dispatch(worker, batch, now, service_s=service)
+        self.emit(now, "dispatch", service_s=done - now, **detail)
+        self.loop.schedule(done, "complete", (worker, batch))
+        return True
+
+    def dispatch_or_backlog(self, batch: Batch, now: float) -> None:
+        batch = self.lifecycle.shed_expired(batch, now)
+        if not batch.requests:
+            return
+        if not self.try_dispatch(batch, now):
+            self._backlog.append(batch)
+            self.emit(now, "backlog", stage=batch.stage, size=len(batch),
+                      depth=len(self._backlog))
+
+    def pump_backlog(self, now: float) -> None:
+        while self._backlog:
+            batch = self.lifecycle.shed_expired(self._backlog[0], now)
+            if not batch.requests:
+                self._backlog.popleft()
+                continue
+            if not self.try_dispatch(batch, now):
+                return
+            self._backlog.popleft()
+
+    def shed_all_backlog(self, now: float) -> None:
+        """Fleet is gone: shed every backlogged batch (nothing can serve)."""
+        while self._backlog:
+            self.lifecycle.shed_batch_fault(self._backlog.popleft(), now)

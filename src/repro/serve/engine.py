@@ -1,13 +1,23 @@
-"""The discrete-event serving loop (admission → batch → schedule → run).
+"""The serving composition root (admission → batch → schedule → run).
 
 A deterministic simulator/runtime for operating the Fig. 4 pipeline at
-load.  Requests stream in from an arrival process, pass admission
-control (:mod:`repro.serve.queue`), are dynamically batched per stage
-(:mod:`repro.serve.batcher`), and each batch is placed on a Table 4
-device by the fleet scheduler (:mod:`repro.serve.scheduler`) which
-charges calibrated service times from :class:`repro.hetero.PerfModel`.
-Completed scans populate a content-hash result cache so repeat scans
-short-circuit the pipeline.
+load, composed from three units over the shared telemetry spine:
+
+- :class:`repro.des.EventLoop` — the reusable discrete-event kernel
+  (heap of ``(time, seq)`` entries, insertion-order tie-break),
+- :class:`repro.serve.lifecycle.RequestLifecycle` — admission, cache,
+  degrade tagging, and terminal completed/shed accounting,
+- :class:`repro.serve.dispatch.DispatchController` — stage batchers,
+  backlog, device placement, fault injection, and failover.
+
+Every transition is a :class:`repro.telemetry.TelemetryEvent` on one
+:class:`~repro.telemetry.EventBus` (``report.trace`` is a per-run view
+of that bus, kept for compatibility), the admission-conservation
+ledger and fault counts live in one
+:class:`~repro.telemetry.MetricsRegistry`, and circuit breakers are
+driven *by* bus events rather than direct calls — so the serving
+layer, the hetero runtime, and the resilience layer can share a single
+event spine (pass ``telemetry=`` / ``metrics=``).
 
 With a :class:`repro.resilience.ResilienceConfig` attached, the fleet
 is no longer perfect: the fault injector decides each dispatch's fate
@@ -24,27 +34,32 @@ are *genuine* for up to ``verify_batches`` final-stage batches, which
 are functionally executed at reduced scale through
 :meth:`repro.pipeline.ComputeCovid19Plus.diagnose_batch`.
 
-Everything is driven off one event heap keyed ``(time, seq)``, so runs
-are bit-deterministic for a given workload — fault injection included.
+Runs are bit-deterministic for a given workload — fault injection
+included.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
 from dataclasses import dataclass, field
-from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.des import EventLoop
 from repro.hetero.device import DeviceSpec
 from repro.resilience import ResilienceConfig
 from repro.resilience.degrade import DegradationController
 from repro.resilience.failover import FailoverManager
 from repro.resilience.faults import FaultInjector
-from repro.resilience.health import BreakerState, FleetHealth
-from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
+from repro.resilience.health import FleetHealth
+from repro.serve.batcher import Batch, BatchPolicy
 from repro.serve.cache import ResultCache
+from repro.serve.dispatch import DispatchController
+from repro.serve.lifecycle import (
+    CACHE_HIT_LATENCY_S,
+    SERVE_SOURCE,
+    RequestLifecycle,
+    ServedRequest,
+    ShedReason,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import ScanRequest
 from repro.serve.scheduler import (
@@ -54,116 +69,41 @@ from repro.serve.scheduler import (
     ServiceTimeModel,
     fleet_from_spec,
 )
+from repro.telemetry import EventBus, MetricsRegistry, TelemetryEvent
 
-#: Latency charged to a request answered from the result cache
-#: (hash lookup + response serialization; no device time).
-CACHE_HIT_LATENCY_S = 1e-3
-
-
-class ShedReason(str, Enum):
-    """Why a request left the system without a result."""
-
-    QUEUE_FULL = "queue_full"  # rejected at admission (backpressure)
-    TIMEOUT = "timeout"        # out-waited its SLO queue timeout
-    FAULT = "fault"            # its batch exhausted failover retries
+__all__ = [
+    "CACHE_HIT_LATENCY_S", "ShedReason", "ServedRequest", "TraceEvent",
+    "BatchVerifier", "ServingReport", "ServingEngine",
+]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One structured entry of the engine's execution trace."""
+    """Compatibility view of one telemetry event: ``(t, kind, detail)``."""
 
     t: float
     kind: str  # arrival | cache_hit | shed | dispatch | backlog | complete
-    #        # | fault | retry | heartbeat | degrade | done
+    #        # | fault | retry | heartbeat | degrade | request_done
+    #        # | breaker_transition | done
     detail: Dict[str, object] = field(default_factory=dict)
 
 
-@dataclass
-class ServedRequest:
-    """Terminal record for one request (completed or shed)."""
+class BatchVerifier:
+    """Functional verification budget for final-stage batches.
 
-    request: ScanRequest
-    completed_s: Optional[float] = None
-    latency_s: Optional[float] = None
-    from_cache: bool = False
-    shed_reason: Optional[ShedReason] = None
-    result: Optional[object] = None  # DiagnosisResult when functionally verified
-    degraded: bool = False  # served through the no-enhancement arm
+    Owns the lazily-built :class:`repro.pipeline.ComputeCovid19Plus`
+    frameworks (full-quality and degraded arms) and the engine-lifetime
+    budget of batches to actually execute at reduced scale.
+    """
 
-
-@dataclass
-class ServingReport:
-    """Everything a run produced; ``summary()`` flattens it for output."""
-
-    offered: int
-    completed: List[ServedRequest]
-    shed: List[ServedRequest]
-    trace: List[TraceEvent]
-    workers: List[DeviceWorker]
-    policy: str
-    makespan_s: float
-    queue_stats: Dict[str, int]
-    queue_mean_depth: float
-    queue_max_depth: int
-    cache_stats: Dict[str, float]
-    utilization: Dict[str, float]
-    verified_batches: int
-    # -- resilience layer (empty/zero on fault-free runs) ---------------
-    fault_stats: Dict[str, int] = field(default_factory=dict)
-    retries: int = 0
-    gave_up: int = 0
-    availability: Dict[str, float] = field(default_factory=dict)
-    degrade_log: List[Tuple[float, str]] = field(default_factory=list)
-    health_states: Dict[str, str] = field(default_factory=dict)
-
-    def summary(self) -> Dict[str, object]:
-        from repro.serve.metrics import summarize
-
-        return summarize(self)
-
-
-class ServingEngine:
-    """Discrete-event serving of diagnosis requests over a device fleet."""
-
-    def __init__(
-        self,
-        fleet: Union[str, Sequence[DeviceSpec]] = "mixed",
-        policy: str = "perf-aware",
-        batch_policy: Optional[BatchPolicy] = None,
-        queue_capacity: int = 64,
-        cache_capacity: int = 256,
-        slots_per_device: int = 1,
-        use_enhancement: bool = True,
-        service_model: Optional[ServiceTimeModel] = None,
-        verify_batches: int = 0,
-        framework=None,
-        resilience: Optional[ResilienceConfig] = None,
-    ):
-        devices = fleet_from_spec(fleet) if isinstance(fleet, str) else list(fleet)
-        self.service_model = service_model or ServiceTimeModel()
-        self.scheduler = FleetScheduler(devices, policy=policy,
-                                        service_model=self.service_model,
-                                        slots=slots_per_device)
-        self.batch_policy = batch_policy or BatchPolicy()
-        self.queue = AdmissionQueue(queue_capacity)
-        self.cache = ResultCache(cache_capacity)
-        self.stages = STAGES if use_enhancement else STAGES[1:]
-        self.verify_batches = verify_batches
+    def __init__(self, stages: Sequence[str], budget: int = 0,
+                 framework=None):
+        self.stages = tuple(stages)
+        self.budget = budget
+        self.verified = 0
         self._framework = framework
         self._framework_degraded = None
-        self._verified = 0
-        # -- resilience layers (all None ⇒ the PR-1 perfect fleet) ------
-        self.resilience = resilience
-        self.injector = (FaultInjector(resilience.faults, devices)
-                         if resilience and resilience.faults else None)
-        self.health = (FleetHealth([d.name for d in devices], resilience.health)
-                       if resilience else None)
-        self.failover = (FailoverManager(resilience.retry)
-                         if resilience and resilience.retry else None)
-        self.degrade_ctl = (DegradationController(resilience.degrade)
-                            if resilience and resilience.degrade else None)
 
-    # ------------------------------------------------------------------
     @property
     def framework(self):
         """Lazily built pipeline for functional batch verification."""
@@ -195,47 +135,160 @@ class ServingEngine:
             )
         return self._framework_degraded
 
+    def verify(self, batch: Batch, degraded_ids) -> Dict[int, object]:
+        """Run one batch through the real pipeline if budget remains."""
+        results: Dict[int, object] = {}
+        if self.verified < self.budget and batch.requests:
+            # Degraded requests skipped the enhancement stage in the
+            # timing pipeline; the functional pass must match.
+            normal = [r for r in batch.requests
+                      if r.request_id not in degraded_ids]
+            degraded = [r for r in batch.requests
+                        if r.request_id in degraded_ids]
+            if normal:
+                outs = self.framework.diagnose_batch(
+                    [r.materialize() for r in normal])
+                results.update({r.request_id: o for r, o in zip(normal, outs)})
+            if degraded:
+                outs = self.framework_degraded.diagnose_batch(
+                    [r.materialize() for r in degraded])
+                results.update({r.request_id: o
+                                for r, o in zip(degraded, outs)})
+            self.verified += 1
+        return results
+
+
+@dataclass
+class ServingReport:
+    """Everything a run produced; ``summary()`` flattens it for output."""
+
+    offered: int
+    completed: List[ServedRequest]
+    shed: List[ServedRequest]
+    trace: List[TraceEvent]
+    workers: List[DeviceWorker]
+    policy: str
+    makespan_s: float
+    queue_stats: Dict[str, int]
+    queue_mean_depth: float
+    queue_max_depth: int
+    cache_stats: Dict[str, float]
+    utilization: Dict[str, float]
+    verified_batches: int
+    # -- resilience layer (empty/zero on fault-free runs) ---------------
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    gave_up: int = 0
+    availability: Dict[str, float] = field(default_factory=dict)
+    degrade_log: List[Tuple[float, str]] = field(default_factory=list)
+    health_states: Dict[str, str] = field(default_factory=dict)
+    # -- telemetry spine -------------------------------------------------
+    events: List[TelemetryEvent] = field(default_factory=list)
+    registry: Optional[MetricsRegistry] = None
+
+    def summary(self) -> Dict[str, object]:
+        from repro.serve.metrics import summarize
+
+        return summarize(self)
+
+
+class ServingEngine:
+    """Discrete-event serving of diagnosis requests over a device fleet."""
+
+    def __init__(
+        self,
+        fleet: Union[str, Sequence[DeviceSpec]] = "mixed",
+        policy: str = "perf-aware",
+        batch_policy: Optional[BatchPolicy] = None,
+        queue_capacity: int = 64,
+        cache_capacity: int = 256,
+        slots_per_device: int = 1,
+        use_enhancement: bool = True,
+        service_model: Optional[ServiceTimeModel] = None,
+        verify_batches: int = 0,
+        framework=None,
+        resilience: Optional[ResilienceConfig] = None,
+        telemetry: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        devices = fleet_from_spec(fleet) if isinstance(fleet, str) else list(fleet)
+        self.telemetry = telemetry if telemetry is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.service_model = service_model or ServiceTimeModel()
+        self.scheduler = FleetScheduler(devices, policy=policy,
+                                        service_model=self.service_model,
+                                        slots=slots_per_device)
+        self.batch_policy = batch_policy or BatchPolicy()
+        self.queue = AdmissionQueue(queue_capacity, registry=self.metrics)
+        self.cache = ResultCache(cache_capacity)
+        self.stages = STAGES if use_enhancement else STAGES[1:]
+        self.verifier = BatchVerifier(self.stages, verify_batches,
+                                      framework=framework)
+        # -- resilience layers (all None ⇒ the PR-1 perfect fleet) ------
+        self.resilience = resilience
+        self.injector = (FaultInjector(resilience.faults, devices)
+                         if resilience and resilience.faults else None)
+        self.health = (FleetHealth([d.name for d in devices],
+                                   resilience.health, bus=self.telemetry)
+                       if resilience else None)
+        self.failover = (FailoverManager(resilience.retry)
+                         if resilience and resilience.retry else None)
+        self.degrade_ctl = (DegradationController(resilience.degrade)
+                            if resilience and resilience.degrade else None)
+        self.lifecycle = RequestLifecycle(
+            self.queue, self.cache, self.stages, self.telemetry,
+            self.metrics, degrade_ctl=self.degrade_ctl,
+            verifier=self.verifier)
+        self.dispatcher = DispatchController(
+            self.scheduler, self.service_model, self.batch_policy,
+            self.stages, self.telemetry, self.metrics, self.lifecycle,
+            injector=self.injector, failover=self.failover,
+            health=self.health)
+        self._loop: Optional[EventLoop] = None
+
+    # -- compatibility accessors ----------------------------------------
+    @property
+    def verify_batches(self) -> int:
+        return self.verifier.budget
+
+    @property
+    def framework(self):
+        return self.verifier.framework
+
+    @property
+    def framework_degraded(self):
+        return self.verifier.framework_degraded
+
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[ScanRequest]) -> ServingReport:
         """Serve a workload to completion; returns the full report."""
-        self._heap: List[tuple] = []
-        self._seq = itertools.count()
-        self._trace: List[TraceEvent] = []
-        self._completed: List[ServedRequest] = []
-        self._shed: List[ServedRequest] = []
-        self._backlog: "deque[Batch]" = deque()
-        batch_ids = itertools.count()  # per-run ids: faults key on them
-        self._batchers = {s: DynamicBatcher(s, self.batch_policy, batch_ids)
-                          for s in self.stages}
-        self._fault_counts: Dict[str, int] = {}
-        self._degraded_ids: Set[int] = set()
-        now = 0.0
+        loop = EventLoop()
+        self._loop = loop
+        mark = self.telemetry.mark()
+        self.lifecycle.begin_run()
+        self.dispatcher.begin_run(loop)
+        loop.on("arrival", self._on_arrival)
+        loop.on("flush", self.dispatcher.on_flush)
+        loop.on("complete",
+                lambda p, now: self.dispatcher.on_complete(p[0], p[1], now))
+        loop.on("fail",
+                lambda p, now: self.dispatcher.on_fail(p[0], p[1], p[2], now))
+        loop.on("retry", self.dispatcher.on_retry)
+        loop.on("heartbeat", self._on_heartbeat)
         for req in requests:
-            self._push(req.arrival_s, "arrival", req)
-        if self.resilience is not None and self._heap:
-            self._push(self.health.config.heartbeat_s, "heartbeat", None)
-        while self._heap:
-            t, _, kind, payload = heapq.heappop(self._heap)
-            now = max(now, t)
-            if kind == "arrival":
-                self._on_arrival(payload, now)
-            elif kind == "flush":
-                self._on_flush(payload, now)
-            elif kind == "complete":
-                self._on_complete(payload[0], payload[1], now)
-            elif kind == "fail":
-                self._on_fail(payload[0], payload[1], payload[2], now)
-            elif kind == "retry":
-                self._on_retry(payload, now)
-            elif kind == "heartbeat":
-                self._on_heartbeat(now)
-        self._emit(now, "done", completed=len(self._completed))
+            loop.schedule(req.arrival_s, "arrival", req)
+        if self.resilience is not None and loop.pending:
+            loop.schedule(self.health.config.heartbeat_s, "heartbeat", None)
+        now = loop.run()
+        self.telemetry.emit(now, "done", SERVE_SOURCE,
+                            completed=len(self.lifecycle.completed))
         self.queue.check_conservation()
+        events = self.telemetry.since(mark)
         return ServingReport(
             offered=len(requests),
-            completed=self._completed,
-            shed=self._shed,
-            trace=self._trace,
+            completed=self.lifecycle.completed,
+            shed=self.lifecycle.shed,
+            trace=[TraceEvent(e.t, e.kind, dict(e.payload)) for e in events],
             workers=self.scheduler.workers,
             policy=self.scheduler.policy,
             makespan_s=now,
@@ -244,103 +297,32 @@ class ServingEngine:
             queue_max_depth=self.queue.max_depth(),
             cache_stats=self.cache.stats(),
             utilization=self.scheduler.utilization(now),
-            verified_batches=self._verified,
-            fault_stats=dict(self._fault_counts),
+            verified_batches=self.verifier.verified,
+            fault_stats=self.dispatcher.fault_stats(),
             retries=self.failover.retries if self.failover else 0,
             gave_up=self.failover.gave_up if self.failover else 0,
             availability=self.scheduler.availability(now),
             degrade_log=list(self.degrade_ctl.switches) if self.degrade_ctl else [],
             health_states=self.health.states() if self.health else {},
+            events=events,
+            registry=self.metrics,
         )
 
-    # -- event plumbing -------------------------------------------------
-    def _push(self, t: float, kind: str, payload) -> None:
-        heapq.heappush(self._heap, (t, next(self._seq), kind, payload))
-
-    def _emit(self, t: float, kind: str, **detail) -> None:
-        self._trace.append(TraceEvent(t, kind, detail))
-
-    # -- handlers -------------------------------------------------------
+    # -- handlers kept at the root --------------------------------------
     def _on_arrival(self, req: ScanRequest, now: float) -> None:
-        self._emit(now, "arrival", request=req.request_id, key=req.content_key)
-        hit = self.cache.get(req.content_key)
-        if hit is not None:
-            done = now + CACHE_HIT_LATENCY_S
-            self._completed.append(ServedRequest(
-                req, completed_s=done, latency_s=CACHE_HIT_LATENCY_S,
-                from_cache=True, result=hit if hit is not True else None))
-            self._emit(now, "cache_hit", request=req.request_id)
+        entry_stage = self.lifecycle.admit(req, now)
+        if entry_stage is None:
             return
-        if not self.queue.offer(req, now):
-            self._shed.append(ServedRequest(req, shed_reason=ShedReason.QUEUE_FULL))
-            self._emit(now, "shed", request=req.request_id,
-                       reason=ShedReason.QUEUE_FULL.value)
-            return
-        self._evaluate_degrade(now)
-        entry_stage = self.stages[0]
-        if (self.degrade_ctl is not None and self.degrade_ctl.active
-                and entry_stage == "enhance" and len(self.stages) > 1):
-            entry_stage = self.stages[1]
-            self._degraded_ids.add(req.request_id)
-        self._add_to_stage(entry_stage, req, now)
-        self._pump_backlog(now)
+        self.dispatcher.add_to_stage(entry_stage, req, now)
+        self.dispatcher.pump_backlog(now)
 
-    def _on_flush(self, stage: str, now: float) -> None:
-        batcher = self._batchers[stage]
-        batch = batcher.flush_due(now)
-        if batch is not None:
-            self._dispatch_or_backlog(batch, now)
-        self._arm_flush(stage)
-        self._pump_backlog(now)
+    def _on_heartbeat(self, _payload, now: float) -> None:
+        """Periodic health sweep: crash detection, degrade check, re-pump.
 
-    def _on_complete(self, worker: DeviceWorker, batch: Batch, now: float) -> None:
-        worker.complete(batch)
-        if self.health is not None:
-            self.health.breaker(worker.spec.name).record_success(now)
-        self._emit(now, "complete", stage=batch.stage, device=worker.spec.name,
-                   size=len(batch), batch=batch.batch_id)
-        idx = self.stages.index(batch.stage)
-        if idx + 1 < len(self.stages):
-            for req in batch.requests:
-                self._add_to_stage(self.stages[idx + 1], req, now)
-        else:
-            self._finalize_batch(batch, now)
-        self._pump_backlog(now)
-
-    def _on_fail(self, worker: DeviceWorker, batch: Batch, kind: str,
-                 now: float) -> None:
-        """A dispatched batch failed on ``worker`` (fault injection)."""
-        worker.fail(batch)
-        name = worker.spec.name
-        if kind in ("crash", "dead") and worker.alive:
-            crash_at = self.injector.crash_time(name) if self.injector else now
-            worker.crashed_at = min(crash_at, now)
-        self._fault_counts[kind] = self._fault_counts.get(kind, 0) + 1
-        self._emit(now, "fault", device=name, fault=kind, batch=batch.batch_id,
-                   stage=batch.stage, size=len(batch), attempt=batch.attempt)
-        if self.health is not None:
-            breaker = self.health.breaker(name)
-            breaker.record_failure(now)
-            if kind in ("crash", "dead"):
-                breaker.mark_dead(now)
-        if self.failover is not None:
-            retry_at = self.failover.on_failure(
-                batch, name, now, self._healthy_names(now))
-            if retry_at is not None:
-                self._push(retry_at, "retry", batch)
-                self._emit(now, "retry", batch=batch.batch_id,
-                           attempt=batch.attempt, retry_at=round(retry_at, 6))
-                self._pump_backlog(now)
-                return
-        self._shed_batch_fault(batch, now)
-        self._pump_backlog(now)
-
-    def _on_retry(self, batch: Batch, now: float) -> None:
-        self._dispatch_or_backlog(batch, now)
-        self._pump_backlog(now)
-
-    def _on_heartbeat(self, now: float) -> None:
-        """Periodic health sweep: crash detection, degrade check, re-pump."""
+        Stays at the composition root because it spans every unit:
+        fleet health, the injector, scheduler workers, the dispatch
+        backlog, and the loop's own re-arming.
+        """
         if self.health is not None:
             alive = ((lambda name: self.injector.alive(name, now))
                      if self.injector else (lambda name: True))
@@ -349,174 +331,17 @@ class ServingEngine:
                 if w.spec.name in newly_dead and w.alive:
                     w.crashed_at = (self.injector.crash_time(w.spec.name)
                                     if self.injector else now)
-            if newly_dead:
-                self._emit(now, "heartbeat", dead=sorted(newly_dead))
-        self._evaluate_degrade(now)
-        self._pump_backlog(now)
-        if self._backlog and self.health is not None and not self.health.any_alive():
+            self.telemetry.emit(now, "heartbeat", SERVE_SOURCE,
+                                dead=sorted(newly_dead),
+                                total_dead=len(self.health.dead()))
+        self.lifecycle.evaluate_degrade(now)
+        self.dispatcher.pump_backlog(now)
+        if (self.dispatcher.backlog_depth and self.health is not None
+                and not self.health.any_alive()):
             # The whole fleet is gone: nothing will ever serve these.
-            while self._backlog:
-                self._shed_batch_fault(self._backlog.popleft(), now)
-        if self._heap or (self._backlog and
-                          (self.health is None or self.health.any_alive())):
-            self._push(now + self.health.config.heartbeat_s, "heartbeat", None)
-
-    # -- internals ------------------------------------------------------
-    def _healthy_names(self, now: float) -> Set[str]:
-        """Devices that can still take traffic (alive, breaker not DEAD)."""
-        names = set()
-        for w in self.scheduler.workers:
-            if not w.alive:
-                continue
-            if self.injector is not None and not self.injector.alive(w.spec.name, now):
-                continue
-            if (self.health is not None and
-                    self.health.breaker(w.spec.name).state is BreakerState.DEAD):
-                continue
-            names.add(w.spec.name)
-        return names
-
-    def _excluded_for(self, batch: Batch, now: float) -> Set[str]:
-        excl = set(batch.excluded_devices)
-        if self.health is not None:
-            excl |= self.health.unavailable(now)
-        if batch.excluded_devices and not (
-                {w.spec.name for w in self.scheduler.workers} - excl):
-            # The batch's own exclusions (plus open breakers) cover the
-            # whole fleet — forgive its exclusions rather than strand it.
-            batch.excluded_devices.clear()
-            excl = (self.health.unavailable(now)
-                    if self.health is not None else set())
-        return excl
-
-    def _evaluate_degrade(self, now: float) -> None:
-        if self.degrade_ctl is None:
-            return
-        before = self.degrade_ctl.active
-        after = self.degrade_ctl.evaluate(now, self.queue.occupancy)
-        if after != before:
-            self._emit(now, "degrade", active=after,
-                       queue_depth=self.queue.occupancy,
-                       p95_s=round(self.degrade_ctl.p95_s(), 4))
-
-    def _add_to_stage(self, stage: str, req: ScanRequest, now: float) -> None:
-        batch = self._batchers[stage].add(req, now)
-        if batch is not None:
-            self._dispatch_or_backlog(batch, now)
-        self._arm_flush(stage)
-
-    def _arm_flush(self, stage: str) -> None:
-        deadline = self._batchers[stage].next_deadline()
-        if deadline is not None:
-            self._push(deadline, "flush", stage)
-
-    def _shed_expired(self, batch: Batch, now: float) -> Batch:
-        keep = []
-        for req in batch.requests:
-            if now - req.arrival_s > req.slo.queue_timeout_s:
-                self.queue.time_out(req, now)
-                self._shed.append(ServedRequest(req, shed_reason=ShedReason.TIMEOUT))
-                self._emit(now, "shed", request=req.request_id,
-                           reason=ShedReason.TIMEOUT.value)
-            else:
-                keep.append(req)
-        batch.requests = keep
-        return batch
-
-    def _shed_batch_fault(self, batch: Batch, now: float) -> None:
-        """Shed every request of a batch that exhausted its retries."""
-        for req in batch.requests:
-            self.queue.fault(req, now)
-            self._shed.append(ServedRequest(req, shed_reason=ShedReason.FAULT))
-            self._emit(now, "shed", request=req.request_id,
-                       reason=ShedReason.FAULT.value)
-        batch.requests = []
-
-    def _try_dispatch(self, batch: Batch, now: float) -> bool:
-        """Place ``batch`` on a device (consulting the fault injector)."""
-        worker = self.scheduler.pick(batch, now,
-                                     exclude=self._excluded_for(batch, now))
-        if worker is None:
-            return False
-        service = self.service_model.batch_time(worker.spec, batch.stage,
-                                                len(batch))
-        outcome = (self.injector.outcome(worker.spec, batch.batch_id, now,
-                                         service, batch.attempt)
-                   if self.injector is not None else None)
-        if self.health is not None:
-            self.health.breaker(worker.spec.name).begin_probe()
-        detail = dict(stage=batch.stage, device=worker.spec.name,
-                      size=len(batch), batch=batch.batch_id)
-        if outcome is not None and outcome.fails:
-            # Doomed launch: the device is busy until the failure fires.
-            self.scheduler.dispatch(worker, batch, now,
-                                    service_s=outcome.fail_after_s)
-            self._emit(now, "dispatch", service_s=outcome.fail_after_s,
-                       fault=outcome.kind, **detail)
-            self._push(now + outcome.fail_after_s, "fail",
-                       (worker, batch, outcome.kind))
-            return True
-        if outcome is not None:
-            service = outcome.service_s
-            if outcome.kind != "ok":  # straggler / reconfig survive, slower
-                self._fault_counts[outcome.kind] = \
-                    self._fault_counts.get(outcome.kind, 0) + 1
-                detail["fault"] = outcome.kind
-        done = self.scheduler.dispatch(worker, batch, now, service_s=service)
-        self._emit(now, "dispatch", service_s=done - now, **detail)
-        self._push(done, "complete", (worker, batch))
-        return True
-
-    def _dispatch_or_backlog(self, batch: Batch, now: float) -> None:
-        batch = self._shed_expired(batch, now)
-        if not batch.requests:
-            return
-        if not self._try_dispatch(batch, now):
-            self._backlog.append(batch)
-            self._emit(now, "backlog", stage=batch.stage, size=len(batch),
-                       depth=len(self._backlog))
-
-    def _pump_backlog(self, now: float) -> None:
-        while self._backlog:
-            batch = self._shed_expired(self._backlog[0], now)
-            if not batch.requests:
-                self._backlog.popleft()
-                continue
-            if not self._try_dispatch(batch, now):
-                return
-            self._backlog.popleft()
-
-    def _finalize_batch(self, batch: Batch, now: float) -> None:
-        results: Dict[int, object] = {}
-        if self._verified < self.verify_batches and batch.requests:
-            # Degraded requests skipped the enhancement stage in the
-            # timing pipeline; the functional pass must match.
-            normal = [r for r in batch.requests
-                      if r.request_id not in self._degraded_ids]
-            degraded = [r for r in batch.requests
-                        if r.request_id in self._degraded_ids]
-            if normal:
-                outs = self.framework.diagnose_batch(
-                    [r.materialize() for r in normal])
-                results.update({r.request_id: o for r, o in zip(normal, outs)})
-            if degraded:
-                outs = self.framework_degraded.diagnose_batch(
-                    [r.materialize() for r in degraded])
-                results.update({r.request_id: o for r, o in zip(degraded, outs)})
-            self._verified += 1
-        for req in batch.requests:
-            self.queue.release(req, now)
-            latency = now - req.arrival_s
-            is_degraded = req.request_id in self._degraded_ids
-            result = results.get(req.request_id)
-            self._completed.append(ServedRequest(
-                req, completed_s=now, latency_s=latency, result=result,
-                degraded=is_degraded))
-            if self.degrade_ctl is not None:
-                self.degrade_ctl.record_latency(latency)
-            if not is_degraded:
-                # Degraded results are lower quality — never cache them
-                # where a full-quality repeat scan would hit.
-                self.cache.put(req.content_key,
-                               result if result is not None else True)
-        self._evaluate_degrade(now)
+            self.dispatcher.shed_all_backlog(now)
+        if self._loop.pending or (
+                self.dispatcher.backlog_depth and
+                (self.health is None or self.health.any_alive())):
+            self._loop.schedule(now + self.health.config.heartbeat_s,
+                                "heartbeat", None)

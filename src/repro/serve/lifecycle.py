@@ -1,0 +1,189 @@
+"""Request lifecycle: admission → cache → degrade tagging → terminal state.
+
+One of the three composed units the serving engine is built from (the
+others: the :class:`repro.des.EventLoop` kernel and
+:class:`repro.serve.dispatch.DispatchController`).  This unit owns
+everything that happens to a *request* as opposed to a *batch*: cache
+lookup, admission-queue accounting, degraded-mode entry tagging, and
+the terminal bookkeeping (completion with latency, or shedding with a
+:class:`ShedReason`).
+
+All accounting flows through the telemetry spine: every transition is
+emitted on the :class:`repro.telemetry.EventBus` (``arrival`` /
+``cache_hit`` / ``shed`` / ``request_done`` / ``degrade``), completion
+latencies are observed into the registry histogram
+``serve.latency_s``, and shed counts are the admission queue's ledger
+counters — there is no private list to drift out of sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.serve.batcher import Batch
+from repro.serve.cache import ResultCache
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import ScanRequest
+from repro.telemetry import EventBus, MetricsRegistry
+
+#: Latency charged to a request answered from the result cache
+#: (hash lookup + response serialization; no device time).
+CACHE_HIT_LATENCY_S = 1e-3
+
+#: ``source`` tag of every serving-engine event on the bus.
+SERVE_SOURCE = "serve.engine"
+
+#: Registry histogram holding end-to-end completion latencies.
+LATENCY_HISTOGRAM = "serve.latency_s"
+
+
+class ShedReason(str, Enum):
+    """Why a request left the system without a result."""
+
+    QUEUE_FULL = "queue_full"  # rejected at admission (backpressure)
+    TIMEOUT = "timeout"        # out-waited its SLO queue timeout
+    FAULT = "fault"            # its batch exhausted failover retries
+
+
+@dataclass
+class ServedRequest:
+    """Terminal record for one request (completed or shed)."""
+
+    request: ScanRequest
+    completed_s: Optional[float] = None
+    latency_s: Optional[float] = None
+    from_cache: bool = False
+    shed_reason: Optional[ShedReason] = None
+    result: Optional[object] = None  # DiagnosisResult when functionally verified
+    degraded: bool = False  # served through the no-enhancement arm
+
+
+class RequestLifecycle:
+    """Per-request admission and terminal accounting for one engine."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        cache: ResultCache,
+        stages: Sequence[str],
+        bus: EventBus,
+        registry: MetricsRegistry,
+        degrade_ctl=None,
+        verifier=None,
+    ):
+        self.queue = queue
+        self.cache = cache
+        self.stages = tuple(stages)
+        self.bus = bus
+        self.registry = registry
+        self.degrade_ctl = degrade_ctl
+        self.verifier = verifier
+        self.completed: List[ServedRequest] = []
+        self.shed: List[ServedRequest] = []
+        self.degraded_ids: Set[int] = set()
+
+    def begin_run(self) -> None:
+        """Reset per-run state (the queue ledger persists, as before)."""
+        self.completed = []
+        self.shed = []
+        self.degraded_ids = set()
+        self.registry.histogram(LATENCY_HISTOGRAM).reset()
+
+    def emit(self, t: float, kind: str, **payload) -> None:
+        self.bus.emit(t, kind, SERVE_SOURCE, **payload)
+
+    # -- admission ------------------------------------------------------
+    def admit(self, req: ScanRequest, now: float) -> Optional[str]:
+        """Admit ``req``; returns its entry stage, or None if it already
+        reached a terminal state (cache hit or queue-full shed)."""
+        self.emit(now, "arrival", request=req.request_id, key=req.content_key)
+        hit = self.cache.get(req.content_key)
+        if hit is not None:
+            self._complete(req, now, completed_s=now + CACHE_HIT_LATENCY_S,
+                           latency_s=CACHE_HIT_LATENCY_S, from_cache=True,
+                           result=hit if hit is not True else None)
+            self.emit(now, "cache_hit", request=req.request_id)
+            return None
+        if not self.queue.offer(req, now):
+            self._shed(req, ShedReason.QUEUE_FULL, now)
+            return None
+        self.evaluate_degrade(now)
+        entry_stage = self.stages[0]
+        if (self.degrade_ctl is not None and self.degrade_ctl.active
+                and entry_stage == "enhance" and len(self.stages) > 1):
+            entry_stage = self.stages[1]
+            self.degraded_ids.add(req.request_id)
+        return entry_stage
+
+    # -- degradation ----------------------------------------------------
+    def evaluate_degrade(self, now: float) -> None:
+        if self.degrade_ctl is None:
+            return
+        before = self.degrade_ctl.active
+        after = self.degrade_ctl.evaluate(now, self.queue.occupancy)
+        if after != before:
+            self.emit(now, "degrade", active=after,
+                      queue_depth=self.queue.occupancy,
+                      p95_s=round(self.degrade_ctl.p95_s(), 4))
+
+    # -- terminal states ------------------------------------------------
+    def _complete(self, req: ScanRequest, now: float, completed_s: float,
+                  latency_s: float, from_cache: bool = False,
+                  result: Optional[object] = None,
+                  degraded: bool = False) -> None:
+        self.completed.append(ServedRequest(
+            req, completed_s=completed_s, latency_s=latency_s,
+            from_cache=from_cache, result=result, degraded=degraded))
+        self.registry.histogram(LATENCY_HISTOGRAM).observe(latency_s)
+        self.emit(now, "request_done", request=req.request_id,
+                  latency_s=latency_s, from_cache=from_cache,
+                  degraded=degraded, deadline_s=req.slo.deadline_s)
+
+    def _shed(self, req: ScanRequest, reason: ShedReason, now: float) -> None:
+        """Record the shed (queue-ledger counts are bumped by callers
+        via the queue's own ``time_out``/``fault`` transitions)."""
+        self.shed.append(ServedRequest(req, shed_reason=reason))
+        self.emit(now, "shed", request=req.request_id, reason=reason.value)
+
+    def shed_expired(self, batch: Batch, now: float) -> Batch:
+        """Drop batch members that out-waited their queue timeout."""
+        keep = []
+        for req in batch.requests:
+            if now - req.arrival_s > req.slo.queue_timeout_s:
+                self.queue.time_out(req, now)
+                self._shed(req, ShedReason.TIMEOUT, now)
+            else:
+                keep.append(req)
+        batch.requests = keep
+        return batch
+
+    def shed_batch_fault(self, batch: Batch, now: float) -> None:
+        """Shed every request of a batch that exhausted its retries."""
+        for req in batch.requests:
+            self.queue.fault(req, now)
+            self._shed(req, ShedReason.FAULT, now)
+        batch.requests = []
+
+    def finalize_batch(self, batch: Batch, now: float) -> None:
+        """Complete a final-stage batch: verify (budget permitting),
+        release, record latency, and populate the result cache."""
+        results: Dict[int, object] = {}
+        if self.verifier is not None:
+            results = self.verifier.verify(batch, self.degraded_ids)
+        for req in batch.requests:
+            self.queue.release(req, now)
+            latency = now - req.arrival_s
+            is_degraded = req.request_id in self.degraded_ids
+            result = results.get(req.request_id)
+            self._complete(req, now, completed_s=now, latency_s=latency,
+                           result=result, degraded=is_degraded)
+            if self.degrade_ctl is not None:
+                self.degrade_ctl.record_latency(latency)
+            if not is_degraded:
+                # Degraded results are lower quality — never cache them
+                # where a full-quality repeat scan would hit.
+                self.cache.put(req.content_key,
+                               result if result is not None else True)
+        self.evaluate_degrade(now)

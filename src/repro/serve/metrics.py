@@ -7,23 +7,25 @@ depth, shed counts split by :class:`~repro.serve.engine.ShedReason`
 (``queue_full`` / ``timeout`` / ``fault``), SLO violations, cache hit
 rate, and — when the resilience layer is armed — fault/retry counters,
 per-device availability, and degraded-mode accounting.
+
+The math lives in the telemetry spine: :func:`percentile` *is*
+:func:`repro.telemetry.metrics.percentile` (one nearest-rank
+implementation repo-wide), latencies are read back from the registry
+histogram ``serve.latency_s`` the lifecycle observed into, and
+:func:`summarize_trace` recomputes the latency/throughput block from
+an exported event stream alone — bit-identical to the live summary,
+which is what makes ``repro serve --trace-out`` → ``repro trace
+summary`` a lossless round trip.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
+from repro.telemetry.metrics import percentile
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
-    vals = sorted(values)
-    if not vals:
-        return float("nan")
-    rank = max(1, -(-len(vals) * q // 100))  # ceil without math import
-    return float(vals[int(rank) - 1])
+__all__ = ["percentile", "LatencyStats", "summarize", "summarize_trace"]
 
 
 @dataclass(frozen=True)
@@ -52,22 +54,17 @@ class LatencyStats:
         )
 
 
-def summarize(report) -> Dict[str, object]:
-    """Flatten a ServingReport into the CLI/benchmark summary dict."""
-    latencies = [r.latency_s for r in report.completed]
+def _performance_block(latencies: Sequence[float],
+                       makespan: float) -> Dict[str, object]:
+    """The latency/throughput keys — shared by live and trace summaries.
+
+    One code path means the two can only disagree if their *inputs*
+    disagree, which the round-trip test pins down to "never".
+    """
     lat = LatencyStats.from_latencies(latencies)
-    makespan = report.makespan_s
-    throughput = len(report.completed) / makespan if makespan > 0 else 0.0
-    violations = sum(1 for r in report.completed
-                     if r.latency_s > r.request.slo.deadline_s)
-    degraded = sum(1 for r in report.completed if r.degraded)
+    throughput = len(latencies) / makespan if makespan > 0 else 0.0
     return {
-        "requests": report.offered,
-        "completed": len(report.completed),
-        "shed_queue_full": report.queue_stats["rejected"],
-        "shed_timeout": report.queue_stats["timed_out"],
-        "shed_fault": report.queue_stats["faulted"],
-        "slo_violations": violations,
+        "completed": lat.count,
         "makespan_s": round(makespan, 4),
         "throughput_rps": round(throughput, 4),
         "latency_p50_s": round(lat.p50_s, 4),
@@ -75,6 +72,29 @@ def summarize(report) -> Dict[str, object]:
         "latency_p99_s": round(lat.p99_s, 4),
         "latency_mean_s": round(lat.mean_s, 4),
         "latency_max_s": round(lat.max_s, 4),
+    }
+
+
+def summarize(report) -> Dict[str, object]:
+    """Flatten a ServingReport into the CLI/benchmark summary dict."""
+    if getattr(report, "registry", None) is not None:
+        # The canonical record: the histogram the lifecycle observed
+        # into, in completion order (same floats as the list below).
+        latencies = list(report.registry.histogram("serve.latency_s").values)
+    else:
+        latencies = [r.latency_s for r in report.completed]
+    violations = sum(1 for r in report.completed
+                     if r.latency_s > r.request.slo.deadline_s)
+    degraded = sum(1 for r in report.completed if r.degraded)
+    out = {
+        "requests": report.offered,
+        "shed_queue_full": report.queue_stats["rejected"],
+        "shed_timeout": report.queue_stats["timed_out"],
+        "shed_fault": report.queue_stats["faulted"],
+        "slo_violations": violations,
+    }
+    out.update(_performance_block(latencies, report.makespan_s))
+    out.update({
         "queue_mean_depth": round(report.queue_mean_depth, 3),
         "queue_max_depth": report.queue_max_depth,
         "cache_hit_rate": round(report.cache_stats["hit_rate"], 4),
@@ -95,4 +115,64 @@ def summarize(report) -> Dict[str, object]:
         "breaker_states": dict(report.health_states),
         "verified_batches": report.verified_batches,
         "policy": report.policy,
+    })
+    return out
+
+
+def summarize_trace(events: Iterable) -> Dict[str, object]:
+    """Recompute the serving summary from an event stream alone.
+
+    Works on live :class:`~repro.telemetry.TelemetryEvent` objects or
+    ones loaded back from a ``--trace-out`` JSONL file.  Keys present
+    here are *bit-identical* to :func:`summarize` on the originating
+    run: latencies ride ``request_done`` payloads in completion order
+    (JSON round-trips Python floats exactly), the makespan is the
+    ``done`` event's timestamp, and shed/conservation counts are
+    recounted from ``shed`` events by reason.
+    """
+    latencies: List[float] = []
+    requests = 0
+    violations = 0
+    degraded = 0
+    cache_hits = 0
+    retries = 0
+    makespan = 0.0
+    shed_by_reason = {"queue_full": 0, "timeout": 0, "fault": 0}
+    fault_events: Dict[str, int] = {}
+    for e in events:
+        if e.kind == "arrival":
+            requests += 1
+        elif e.kind == "request_done":
+            latency = float(e.payload["latency_s"])
+            latencies.append(latency)
+            if latency > float(e.payload["deadline_s"]):
+                violations += 1
+            if e.payload.get("degraded"):
+                degraded += 1
+        elif e.kind == "shed":
+            reason = e.payload["reason"]
+            shed_by_reason[reason] = shed_by_reason.get(reason, 0) + 1
+        elif e.kind == "cache_hit":
+            cache_hits += 1
+        elif e.kind == "retry":
+            retries += 1
+        elif e.kind == "fault":
+            kind = e.payload["fault"]
+            fault_events[kind] = fault_events.get(kind, 0) + 1
+        elif e.kind == "done":
+            makespan = float(e.t)
+    out = {
+        "requests": requests,
+        "shed_queue_full": shed_by_reason["queue_full"],
+        "shed_timeout": shed_by_reason["timeout"],
+        "shed_fault": shed_by_reason["fault"],
+        "slo_violations": violations,
     }
+    out.update(_performance_block(latencies, makespan))
+    out.update({
+        "cache_hits": cache_hits,
+        "retries": retries,
+        "fault_events": fault_events,
+        "degraded_completed": degraded,
+    })
+    return out

@@ -6,36 +6,72 @@ in flight) is below ``capacity``.  Everything above that is shed
 immediately — backpressure the caller can see — and requests that
 out-wait their SLO's ``queue_timeout_s`` before reaching a device are
 shed late.  Batches that exhaust their failover retries shed their
-requests with the ``fault`` reason.  The stats object maintains the
-conservation law the tests pin: ``offered = admitted + rejected`` and
-``admitted = departed + timed_out + faulted + occupancy``.
+requests with the ``fault`` reason.
+
+The conservation ledger lives in a
+:class:`repro.telemetry.MetricsRegistry` — :class:`QueueStats` is a
+*view* over those counters, so the queue, the serving summary, and any
+other registry consumer can never disagree about a count.  The law the
+tests pin: ``offered = admitted + rejected`` and ``admitted = departed
++ timed_out + faulted + occupancy``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.serve.request import ScanRequest
+from repro.telemetry import MetricsRegistry
+
+#: Registry name prefix for the admission-ledger counters.
+COUNTER_PREFIX = "serve.queue."
+
+_FIELDS = ("offered", "admitted", "rejected", "timed_out", "faulted",
+           "departed")
 
 
-@dataclass
 class QueueStats:
-    """Counters for the admission conservation law."""
+    """View over the admission conservation counters in a registry."""
 
-    offered: int = 0
-    admitted: int = 0
-    rejected: int = 0
-    timed_out: int = 0
-    faulted: int = 0
-    departed: int = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in _FIELDS:
+            self.registry.counter(COUNTER_PREFIX + name)
+
+    def _value(self, name: str) -> int:
+        return self.registry.counter(COUNTER_PREFIX + name).value
+
+    def inc(self, name: str) -> None:
+        if name not in _FIELDS:
+            raise KeyError(f"unknown ledger counter {name!r}")
+        self.registry.counter(COUNTER_PREFIX + name).inc()
+
+    @property
+    def offered(self) -> int:
+        return self._value("offered")
+
+    @property
+    def admitted(self) -> int:
+        return self._value("admitted")
+
+    @property
+    def rejected(self) -> int:
+        return self._value("rejected")
+
+    @property
+    def timed_out(self) -> int:
+        return self._value("timed_out")
+
+    @property
+    def faulted(self) -> int:
+        return self._value("faulted")
+
+    @property
+    def departed(self) -> int:
+        return self._value("departed")
 
     def as_dict(self) -> dict:
-        return {
-            "offered": self.offered, "admitted": self.admitted,
-            "rejected": self.rejected, "timed_out": self.timed_out,
-            "faulted": self.faulted, "departed": self.departed,
-        }
+        return {name: self._value(name) for name in _FIELDS}
 
 
 class AdmissionQueue:
@@ -47,11 +83,12 @@ class AdmissionQueue:
     so mean/max depth are measurable.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64,
+                 registry: Optional[MetricsRegistry] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self.stats = QueueStats()
+        self.stats = QueueStats(registry)
         self._occupancy = 0
         self.depth_samples: List[Tuple[float, int]] = []
 
@@ -68,11 +105,11 @@ class AdmissionQueue:
 
     def offer(self, request: ScanRequest, now: float) -> bool:
         """Admit ``request`` or reject it (backpressure). Returns admitted?"""
-        self.stats.offered += 1
+        self.stats.inc("offered")
         if self.full:
-            self.stats.rejected += 1
+            self.stats.inc("rejected")
             return False
-        self.stats.admitted += 1
+        self.stats.inc("admitted")
         self._occupancy += 1
         self._sample(now)
         return True
@@ -80,19 +117,19 @@ class AdmissionQueue:
     def time_out(self, request: ScanRequest, now: float) -> None:
         """Shed an admitted request that out-waited its queue timeout."""
         self._depart()
-        self.stats.timed_out += 1
+        self.stats.inc("timed_out")
         self._sample(now)
 
     def fault(self, request: ScanRequest, now: float) -> None:
         """Shed an admitted request whose batch exhausted its retries."""
         self._depart()
-        self.stats.faulted += 1
+        self.stats.inc("faulted")
         self._sample(now)
 
     def release(self, request: ScanRequest, now: float) -> None:
         """An admitted request completed service."""
         self._depart()
-        self.stats.departed += 1
+        self.stats.inc("departed")
         self._sample(now)
 
     def _depart(self) -> None:

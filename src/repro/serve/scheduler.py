@@ -19,7 +19,7 @@ scheduler enforces it and keeps per-device accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.hetero.device import DEVICES, DeviceSpec, get_device

@@ -1,0 +1,53 @@
+"""Structured observability: one event spine for the whole system.
+
+The paper's performance story (§4, Tables 4–7, Fig. 10) is built on
+instrumentation — per-kernel counters and wall-clock traces.  This
+package is that instrumentation layer for the reproduction, grown to
+serving scale: a typed event bus, a metrics registry, and span-scoped
+tracing with lossless JSONL export/import.
+
+- :mod:`~repro.telemetry.events` — :class:`TelemetryEvent` +
+  :class:`EventBus` (append-only log, synchronous subscribers,
+  :func:`export_jsonl` / :func:`load_jsonl`),
+- :mod:`~repro.telemetry.metrics` — :class:`MetricsRegistry` of
+  counters, gauges, and nearest-rank-percentile histograms,
+- :mod:`~repro.telemetry.spans` — :class:`Span` regions over simulated
+  clocks.
+
+Everything that used to log privately now rides this spine:
+
+- ``repro.serve`` — the engine's whole discrete-event trace (arrival /
+  dispatch / complete / shed / fault / retry / heartbeat / degrade),
+  per-request ``request_done`` records, and the admission queue's
+  conservation ledger as registry counters,
+- ``repro.hetero`` — :class:`repro.hetero.runtime.ExecutionTrace` is a
+  view over ``kernel_launch`` events,
+- ``repro.resilience`` — circuit breakers are driven *from* bus events
+  (``complete`` / ``fault``) and emit ``breaker_transition`` events
+  back onto it,
+- ``repro.pipeline`` — the trainer emits ``epoch`` / ``step`` events.
+
+See ``docs/telemetry.md`` for the event schema and the
+``repro serve --trace-out`` → ``repro trace summary`` round trip.
+"""
+
+from repro.telemetry.events import (
+    EventBus,
+    TelemetryEvent,
+    export_jsonl,
+    load_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.telemetry.spans import Span, SpanHandle, open_span, spans_from_events
+
+__all__ = [
+    "TelemetryEvent", "EventBus", "export_jsonl", "load_jsonl",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile",
+    "Span", "SpanHandle", "open_span", "spans_from_events",
+]

@@ -1,0 +1,138 @@
+"""The metrics registry: counters, gauges, and histograms.
+
+One registry per serving engine (or any other component) replaces the
+ad-hoc counter dicts that grew across the codebase: the admission
+queue's conservation ledger, the engine's per-kind fault tallies, and
+the latency distributions that both ``ServingReport.summary()`` and
+``repro trace summary`` must agree on.  Histograms keep raw samples and
+use the repo-wide **nearest-rank** percentile (:func:`percentile`,
+no interpolation — equivalent to ``numpy.percentile(...,
+method="inverted_cdf")``), so any two summaries computed from the same
+samples are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["percentile", "Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Matches ``numpy.percentile(values, q, method="inverted_cdf")`` for
+    every ``q`` in [0, 100] (property-tested), returns NaN on empty
+    input.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    vals = sorted(values)
+    if not vals:
+        return float("nan")
+    rank = max(1, -(-len(vals) * q // 100))  # ceil without math import
+    return float(vals[int(rank) - 1])
+
+
+class Counter:
+    """Monotone event count (resettable for run-scoped tallies)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only count up")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Raw-sample distribution with nearest-rank percentiles."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def reset(self) -> None:
+        self.values = []
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            return float("nan")
+        return float(sum(self.values) / len(self.values))
+
+    def max(self) -> float:
+        return float(max(self.values)) if self.values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count, "mean": self.mean(),
+            "p50": self.percentile(50), "p95": self.percentile(95),
+            "p99": self.percentile(99), "max": self.max(),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch, insertion-ordered."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat snapshot: counters/gauges by value, histograms summarized."""
+        out: Dict[str, object] = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, g in self.gauges.items():
+            out[name] = g.value
+        for name, h in self.histograms.items():
+            out[name] = h.summary()
+        return out

@@ -1,0 +1,76 @@
+"""Span-scoped tracing over the event bus (Dapper-style, sim-time).
+
+A span is a named region of one source's clock — an entire DDnet
+inference, a training epoch — recorded as a single ``span`` event at
+close time so it needs no cross-event matching.  Because every clock
+here is *modelled* (simulated seconds, step counts) rather than
+wall-clock, spans are opened and closed with explicit timestamps
+instead of a context manager around real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.telemetry.events import EventBus, TelemetryEvent
+
+__all__ = ["Span", "SpanHandle", "open_span", "spans_from_events"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed span, reconstructed from its ``span`` event."""
+
+    name: str
+    source: str
+    t_start: float
+    t_end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+
+class SpanHandle:
+    """An open span; :meth:`close` emits the ``span`` event."""
+
+    def __init__(self, bus: EventBus, name: str, source: str, t_start: float):
+        self.bus = bus
+        self.name = name
+        self.source = source
+        self.t_start = float(t_start)
+        self.closed = False
+
+    def close(self, t_end: float, **attrs) -> TelemetryEvent:
+        if self.closed:
+            raise RuntimeError(f"span {self.name!r} already closed")
+        if t_end < self.t_start:
+            raise ValueError("span must close at or after its start")
+        self.closed = True
+        return self.bus.emit(
+            float(t_end), "span", self.source,
+            name=self.name, t_start=self.t_start,
+            duration_s=float(t_end) - self.t_start, **attrs)
+
+
+def open_span(bus: EventBus, name: str, source: str = "",
+              t_start: float = 0.0) -> SpanHandle:
+    """Open a span on ``bus``; call ``.close(t_end, **attrs)`` to record."""
+    return SpanHandle(bus, name, source, t_start)
+
+
+def spans_from_events(events: Iterable[TelemetryEvent]) -> List[Span]:
+    """Rebuild :class:`Span` views from ``span`` events (e.g. a loaded
+    JSONL trace)."""
+    out = []
+    for e in events:
+        if e.kind != "span":
+            continue
+        attrs = {k: v for k, v in e.payload.items()
+                 if k not in ("name", "t_start", "duration_s")}
+        out.append(Span(name=str(e.payload["name"]), source=e.source,
+                        t_start=float(e.payload["t_start"]), t_end=e.t,
+                        attrs=attrs))
+    return out

@@ -20,7 +20,7 @@ Weight layouts follow PyTorch:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -83,7 +83,6 @@ def _col2im(
     """
     nd = len(kernel)
     xp = np.zeros(xp_shape, dtype=cols.dtype)
-    n = xp_shape[0]
     # (N, C, *out_spatial, *kernel) ordering for easy slicing.
     order = (0, 1 + nd) + tuple(range(1, 1 + nd)) + tuple(range(2 + nd, 2 + 2 * nd))
     cols_nc = cols.transpose(order)

@@ -10,7 +10,6 @@ pass) is just the transposed products.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view

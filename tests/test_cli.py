@@ -87,4 +87,28 @@ class TestCli:
         parser = build_parser()
         subs = next(a for a in parser._actions if a.dest == "command")
         assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic",
-                                     "inventory", "serve"}
+                                     "inventory", "serve", "trace"}
+
+    def test_serve_trace_round_trip(self, tmp_path, capsys):
+        """serve --trace-out → trace summary reproduces the live numbers."""
+        import json
+
+        trace_file = str(tmp_path / "trace.jsonl")
+        live_json = str(tmp_path / "live.json")
+        replay_json = str(tmp_path / "replay.json")
+        assert main(["serve", "--requests", "40", "--rate", "10", "--seed", "3",
+                     "--json", live_json, "--trace-out", trace_file]) == 0
+        assert main(["trace", "summary", trace_file,
+                     "--json", replay_json]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry events" in out
+        with open(live_json) as fh:
+            live = json.load(fh)
+        with open(replay_json) as fh:
+            replay = json.load(fh)
+        for key in ("requests", "completed", "shed_queue_full", "shed_timeout",
+                    "shed_fault", "slo_violations", "makespan_s",
+                    "throughput_rps", "latency_p50_s", "latency_p95_s",
+                    "latency_p99_s", "latency_mean_s", "latency_max_s",
+                    "cache_hits", "retries", "degraded_completed"):
+            assert replay[key] == live[key], key

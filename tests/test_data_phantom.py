@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.data import (
     ChestPhantomConfig,
@@ -26,7 +24,7 @@ from repro.data import (
     remove_circular_boundary,
     slice_masks,
 )
-from repro.data.phantom import HU_AIR, HU_BONE, HU_LUNG, HU_SOFT
+from repro.data.phantom import HU_AIR, HU_BONE
 from repro.data.preparation import add_circular_boundary
 from repro.data.registry import DATA_SOURCES
 
@@ -108,7 +106,6 @@ class TestChestVolume:
         assert lungs_per_slice[-1] < mid
 
     def test_covid_adds_lesions(self):
-        rng_state = np.random.default_rng(4)
         healthy = chest_volume(32, 8, covid=False, rng=np.random.default_rng(4))
         covid, mask = chest_volume(32, 8, covid=True, rng=np.random.default_rng(4),
                                    return_lesion_mask=True)

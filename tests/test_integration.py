@@ -17,7 +17,6 @@ from repro.distributed import DistributedDataParallel, ProcessGroup
 from repro.metrics import auc_roc, mse, ssim
 from repro.models import DDnet, DenseNet3D
 from repro.pipeline import ClassificationAI, EnhancementAI
-from repro.tensor import Tensor
 
 
 def tiny_ddnet(seed=0, init_std=0.01):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.data.lesions import add_lesion
 from repro.data.phantom import ChestPhantomConfig, chest_slice
-from repro.metrics import auc_roc
 from repro.models import Classifier2D
 from repro.models.moco import MoCoLite, _l2_normalize
 from repro.tensor import Tensor

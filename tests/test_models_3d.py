@@ -25,7 +25,7 @@ class TestDenseNet3D:
         assert len(DenseNet3D().blocks) == 4  # §2.3.2: four dense blocks
 
     def test_densenet121_configuration(self):
-        net = DenseNet3D.densenet121.__func__  # class method exists
+        assert callable(DenseNet3D.densenet121.__func__)  # class method exists
         cfg = DenseNet3D(block_layers=(6, 12, 24, 16), growth=4, init_features=4)
         assert cfg.block_layers == (6, 12, 24, 16)
 

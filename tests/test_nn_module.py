@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.nn.module import Parameter
 from repro.tensor import Tensor
 
 

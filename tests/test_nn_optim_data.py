@@ -7,7 +7,6 @@ import repro.nn as nn
 from repro.nn.augment import Compose, GaussianNoise, IntensityScale, RandomContrast, classification_augmentation
 from repro.nn.data import DataLoader, DistributedSampler, TensorDataset
 from repro.nn.module import Parameter
-from repro.tensor import Tensor
 
 
 def quadratic_param():

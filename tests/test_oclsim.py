@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hetero import INTEL_XEON_6128, NVIDIA_V100, InferenceEngine
-from repro.hetero.oclsim import (
-    Buffer,
-    CommandQueue,
-    DeviceMemoryError,
-    transfer_fraction,
-)
+from repro.hetero.oclsim import CommandQueue, DeviceMemoryError, transfer_fraction
 from repro.models import DDnet
 
 
@@ -17,7 +12,7 @@ class TestBuffers:
     def test_allocation_accounting(self):
         q = CommandQueue(NVIDIA_V100)
         a = q.alloc("a", 1_000_000)
-        b = q.alloc("b", 2_000_000)
+        q.alloc("b", 2_000_000)
         assert q.allocated == 3_000_000
         a.release()
         assert q.allocated == 2_000_000

@@ -12,7 +12,7 @@ from repro.data.lesions import (
 )
 from repro.data.phantom import ChestPhantomConfig
 from repro.data.phantom3d import DISEASE_LESIONS, chest_volume
-from scipy.ndimage import distance_transform_edt, label
+from scipy.ndimage import label
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.data import ChestPhantomConfig, chest_volume, make_enhancement_pairs
+from repro.data import chest_volume, make_enhancement_pairs
 from repro.data.datasets import ClassificationDataset, EnhancementDataset
 from repro.models import DDnet, DenseNet3D
 from repro.pipeline import (
@@ -15,7 +15,6 @@ from repro.pipeline import (
     Trainer,
     threshold_lung_mask,
 )
-from repro.tensor import Tensor
 
 
 def tiny_ddnet(seed=0):

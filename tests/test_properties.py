@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) on core invariants across modules."""
 
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -10,6 +10,8 @@ from repro.ct.geometry import ParallelBeamGeometry
 from repro.hetero.counters import OpCounts, conv_counts, pool_counts
 from repro.metrics import ConfusionMatrix, auc_roc, confusion_matrix, mse, psnr
 from repro.nn.data import DistributedSampler, TensorDataset
+from repro.serve.metrics import LatencyStats
+from repro.telemetry import percentile
 from repro.tensor import Tensor, functional as F
 
 finite = st.floats(-1e3, 1e3, allow_nan=False)
@@ -148,6 +150,50 @@ class TestCounterProperties:
     @given(st.integers(1, 32), st.integers(1, 16), st.sampled_from([2, 3]))
     def test_pool_counts_no_flops(self, size, ch, k):
         assert pool_counts(size, size, ch, k).flops == 0
+
+
+class TestPercentileProperties:
+    """The repo-wide nearest-rank percentile IS numpy's inverted_cdf."""
+
+    samples = st.lists(st.floats(-1e6, 1e6, allow_nan=False,
+                                 allow_infinity=False),
+                       min_size=1, max_size=200)
+
+    @given(samples, st.floats(0, 100, allow_nan=False))
+    def test_matches_numpy_inverted_cdf(self, values, q):
+        expected = float(np.percentile(values, q, method="inverted_cdf"))
+        assert percentile(values, q) == expected
+
+    @given(samples)
+    def test_q0_and_q100_are_min_and_max(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+        assert percentile(values, 0) == float(
+            np.percentile(values, 0, method="inverted_cdf"))
+        assert percentile(values, 100) == float(
+            np.percentile(values, 100, method="inverted_cdf"))
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+           st.floats(0, 100, allow_nan=False))
+    def test_singleton_always_returns_the_element(self, x, q):
+        assert percentile([x], q) == x
+
+    @given(st.floats(-1e3, 1e3, allow_nan=False), st.integers(2, 50),
+           st.floats(0, 100, allow_nan=False))
+    def test_duplicates_collapse(self, x, n, q):
+        assert percentile([x] * n, q) == x
+
+    @given(samples, st.floats(0, 100, allow_nan=False))
+    def test_result_is_an_observed_sample(self, values, q):
+        """Nearest-rank never interpolates: the result is in the data."""
+        assert percentile(values, q) in values
+
+    def test_empty_latency_stats_pinned_to_nan(self):
+        """LatencyStats.from_latencies([]) is all-NaN with count 0."""
+        stats = LatencyStats.from_latencies([])
+        assert stats.count == 0
+        for field in ("mean_s", "p50_s", "p95_s", "p99_s", "max_s"):
+            assert np.isnan(getattr(stats, field)), field
 
 
 class TestSamplerProperties:

@@ -1,7 +1,6 @@
 """Tests for pooling, up-sampling, and batch normalization ops."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ import pytest
 import repro.nn as nn
 from repro.nn.module import Parameter
 from repro.pipeline.training import Trainer, clip_gradients
-from repro.tensor import Tensor
 
 
 def linear_setup(rng, n=16):
