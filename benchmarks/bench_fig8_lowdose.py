@@ -52,3 +52,33 @@ def test_fig8_lowdose_simulation(benchmark, results_dir):
     assert noisy.data.shape == (geometry.num_views, geometry.num_detectors)
     assert s_low < s_full                  # the dose reduction visibly degrades
     assert (low_hu - full_hu).std() > 10.0  # streaking/noise present in HU
+
+
+def test_fig8_lowdose_volume_fanout(benchmark):
+    """Volume-scale §3.1.2 chain across REPRO_BENCH_WORKERS processes.
+
+    Times :func:`simulate_low_dose_volume` at the conftest worker count
+    and re-asserts the repro.parallel contract: the fan-out output is
+    bit-identical to the serial one.
+    """
+    from conftest import BENCH_WORKERS
+    from repro.data import simulate_low_dose_volume
+
+    rng = np.random.default_rng(3)
+    volume_mu = np.stack([
+        hu_to_mu(chest_slice(ChestPhantomConfig(size=SIZE), rng))
+        for _ in range(4)
+    ])
+    geometry = paper_geometry(scale=SIZE / 512.0)
+    pixel_size = 350.0 / SIZE
+
+    def simulate(workers):
+        return simulate_low_dose_volume(
+            volume_mu, geometry, blank_scan=200.0, pixel_size=pixel_size,
+            seed=11, workers=workers)
+
+    full, low = benchmark.pedantic(simulate, args=(BENCH_WORKERS,),
+                                   rounds=1, iterations=1)
+    serial_full, serial_low = simulate(1)
+    np.testing.assert_array_equal(full, serial_full)
+    np.testing.assert_array_equal(low, serial_low)

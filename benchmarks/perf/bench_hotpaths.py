@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hot-path perf-regression harness (standalone, not a pytest bench).
+
+Times the three `repro.parallel` hot paths — §3.1.2 dataset
+simulation, data-parallel ``score_batch``, and the float32 inference
+fast path — serial vs. parallel, and writes ``BENCH_hotpaths.json``
+at the repo root.  Exits nonzero when any parity check fails (parallel
+not bit-identical to serial, or float32 drifting past tolerance);
+speedups are *reported*, never gated, because they depend on
+``host.cpu_count``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_hotpaths.py [--quick]
+        [--out PATH] [--repeats N] [--workers 1,2,4]
+
+Also exposed as ``repro bench hotpaths``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small problem sizes for CI smoke runs")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root BENCH_hotpaths.json)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per configuration (default: 3, quick: 2)")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts to sweep")
+    args = parser.parse_args(argv)
+
+    from repro.parallel import (
+        format_bench_summary,
+        run_hotpath_bench,
+        write_bench_json,
+    )
+
+    workers = tuple(int(w) for w in args.workers.split(","))
+    payload = run_hotpath_bench(quick=args.quick, workers=workers,
+                                repeats=args.repeats)
+    write_bench_json(args.out, payload)
+    print(format_bench_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["parity_ok"]:
+        print("PARITY FAILURE: parallel results diverge from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

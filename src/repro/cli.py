@@ -13,7 +13,14 @@ code:
   ``--trace-out`` exports the run's telemetry events as JSONL,
 - ``trace``     — work with exported traces: ``trace summary FILE``
   recomputes the serving summary (bit-identical latency percentiles,
-  throughput, shed counts) from the events alone.
+  throughput, shed counts) from the events alone,
+- ``bench``     — performance harnesses: ``bench hotpaths`` times the
+  ``repro.parallel`` hot paths (dataset simulation, batch scoring,
+  float32 inference) and writes ``BENCH_hotpaths.json``.
+
+``simulate`` and ``serve`` accept ``--workers N`` to fan work across
+``N`` processes over shared memory; results are bit-identical to
+serial for every worker count.
 """
 
 from __future__ import annotations
@@ -54,7 +61,7 @@ def _cmd_simulate(args) -> int:
 
     lows, fulls = make_enhancement_pairs(
         args.count, size=args.size, blank_scan=args.blank_scan,
-        rng=np.random.default_rng(args.seed),
+        rng=np.random.default_rng(args.seed), workers=args.workers,
     )
     np.savez_compressed(args.output, low_dose=lows, full_dose=fulls)
     print(f"wrote {args.count} pairs ({args.size}x{args.size}, "
@@ -142,6 +149,7 @@ def _cmd_serve(args) -> int:
                                      max_wait_s=args.max_wait),
             queue_capacity=args.queue_capacity,
             verify_batches=args.verify_batches,
+            verify_workers=args.workers,
             resilience=resilience,
         )
     except (KeyError, ValueError) as exc:
@@ -232,6 +240,31 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench_hotpaths(args) -> int:
+    from repro.parallel import (
+        format_bench_summary,
+        run_hotpath_bench,
+        write_bench_json,
+    )
+
+    try:
+        workers = tuple(int(w) for w in args.workers.split(","))
+    except ValueError:
+        print(f"error: --workers must be comma-separated integers, "
+              f"got {args.workers!r}", file=sys.stderr)
+        return 2
+    payload = run_hotpath_bench(quick=args.quick, workers=workers,
+                                repeats=args.repeats)
+    write_bench_json(args.out, payload)
+    print(format_bench_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["parity_ok"]:
+        print("PARITY FAILURE: parallel results diverge from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inventory(args) -> int:
     from repro.data import data_source_table
     from repro.report import format_table
@@ -262,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blank-scan", type=float, default=1e4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default="pairs.npz")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the simulation fan-out "
+                        "(bit-identical to serial)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("tables", help="print the performance-model tables")
@@ -296,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of repeat scans (cache exercise)")
     p.add_argument("--verify-batches", type=int, default=0,
                    help="functionally execute this many served batches")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for data-parallel batch verification "
+                        "(diagnose_batch fan-out)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--faults", action="store_true",
                    help="enable seeded fault injection (transient kernel "
@@ -323,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("file", help="trace written by `repro serve --trace-out`")
     ps.add_argument("--json", help="also write the summary to this JSON file")
     ps.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("bench", help="performance harnesses")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser(
+        "hotpaths", help="time the repro.parallel hot paths and write "
+                         "BENCH_hotpaths.json")
+    pb.add_argument("--quick", action="store_true",
+                    help="small problem sizes for CI smoke runs")
+    pb.add_argument("--out", default="BENCH_hotpaths.json",
+                    help="output JSON path")
+    pb.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per configuration (default: 3, quick: 2)")
+    pb.add_argument("--workers", default="1,2,4",
+                    help="comma-separated worker counts to sweep")
+    pb.set_defaults(func=_cmd_bench_hotpaths)
     return parser
 
 

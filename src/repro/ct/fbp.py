@@ -10,6 +10,7 @@ Back projection is vectorized over all image pixels per view.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Literal, Union
 
 import numpy as np
@@ -25,7 +26,18 @@ def ramp_filter_1d(n: int, spacing: float = 1.0, window: FilterName = "ramp") ->
 
     Built from the space-domain band-limited ramp kernel so that the
     filtered projections have the correct DC behaviour.
+
+    Results are memoized by ``(n, spacing, window)`` — every slice of a
+    volume reconstruction reuses the same response, so recomputing the
+    FFT per :func:`fbp_reconstruct` call was pure overhead on the
+    low-dose simulation hot path.  The returned array is **read-only**
+    (it is the shared cache entry); call ``.copy()`` to mutate.
     """
+    return _ramp_filter_cached(int(n), float(spacing), str(window))
+
+
+@lru_cache(maxsize=64)
+def _ramp_filter_cached(n: int, spacing: float, window: str) -> np.ndarray:
     size = max(64, int(2 ** np.ceil(np.log2(2 * n))))
     # Space-domain kernel h[k] (Kak & Slaney eq. 61).
     k = np.concatenate([np.arange(size // 2), np.arange(-size // 2, 0)])
@@ -41,6 +53,7 @@ def ramp_filter_1d(n: int, spacing: float = 1.0, window: FilterName = "ramp") ->
         H = np.ones(size)
     elif window != "ramp":
         raise ValueError(f"unknown filter window {window!r}")
+    H.setflags(write=False)
     return H
 
 

@@ -47,6 +47,8 @@ from repro.data.preparation import (
     filter_min_slices,
     prepare_scan,
     remove_circular_boundary,
+    simulate_dose_fraction_volume,
+    simulate_low_dose_volume,
 )
 from repro.data.registry import DATA_SOURCES, DataSourceInfo, data_source_table
 
@@ -59,6 +61,7 @@ __all__ = [
     "EnhancementDataset", "ClassificationDataset",
     "make_enhancement_pairs", "make_classification_volumes",
     "remove_circular_boundary", "detect_circular_boundary",
-    "filter_min_slices", "prepare_scan",
+    "filter_min_slices", "prepare_scan", "simulate_dose_fraction_volume",
+    "simulate_low_dose_volume",
     "DATA_SOURCES", "DataSourceInfo", "data_source_table",
 ]

@@ -51,7 +51,7 @@ class KernelResult:
 def conv2d_kernel(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray] = None,
                   stride: int = 1, padding: int = 0) -> KernelResult:
     """Convolution via im2col + GEMM (the optimized formulation)."""
-    out, _, _ = conv_nd_forward(x, w, bias, stride, padding)
+    out, _, _ = conv_nd_forward(x, w, bias, stride, padding, want_cols=False)
     n, f, oh, ow = out.shape
     counts = conv_counts(oh, ow, f, w.shape[1], w.shape[2], batch=n)
     return KernelResult(out, counts, "convolution")

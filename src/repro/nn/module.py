@@ -17,10 +17,18 @@ from repro.tensor.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A tensor registered as a trainable module parameter."""
+    """A tensor registered as a trainable module parameter.
+
+    Unlike a raw :class:`Tensor`, a parameter built from a float array
+    keeps that array's dtype: a ``float32`` checkpoint must not be
+    silently re-promoted to ``float64`` on reconstruction (the
+    inference fast path depends on the model staying ``float32``).
+    """
 
     def __init__(self, data, name: str = ""):
-        super().__init__(data, requires_grad=True, name=name)
+        arr = data.data if isinstance(data, Tensor) else np.asarray(data)
+        dtype = arr.dtype if getattr(arr.dtype, "kind", "") == "f" else None
+        super().__init__(data, requires_grad=True, dtype=dtype, name=name)
 
 
 class Module:
@@ -85,6 +93,37 @@ class Module:
         """Total trainable scalar count."""
         return sum(p.data.size for p in self.parameters())
 
+    # -- dtype -----------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Floating dtype of the model (first parameter; float64 if none)."""
+        for p in self.parameters():
+            return p.data.dtype
+        return np.dtype(np.float64)
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter and float buffer to ``dtype`` in place.
+
+        ``model.to_dtype(np.float32)`` is the inference fast path: with
+        every op dtype-preserving, a float32 model halves the working
+        set of the im2col convolution stack and roughly doubles BLAS
+        throughput.  Integer/bool buffers are left untouched.  Pending
+        gradients are dropped (their dtype would no longer match).
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise TypeError(f"to_dtype expects a float dtype; got {dtype}")
+        for m in self.modules():
+            for p in m._parameters.values():
+                p.data = np.ascontiguousarray(p.data, dtype=dtype)
+                p.grad = None
+            for name, b in m._buffers.items():
+                if b.dtype.kind == "f" and b.dtype != dtype:
+                    cast = np.ascontiguousarray(b, dtype=dtype)
+                    m._buffers[name] = cast
+                    object.__setattr__(m, name, cast)
+        return self
+
     # -- mode / grads ----------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
         for m in self.modules():
@@ -115,13 +154,35 @@ class Module:
         unexpected = set(state) - (set(own_params) | set(own_buffers))
         if strict and (missing or unexpected):
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        buffer_slots: Dict[str, Tuple["Module", str]] = {}
+        for mod_name, mod in self.named_modules():
+            for b_name in mod._buffers:
+                full = f"{mod_name}.{b_name}" if mod_name else b_name
+                buffer_slots[full] = (mod, b_name)
         for name, arr in state.items():
             if name in own_params:
-                if own_params[name].data.shape != arr.shape:
-                    raise ValueError(f"shape mismatch for {name}: {own_params[name].data.shape} vs {arr.shape}")
-                own_params[name].data[...] = arr
+                p = own_params[name]
+                if p.data.shape != arr.shape:
+                    raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {arr.shape}")
+                if arr.dtype.kind == "f" and arr.dtype != p.data.dtype:
+                    # Adopt the checkpoint's float dtype: loading a
+                    # float32 state into a freshly built (float64)
+                    # model must yield a float32 model, not silently
+                    # promote the weights back.
+                    p.data = np.ascontiguousarray(arr, dtype=arr.dtype)
+                    p.grad = None
+                else:
+                    p.data[...] = arr
             elif name in own_buffers:
-                own_buffers[name][...] = arr
+                b = own_buffers[name]
+                if (arr.dtype.kind == "f" and b.dtype.kind == "f"
+                        and arr.dtype != b.dtype):
+                    mod, b_name = buffer_slots[name]
+                    cast = np.ascontiguousarray(arr, dtype=arr.dtype)
+                    mod._buffers[b_name] = cast
+                    object.__setattr__(mod, b_name, cast)
+                else:
+                    b[...] = arr
 
     def save(self, path: str) -> None:
         """Serialize the state dict to an ``.npz`` file."""

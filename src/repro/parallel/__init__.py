@@ -1,0 +1,51 @@
+"""repro.parallel — shared-memory multiprocess fan-out for the hot paths.
+
+The paper accelerates in two places: multi-GPU data parallelism for
+training (§4.1, Table 3) and a heterogeneous device fleet for
+inference (§4.2, Tables 4–7).  This package is the CPU-process
+analogue used by the reproduction's real numeric hot paths:
+
+- :mod:`repro.parallel.shm` — picklable :class:`ShmArray` handles so
+  volumes and sinograms cross process boundaries without serialization,
+- :mod:`repro.parallel.pool` — deterministic chunking
+  (:func:`chunk_indices`), ordered :func:`parallel_map`, and warm
+  :class:`ProcessPool` replicas,
+- :mod:`repro.parallel.seeding` — per-item
+  :class:`~numpy.random.SeedSequence` spawning so parallel results are
+  bit-identical to serial ones for the same seed.
+
+Consumers: ``repro.data`` dataset simulation, the
+``ComputeCovid19Plus`` batch-inference fast path, and the
+``benchmarks/perf`` regression harness.
+"""
+
+from repro.parallel.hotpath_bench import (
+    format_bench_summary,
+    run_hotpath_bench,
+    write_bench_json,
+)
+from repro.parallel.pool import (
+    PARALLEL_SOURCE,
+    ProcessPool,
+    chunk_indices,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.seeding import derive_item_seeds, spawn_rngs, spawn_seeds
+from repro.parallel.shm import ShmArray, shm_scope
+
+__all__ = [
+    "PARALLEL_SOURCE",
+    "ProcessPool",
+    "ShmArray",
+    "chunk_indices",
+    "derive_item_seeds",
+    "format_bench_summary",
+    "parallel_map",
+    "resolve_workers",
+    "run_hotpath_bench",
+    "shm_scope",
+    "spawn_rngs",
+    "spawn_seeds",
+    "write_bench_json",
+]

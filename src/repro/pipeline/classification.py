@@ -62,6 +62,11 @@ class ClassificationAI:
     def history(self) -> Optional[TrainingHistory]:
         return self._trainer.history if self._trainer else None
 
+    def to_dtype(self, dtype) -> "ClassificationAI":
+        """Cast the classifier to ``dtype`` (float32 inference fast path)."""
+        self.model.to_dtype(dtype)
+        return self
+
     # ------------------------------------------------------------------
     def predict_proba(self, volume_hu: np.ndarray) -> float:
         """COVID-19 probability for one (D, H, W) HU volume."""
@@ -69,7 +74,8 @@ class ClassificationAI:
             raise ValueError(f"expected (D, H, W); got shape {volume_hu.shape}")
         self.model.eval()
         with no_grad():
-            p = self.model.predict_proba(Tensor(volume_hu[None, None] / 1000.0))
+            p = self.model.predict_proba(
+                Tensor(volume_hu[None, None] / 1000.0, dtype=self.model.dtype))
         return float(p.data[0])
 
     def predict_proba_batch(self, volumes_hu: Sequence[np.ndarray]) -> np.ndarray:
@@ -87,7 +93,8 @@ class ClassificationAI:
             self.model.eval()
             with no_grad():
                 p = self.model.predict_proba(
-                    Tensor(np.stack(volumes)[:, None] / 1000.0))
+                    Tensor(np.stack(volumes)[:, None] / 1000.0,
+                           dtype=self.model.dtype))
             return np.asarray(p.data, dtype=float).reshape(len(volumes))
         return np.array([self.predict_proba(v) for v in volumes])
 

@@ -68,6 +68,11 @@ class EnhancementAI:
     def history(self) -> Optional[TrainingHistory]:
         return self._trainer.history if self._trainer else None
 
+    def to_dtype(self, dtype) -> "EnhancementAI":
+        """Cast DDnet to ``dtype`` (float32 inference fast path)."""
+        self.model.to_dtype(dtype)
+        return self
+
     # ------------------------------------------------------------------
     def enhance_slice(self, image: np.ndarray) -> np.ndarray:
         """Enhance one [0, 1] slice of shape (H, W)."""
@@ -75,7 +80,7 @@ class EnhancementAI:
             raise ValueError(f"expected (H, W) slice; got shape {image.shape}")
         self.model.eval()
         with no_grad():
-            out = self.model(Tensor(image[None, None]))
+            out = self.model(Tensor(image[None, None], dtype=self.model.dtype))
         return np.clip(out.data[0, 0], 0.0, 1.0)
 
     def enhance_batch(self, images: np.ndarray) -> np.ndarray:
@@ -84,7 +89,7 @@ class EnhancementAI:
             raise ValueError(f"expected (N, 1, H, W); got shape {images.shape}")
         self.model.eval()
         with no_grad():
-            out = self.model(Tensor(images))
+            out = self.model(Tensor(images, dtype=self.model.dtype))
         return np.clip(out.data, 0.0, 1.0)
 
     def enhance_volume(self, volume: np.ndarray, chunk: int = 8) -> np.ndarray:

@@ -97,10 +97,12 @@ class BatchVerifier:
     """
 
     def __init__(self, stages: Sequence[str], budget: int = 0,
-                 framework=None):
+                 framework=None, workers: int = 1, bus=None):
         self.stages = tuple(stages)
         self.budget = budget
         self.verified = 0
+        self.workers = workers
+        self.bus = bus
         self._framework = framework
         self._framework_degraded = None
 
@@ -147,11 +149,13 @@ class BatchVerifier:
                         if r.request_id in degraded_ids]
             if normal:
                 outs = self.framework.diagnose_batch(
-                    [r.materialize() for r in normal])
+                    [r.materialize() for r in normal],
+                    workers=self.workers, bus=self.bus)
                 results.update({r.request_id: o for r, o in zip(normal, outs)})
             if degraded:
                 outs = self.framework_degraded.diagnose_batch(
-                    [r.materialize() for r in degraded])
+                    [r.materialize() for r in degraded],
+                    workers=self.workers, bus=self.bus)
                 results.update({r.request_id: o
                                 for r, o in zip(degraded, outs)})
             self.verified += 1
@@ -206,6 +210,7 @@ class ServingEngine:
         use_enhancement: bool = True,
         service_model: Optional[ServiceTimeModel] = None,
         verify_batches: int = 0,
+        verify_workers: int = 1,
         framework=None,
         resilience: Optional[ResilienceConfig] = None,
         telemetry: Optional[EventBus] = None,
@@ -223,7 +228,9 @@ class ServingEngine:
         self.cache = ResultCache(cache_capacity)
         self.stages = STAGES if use_enhancement else STAGES[1:]
         self.verifier = BatchVerifier(self.stages, verify_batches,
-                                      framework=framework)
+                                      framework=framework,
+                                      workers=verify_workers,
+                                      bus=self.telemetry)
         # -- resilience layers (all None ⇒ the PR-1 perfect fleet) ------
         self.resilience = resilience
         self.injector = (FaultInjector(resilience.faults, devices)

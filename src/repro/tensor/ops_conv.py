@@ -107,9 +107,17 @@ def _unpad_spatial(xp: np.ndarray, padding: Tuple[int, ...]) -> np.ndarray:
 # Raw (non-autograd) kernels, shared by forward and backward passes
 # ---------------------------------------------------------------------------
 def conv_nd_forward(
-    x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray], stride, padding
-) -> Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]:
-    """Run an N-d convolution; also return the im2col buffer for reuse."""
+    x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray], stride, padding,
+    want_cols: bool = True,
+) -> Tuple[np.ndarray, Optional[np.ndarray], Tuple[int, ...]]:
+    """Run an N-d convolution; also return the im2col buffer for reuse.
+
+    ``want_cols=False`` is the inference fast path: the im2col buffer —
+    by far the largest intermediate (``C·∏kernel`` times the output
+    size) — is released as soon as the matmul finishes instead of being
+    returned for the weight-gradient pass, so pure-inference peak
+    memory stays flat.
+    """
     nd = w.ndim - 2
     stride = _tuplify(stride, nd)
     padding = _tuplify(padding, nd)
@@ -124,6 +132,8 @@ def conv_nd_forward(
     cols2 = cols.reshape(n * int(np.prod(out_spatial)), -1)
     w2 = w.reshape(f, -1)
     out = cols2 @ w2.T
+    if not want_cols:
+        cols2 = None  # free the im2col buffer immediately (inference)
     if bias is not None:
         out += bias
     out = out.reshape((n,) + out_spatial + (f,))
@@ -179,15 +189,22 @@ def conv_nd(x, w, bias=None, stride=1, padding=0) -> Tensor:
         raise ValueError(
             f"input channels {x.data.shape[1]} != weight channels {w.data.shape[1]}"
         )
+    from repro.tensor.tensor import is_grad_enabled
+
+    # Retain the im2col buffer only when a weight gradient will need it;
+    # under no_grad (inference) the conv records no parents and the
+    # buffer dies with this call frame.
+    needs_w_grad = is_grad_enabled() and w.requires_grad
     out_data, cols2, _ = conv_nd_forward(
-        x.data, w.data, b.data if b is not None else None, stride, padding
+        x.data, w.data, b.data if b is not None else None, stride, padding,
+        want_cols=needs_w_grad,
     )
     parents = (x, w) if b is None else (x, w, b)
 
     def backward(g):
         if x.requires_grad:
             x._accumulate(conv_nd_input_grad(g, w.data, x.data.shape, stride, padding))
-        if w.requires_grad:
+        if w.requires_grad and cols2 is not None:
             w._accumulate(conv_nd_weight_grad(cols2, g, w.data.shape))
         if b is not None and b.requires_grad:
             axes = (0,) + tuple(range(2, g.ndim))
@@ -229,7 +246,8 @@ def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0) ->
 
     def backward(g):
         if x.requires_grad:
-            gx, _, _ = conv_nd_forward(g, w.data, None, stride_t, padding_t)
+            gx, _, _ = conv_nd_forward(g, w.data, None, stride_t, padding_t,
+                                       want_cols=False)
             # conv_nd_forward output spatial must match x; guaranteed when
             # output_padding < stride (checked below on entry).
             x._accumulate(gx[(slice(None), slice(None)) + tuple(slice(0, s) for s in x.data.shape[2:])])

@@ -1,0 +1,7 @@
+"""Module-level (picklable) work items for the repro.parallel tests."""
+
+
+def write_index(i, out):
+    """Write item index ``i`` into slot ``i`` of a shared output array."""
+    out.asarray()[i] = float(i)
+    return i

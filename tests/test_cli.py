@@ -87,7 +87,7 @@ class TestCli:
         parser = build_parser()
         subs = next(a for a in parser._actions if a.dest == "command")
         assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic",
-                                     "inventory", "serve", "trace"}
+                                     "inventory", "serve", "trace", "bench"}
 
     def test_serve_trace_round_trip(self, tmp_path, capsys):
         """serve --trace-out → trace summary reproduces the live numbers."""
