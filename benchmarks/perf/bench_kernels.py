@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Kernel-backend perf harness (standalone, not a pytest bench).
+
+Times every op registered in the :mod:`repro.backend` kernel registry
+on every backend (median-of-k after warmup), re-proves that the ``opt``
+backend is bit-identical to ``reference`` for each op, fits the host's
+per-op service-time coefficients (:mod:`repro.backend.calibrate`), and
+writes ``BENCH_kernels.json`` at the repo root.  Exits nonzero when any
+parity check fails; speedups are *reported*, never gated, because they
+depend on the host's BLAS and core count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernels.py [--quick]
+        [--out PATH] [--repeats N] [--size N] [--no-calibration]
+
+Also exposed as ``repro bench kernels``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root BENCH_kernels.json)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per op (default: 3, quick: 2)")
+    parser.add_argument("--size", type=int, default=None,
+                        help="spatial workload size (default: 64, quick: 24)")
+    parser.add_argument("--no-calibration", action="store_true",
+                        help="skip embedding the host calibration fit")
+    args = parser.parse_args(argv)
+
+    from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
+    from repro.parallel import write_bench_json
+
+    payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
+                               size=args.size,
+                               with_calibration=not args.no_calibration)
+    write_bench_json(args.out, payload)
+    print(format_kernel_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["parity_ok"]:
+        print("PARITY FAILURE: a backend diverges from reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Pluggable kernel backends: registry, optimized variants, calibration.
+
+One dispatch layer for every tensor op (§4.2's per-device kernel
+architecture, reproduced for the NumPy engine):
+
+- :mod:`~repro.backend.registry` — the ``(op, backend)`` kernel
+  registry; ``reference`` is the classic numpy path, ``opt`` the
+  optimized variants, both bit-identical (parity-gated in tests and in
+  ``repro bench kernels``),
+- :mod:`~repro.backend.counters` — the analytic Table 6 operation
+  counters (N-dimensional; re-exported by :mod:`repro.hetero.counters`),
+- :mod:`~repro.backend.opt` — gather-formulated deconvolution, im2col
+  scratch-buffer reuse, fused conv+bias+activation, filter caching,
+- :mod:`~repro.backend.calibrate` — host microbenchmarks fitting
+  per-op service-time coefficients into a
+  :class:`~repro.backend.calibrate.CalibratedPerfModel` that the serve
+  scheduler can run on,
+- :mod:`~repro.backend.kernel_bench` — the ``repro bench kernels``
+  harness writing ``BENCH_kernels.json``,
+- :mod:`~repro.backend.lint` — the AST pass keeping ``models/`` and
+  ``nn/layers*`` closed over the registry.
+
+Heavy submodules (``calibrate``, ``kernel_bench``) load lazily so that
+importing :mod:`repro.backend` from the op providers stays cheap and
+cycle-free.
+"""
+
+from repro.backend.counters import OpCounts
+from repro.backend.registry import (
+    DEFAULT_BACKEND,
+    REGISTRY,
+    clear_kernel_caches,
+    dispatch,
+    get_backend,
+    known_backends,
+    known_ops,
+    register_kernel,
+    set_default_backend,
+    trace_dispatches,
+    use_backend,
+)
+
+_LAZY = {
+    "CalibratedPerfModel": ("repro.backend.calibrate", "CalibratedPerfModel"),
+    "KernelCalibration": ("repro.backend.calibrate", "KernelCalibration"),
+    "OpCoefficients": ("repro.backend.calibrate", "OpCoefficients"),
+    "calibrate_host": ("repro.backend.calibrate", "calibrate_host"),
+    "run_kernel_bench": ("repro.backend.kernel_bench", "run_kernel_bench"),
+}
+
+__all__ = [
+    "OpCounts", "DEFAULT_BACKEND", "REGISTRY",
+    "clear_kernel_caches", "dispatch", "get_backend",
+    "known_backends", "known_ops", "register_kernel",
+    "set_default_backend", "trace_dispatches", "use_backend",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,182 @@
+"""Microbenchmark every registered kernel op on every backend.
+
+Produces ``BENCH_kernels.json`` (repo root by convention), the kernel
+sibling of ``BENCH_hotpaths.json``: same timing discipline (median-of-k
+after warmup via :func:`repro.parallel.hotpath_bench.median_seconds`),
+same host metadata, and a bit-parity flag per op — the ``opt`` backend
+is only allowed to exist because it is bit-identical to ``reference``,
+and this harness re-proves that on every run.  The payload also embeds
+a fresh :class:`repro.backend.calibrate.KernelCalibration` so the
+fitted per-op service-time coefficients ship with the timings they came
+from.
+
+CI runs ``repro bench kernels --quick`` as a perf smoke test and fails
+the job when any parity flag is false.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.registry import dispatch, known_backends, known_ops
+
+#: Timed backends, reference first (speedups are relative to it).
+BASELINE_BACKEND = "reference"
+
+
+def _as_arrays(result) -> List[np.ndarray]:
+    """Flatten a kernel result into its comparable ndarray parts."""
+    if isinstance(result, np.ndarray):
+        return [result]
+    out: List[np.ndarray] = []
+    if isinstance(result, tuple):
+        for part in result:
+            if isinstance(part, np.ndarray):
+                out.append(part)
+    return out
+
+
+def _bit_identical(a, b) -> bool:
+    xs, ys = _as_arrays(a), _as_arrays(b)
+    if len(xs) != len(ys):
+        return False
+    return all(x.dtype == y.dtype and np.array_equal(x, y)
+               for x, y in zip(xs, ys))
+
+
+def _op_workloads(size: int, rng: np.random.Generator
+                  ) -> Dict[str, Tuple[Dict, Callable[[str], object]]]:
+    """Per-op ``(params, run(backend))`` at the given spatial size.
+
+    Covers all ten registered ops with DDnet-shaped 2D workloads; the
+    3D paths share the same N-d kernels, so 2D timing is representative
+    while keeping the quick mode fast.
+    """
+    c = 8
+    x = rng.standard_normal((1, c, size, size))
+    w = rng.standard_normal((c, c, 3, 3))
+    bias = rng.standard_normal(c)
+    mean = rng.standard_normal(c)
+    var = rng.uniform(0.5, 2.0, c)
+    gamma = rng.standard_normal(c)
+    beta = rng.standard_normal(c)
+    # The weight-gradient op consumes a saved im2col buffer; build it
+    # once on the baseline backend so both backends see identical input.
+    _, cols2, _ = dispatch("conv", x, w, None, 1, 1, want_cols=True,
+                           backend=BASELINE_BACKEND)
+    g = rng.standard_normal((1, c, size, size))
+    shape = {"input": list(x.shape), "weight": list(w.shape)}
+    elementwise = {"input": list(x.shape)}
+    return {
+        "conv": (shape, lambda b: dispatch(
+            "conv", x, w, bias, 1, 1, want_cols=False, backend=b)),
+        "deconv": (shape, lambda b: dispatch(
+            "deconv", x, w, x.shape, (1, 1), (1, 1), backend=b)),
+        "conv_weight_grad": (shape, lambda b: dispatch(
+            "conv_weight_grad", cols2, g, w.shape, backend=b)),
+        "conv_bias_act": (shape, lambda b: dispatch(
+            "conv_bias_act", x, w, bias, 1, 1, 0.01, backend=b)),
+        "maxpool": (elementwise, lambda b: dispatch(
+            "maxpool", x, 2, 2, 0, want_indices=True, backend=b)),
+        "avgpool": (elementwise, lambda b: dispatch(
+            "avgpool", x, 2, 2, 0, backend=b)),
+        "unpool": (elementwise, lambda b: dispatch("unpool", x, 2, backend=b)),
+        "leaky_relu": (elementwise, lambda b: dispatch(
+            "leaky_relu", x, 0.01, backend=b)),
+        "relu": (elementwise, lambda b: dispatch("relu", x, backend=b)),
+        "batchnorm": (elementwise, lambda b: dispatch(
+            "batchnorm", x, mean, var, gamma, beta, 1e-5, backend=b)),
+    }
+
+
+def run_kernel_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    size: Optional[int] = None,
+    with_calibration: bool = True,
+) -> Dict:
+    """Time every registered op on every backend; returns the payload.
+
+    ``quick`` shrinks the workload and repeats for CI smoke runs; the
+    bit-parity checks are identical in both modes.
+    """
+    import os
+    import platform
+
+    from repro.backend.calibrate import calibrate_host
+    from repro.parallel.hotpath_bench import median_seconds
+
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if size is None:
+        size = 24 if quick else 64
+    backends = known_backends()
+    missing = sorted(set(known_ops()) - set(_op_workloads(4, np.random.default_rng(0))))
+    if missing:
+        raise RuntimeError(f"kernel bench has no workload for ops: {missing}")
+
+    rng = np.random.default_rng(0)
+    workloads = _op_workloads(size, rng)
+    ops: Dict[str, Dict] = {}
+    for op in known_ops():
+        params, run = workloads[op]
+        baseline = run(BASELINE_BACKEND)
+        entry: Dict = {"params": dict(params), "bit_identical": True}
+        for backend in backends:
+            if backend not in known_backends(op):
+                continue
+            if backend != BASELINE_BACKEND:
+                entry["bit_identical"] &= _bit_identical(baseline, run(backend))
+            entry[backend] = median_seconds(lambda b=backend: run(b), repeats)
+        ref_s = entry[BASELINE_BACKEND]["median_s"]
+        entry["speedups"] = {
+            b: ref_s / entry[b]["median_s"]
+            for b in backends if b in entry and b != BASELINE_BACKEND
+        }
+        ops[op] = entry
+
+    payload: Dict = {
+        "bench": "kernels",
+        "schema": 1,
+        "quick": quick,
+        "backends": list(backends),
+        "workload_size": size,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "ops": ops,
+        "parity_ok": all(e["bit_identical"] for e in ops.values()),
+    }
+    if with_calibration:
+        cal = calibrate_host(sizes=(16, 32) if quick else (32, 64, 96),
+                             repeats=repeats)
+        payload["calibration"] = cal.to_dict()
+    return payload
+
+
+def format_kernel_summary(payload: Dict) -> str:
+    """Human-readable one-screen summary of a kernel-bench payload."""
+    lines = [
+        f"kernel benchmark ({'quick' if payload['quick'] else 'full'}; "
+        f"size={payload['workload_size']}, "
+        f"cpu_count={payload['host']['cpu_count']}, "
+        f"backends={','.join(payload['backends'])})",
+    ]
+    for op, e in sorted(payload["ops"].items()):
+        parts = [f"{b} {e[b]['median_s'] * 1e3:.3f}ms"
+                 for b in payload["backends"] if b in e]
+        speed = ", ".join(f"x{s:.2f}" for s in e["speedups"].values())
+        lines.append(
+            f"  {op}: {', '.join(parts)} ({speed or 'n/a'}, "
+            f"bit-identical={e['bit_identical']})")
+    if "calibration" in payload:
+        cal = payload["calibration"]
+        lines.append(f"  calibration: host={cal['host']!r} "
+                     f"backend={cal['backend']}")
+    lines.append(f"  parity_ok={payload['parity_ok']}")
+    return "\n".join(lines)

@@ -16,7 +16,13 @@ code:
   throughput, shed counts) from the events alone,
 - ``bench``     — performance harnesses: ``bench hotpaths`` times the
   ``repro.parallel`` hot paths (dataset simulation, batch scoring,
-  float32 inference) and writes ``BENCH_hotpaths.json``.
+  float32 inference) and writes ``BENCH_hotpaths.json``;
+  ``bench kernels`` times every registered kernel op on every backend,
+  re-proves reference/opt bit parity, and writes ``BENCH_kernels.json``.
+
+``diagnose --backend opt`` runs the whole pipeline on the optimized
+kernel backend; ``serve --calibrated`` microbenchmarks this host first
+and schedules on the measured (calibrated) service-time model.
 
 ``simulate`` and ``serve`` accept ``--workers N`` to fan work across
 ``N`` processes over shared memory; results are bit-identical to
@@ -46,7 +52,8 @@ def _cmd_diagnose(args) -> int:
         print(f"generated a synthetic {'COVID-positive' if args.covid else 'healthy'} "
               f"scan ({args.slices}x{args.size}x{args.size})")
     framework = ComputeCovid19Plus(use_enhancement=not args.no_enhancement,
-                                   threshold=args.threshold)
+                                   threshold=args.threshold,
+                                   backend=args.backend)
     result = framework.diagnose(volume)
     print(f"P(COVID-19) = {result.probability:.4f}  (threshold {result.threshold})")
     print(f"verdict: {result.label}")
@@ -143,6 +150,12 @@ def _cmd_serve(args) -> int:
             seed=args.seed, dup_fraction=args.dup_fraction,
         )
         resilience = _build_resilience(args)
+        service_model = None
+        if args.calibrated:
+            from repro.serve.scheduler import ServiceTimeModel
+
+            print("calibrating kernel service times on this host ...")
+            service_model = ServiceTimeModel.calibrated()
         engine = ServingEngine(
             fleet=args.fleet, policy=args.policy,
             batch_policy=BatchPolicy(max_batch=args.max_batch,
@@ -151,6 +164,7 @@ def _cmd_serve(args) -> int:
             verify_batches=args.verify_batches,
             verify_workers=args.workers,
             resilience=resilience,
+            service_model=service_model,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -265,6 +279,23 @@ def _cmd_bench_hotpaths(args) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args) -> int:
+    from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
+    from repro.parallel import write_bench_json
+
+    payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
+                               size=args.size,
+                               with_calibration=not args.no_calibration)
+    write_bench_json(args.out, payload)
+    print(format_kernel_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["parity_ok"]:
+        print("PARITY FAILURE: a backend diverges from reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inventory(args) -> int:
     from repro.data import data_source_table
     from repro.report import format_table
@@ -287,6 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--threshold", type=float, default=0.5)
     p.add_argument("--no-enhancement", action="store_true")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend for every tensor op (reference, opt)")
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser("simulate", help="generate low/full-dose training pairs")
@@ -349,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade", action="store_true",
                    help="enable graceful degradation (skip Enhancement AI "
                         "under queue/latency pressure)")
+    p.add_argument("--calibrated", action="store_true",
+                   help="microbenchmark this host's kernels first and run "
+                        "the scheduler on the calibrated perf model")
     p.add_argument("--json", help="also write the summary to this JSON file")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="export the run's telemetry events as JSONL "
@@ -377,6 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--workers", default="1,2,4",
                     help="comma-separated worker counts to sweep")
     pb.set_defaults(func=_cmd_bench_hotpaths)
+    pk = bench_sub.add_parser(
+        "kernels", help="time every registered kernel op on every backend, "
+                        "check bit parity, and write BENCH_kernels.json")
+    pk.add_argument("--quick", action="store_true",
+                    help="small workload for CI smoke runs")
+    pk.add_argument("--out", default="BENCH_kernels.json",
+                    help="output JSON path")
+    pk.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per op (default: 3, quick: 2)")
+    pk.add_argument("--size", type=int, default=None,
+                    help="spatial workload size (default: 64, quick: 24)")
+    pk.add_argument("--no-calibration", action="store_true",
+                    help="skip embedding the host calibration fit")
+    pk.set_defaults(func=_cmd_bench_kernels)
     return parser
 
 

@@ -38,8 +38,14 @@ from repro.hetero.kernels import (
     KernelResult,
     batchnorm_kernel,
     conv2d_kernel,
+    conv3d_kernel,
+    conv_nd_kernel,
     deconv2d_naive_kernel,
     deconv2d_refactored_kernel,
+    deconv3d_naive_kernel,
+    deconv3d_refactored_kernel,
+    deconv_nd_naive_kernel,
+    deconv_nd_refactored_kernel,
     leaky_relu_kernel,
     maxpool_kernel,
     unpool_bilinear_kernel,
@@ -58,8 +64,21 @@ __all__ = [
     "KernelResult", "conv2d_kernel", "deconv2d_naive_kernel",
     "deconv2d_refactored_kernel", "maxpool_kernel", "unpool_bilinear_kernel",
     "leaky_relu_kernel", "batchnorm_kernel",
+    "conv_nd_kernel", "deconv_nd_naive_kernel", "deconv_nd_refactored_kernel",
+    "conv3d_kernel", "deconv3d_naive_kernel", "deconv3d_refactored_kernel",
+    "CalibratedPerfModel",
     "KernelInvocation", "ddnet_kernel_schedule", "schedule_totals",
     "OptimizationConfig", "PerfModel", "PlatformPrediction",
     "FpgaResourceModel", "ReconfigurationSchedule", "InferenceEngine",
     "Buffer", "CommandQueue", "Event", "DeviceMemoryError", "transfer_fraction",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.backend.calibrate subclasses PerfModel, so importing
+    # it eagerly here would cycle when calibrate is imported first.
+    if name == "CalibratedPerfModel":
+        from repro.backend.calibrate import CalibratedPerfModel
+
+        return CalibratedPerfModel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

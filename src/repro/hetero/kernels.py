@@ -1,22 +1,28 @@
 """Instrumented functional kernels for the six inference operations.
 
-Each kernel *really computes* its operation in NumPy and returns the
-measured operation counts alongside the result, mirroring the paper's
+Each kernel *really computes* its operation and returns the analytic
+operation counts alongside the result, mirroring the paper's
 "implementing counters in each kernel" methodology (Table 6, note 2).
+Execution is routed through the :mod:`repro.backend` kernel registry,
+so these instrumented wrappers run on any registered backend
+(``backend="opt"`` selects the optimized bit-identical variants) and
+participate in dispatch-level telemetry like every other call site.
 
-Two deconvolution kernels exist, reproducing Fig. 9:
+Two deconvolution formulations exist, reproducing Fig. 9 — now in any
+dimensionality (the paper's kernels are 2D; the 3D forms cover the
+volumetric classification/segmentation stacks):
 
-- :func:`deconv2d_naive_kernel` — the literal scatter formulation
+- :func:`deconv_nd_naive_kernel` — the literal scatter formulation
   (Fig. 9a): every input element multiplies the whole filter and its
   partial sums are accumulated into the output buffer.  The recurring
   read-modify-write traffic is exactly why the paper's unoptimized
   OpenCL baseline is orders of magnitude slower (Table 7).
-- :func:`deconv2d_refactored_kernel` — inverse coefficient mapping
+- :func:`deconv_nd_refactored_kernel` — inverse coefficient mapping
   (Fig. 9b): each *output* element gathers the input elements that
   affect it, multiply-adds privately, and writes once.
 
-Both produce identical results (tested); only the memory traffic
-differs.
+Both produce identical results (tested, 2D and 3D); only the memory
+traffic differs.
 """
 
 from __future__ import annotations
@@ -26,17 +32,17 @@ from typing import Optional
 
 import numpy as np
 
-from repro.hetero.counters import (
+from repro.backend.counters import (
     OpCounts,
     batchnorm_counts,
-    conv_counts,
-    deconv_naive_counts,
+    conv_counts_nd,
+    deconv_naive_counts_nd,
     leaky_relu_counts,
-    pool_counts,
-    unpool_counts,
+    pool_counts_nd,
+    unpool_counts_nd,
 )
-from repro.tensor.ops_conv import conv_nd_forward, conv_nd_input_grad
-from repro.tensor.ops_pool import _bilinear_matrix
+from repro.backend.registry import dispatch
+from repro.tensor.ops_conv import _tuplify
 
 
 @dataclass
@@ -48,44 +54,61 @@ class KernelResult:
     kind: str
 
 
-def conv2d_kernel(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray] = None,
-                  stride: int = 1, padding: int = 0) -> KernelResult:
+# ---------------------------------------------------------------------------
+# N-dimensional kernels
+# ---------------------------------------------------------------------------
+def conv_nd_kernel(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray] = None,
+                   stride=1, padding=0, backend: Optional[str] = None) -> KernelResult:
     """Convolution via im2col + GEMM (the optimized formulation)."""
-    out, _, _ = conv_nd_forward(x, w, bias, stride, padding, want_cols=False)
-    n, f, oh, ow = out.shape
-    counts = conv_counts(oh, ow, f, w.shape[1], w.shape[2], batch=n)
+    out, _, _ = dispatch("conv", x, w, bias, stride, padding,
+                         want_cols=False, backend=backend)
+    counts = conv_counts_nd(out.shape[2:], out.shape[1], w.shape[1], w.shape[2:],
+                            batch=out.shape[0])
     return KernelResult(out, counts, "convolution")
 
 
-def deconv2d_naive_kernel(x: np.ndarray, w: np.ndarray,
-                          stride: int = 1, padding: int = 0) -> KernelResult:
+def deconv_nd_naive_kernel(x: np.ndarray, w: np.ndarray,
+                           stride=1, padding=0) -> KernelResult:
     """Fig. 9a: scatter deconvolution with per-partial-sum accumulation.
 
-    The loop nest runs over input pixels (vectorized over batch and
+    The loop nest runs over input sites (vectorized over batch and
     channels); each iteration performs a read-modify-write on an output
-    window — the access pattern the refactoring eliminates.
+    window — the access pattern the refactoring eliminates.  This is
+    the simulation's naive *baseline* and intentionally bypasses the
+    registry: it exists to be compared against, not dispatched to.
     """
-    n, c, h, wd = x.shape
-    c_in, f, kh, kw = w.shape
+    nd = w.ndim - 2
+    spatial = x.shape[2:]
+    n, c = x.shape[:2]
+    c_in, f = w.shape[:2]
+    kernel = w.shape[2:]
     if c != c_in:
         raise ValueError(f"input channels {c} != weight in-channels {c_in}")
-    oh = (h - 1) * stride + kh
-    ow = (wd - 1) * stride + kw
-    out = np.zeros((n, f, oh, ow))
-    wf = w.reshape(c_in, f * kh * kw)
-    for i in range(h):
-        for j in range(wd):
-            # partial sums for this input site: (N, F, kh, kw)
-            contrib = (x[:, :, i, j] @ wf).reshape(n, f, kh, kw)
-            out[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw] += contrib
-    if padding:
-        out = out[:, :, padding:-padding, padding:-padding]
-    counts = deconv_naive_counts(h, wd, c, f, kh, batch=n)
+    stride_t = _tuplify(stride, nd)
+    padding_t = _tuplify(padding, nd)
+    out_spatial = tuple(
+        (spatial[i] - 1) * stride_t[i] + kernel[i] for i in range(nd)
+    )
+    out = np.zeros((n, f) + out_spatial)
+    wf = w.reshape(c_in, -1)
+    for site in np.ndindex(*spatial):
+        # partial sums for this input site: (N, F, *kernel)
+        contrib = (x[(slice(None), slice(None)) + site] @ wf).reshape((n, f) + kernel)
+        window = (slice(None), slice(None)) + tuple(
+            slice(site[i] * stride_t[i], site[i] * stride_t[i] + kernel[i])
+            for i in range(nd)
+        )
+        out[window] += contrib
+    if any(padding_t):
+        out = out[(slice(None), slice(None)) + tuple(
+            slice(p, out.shape[2 + i] - p) for i, p in enumerate(padding_t)
+        )]
+    counts = deconv_naive_counts_nd(spatial, c, f, kernel, batch=n)
     return KernelResult(np.ascontiguousarray(out), counts, "deconvolution_naive")
 
 
-def deconv2d_refactored_kernel(x: np.ndarray, w: np.ndarray,
-                               stride: int = 1, padding: int = 0) -> KernelResult:
+def deconv_nd_refactored_kernel(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
+                                backend: Optional[str] = None) -> KernelResult:
     """Fig. 9b: gather deconvolution via inverse coefficient mapping.
 
     Determines, per output element, the contributing input block, and
@@ -93,51 +116,111 @@ def deconv2d_refactored_kernel(x: np.ndarray, w: np.ndarray,
     the adjoint-convolution gather (col2im), which is the same
     refactoring expressed with matrices.
     """
-    n, c, h, wd = x.shape
-    c_in, f, kh, kw = w.shape
+    nd = w.ndim - 2
+    n, c = x.shape[:2]
+    c_in, f = w.shape[:2]
     if c != c_in:
         raise ValueError(f"input channels {c} != weight in-channels {c_in}")
-    oh = (h - 1) * stride + kh - 2 * padding
-    ow = (wd - 1) * stride + kw - 2 * padding
-    out = conv_nd_input_grad(x, w, (n, f, oh, ow), (stride, stride), (padding, padding))
-    counts = conv_counts(oh, ow, f, c, kh, batch=n)
+    stride_t = _tuplify(stride, nd)
+    padding_t = _tuplify(padding, nd)
+    kernel = w.shape[2:]
+    out_spatial = tuple(
+        (x.shape[2 + i] - 1) * stride_t[i] + kernel[i] - 2 * padding_t[i]
+        for i in range(nd)
+    )
+    out = dispatch("deconv", x, w, (n, f) + out_spatial, stride_t, padding_t,
+                   backend=backend)
+    counts = conv_counts_nd(out_spatial, f, c, kernel, batch=n)
     return KernelResult(np.ascontiguousarray(out), counts, "deconvolution")
 
 
-def maxpool_kernel(x: np.ndarray, k: int = 3, stride: int = 2, padding: int = 1) -> KernelResult:
+def maxpool_nd_kernel(x: np.ndarray, k=3, stride=2, padding=1,
+                      backend: Optional[str] = None) -> KernelResult:
     """Max pooling (3×3/stride-2 in DDnet)."""
-    from numpy.lib.stride_tricks import sliding_window_view
-
-    if padding:
-        xp = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)],
-                    mode="constant", constant_values=-np.inf)
-    else:
-        xp = x
-    win = sliding_window_view(xp, (k, k), axis=(2, 3))[:, :, ::stride, ::stride]
-    out = win.max(axis=(-2, -1))
-    n, c, oh, ow = out.shape
-    return KernelResult(np.ascontiguousarray(out), pool_counts(oh, ow, c, k, batch=n), "pooling")
+    out, _, _ = dispatch("maxpool", x, k, stride, padding,
+                         want_indices=False, backend=backend)
+    counts = pool_counts_nd(out.shape[2:], out.shape[1], k, batch=out.shape[0])
+    return KernelResult(out, counts, "pooling")
 
 
-def unpool_bilinear_kernel(x: np.ndarray, scale: int = 2) -> KernelResult:
-    """Bilinear un-pooling (scale 2 in DDnet)."""
-    n, c, h, wd = x.shape
-    mh = _bilinear_matrix(h, scale)
-    mw = _bilinear_matrix(wd, scale)
-    out = np.einsum("oh,nchw,pw->ncop", mh, x, mw, optimize=True)
-    counts = unpool_counts(h * scale, wd * scale, c, batch=n)
-    return KernelResult(np.ascontiguousarray(out), counts, "unpooling")
+def unpool_nd_kernel(x: np.ndarray, scale: int = 2,
+                     backend: Optional[str] = None) -> KernelResult:
+    """Separable-linear un-pooling (bilinear in 2D, trilinear in 3D)."""
+    out = dispatch("unpool", x, scale, backend=backend)
+    counts = unpool_counts_nd(out.shape[2:], out.shape[1], batch=out.shape[0])
+    return KernelResult(out, counts, "unpooling")
 
 
-def leaky_relu_kernel(x: np.ndarray, negative_slope: float = 0.01) -> KernelResult:
-    out = np.where(x > 0, x, negative_slope * x)
+def leaky_relu_kernel(x: np.ndarray, negative_slope: float = 0.01,
+                      backend: Optional[str] = None) -> KernelResult:
+    out = dispatch("leaky_relu", x, negative_slope, backend=backend)
     return KernelResult(out, leaky_relu_counts(x.size), "leaky_relu")
 
 
 def batchnorm_kernel(x: np.ndarray, mean: np.ndarray, var: np.ndarray,
-                     gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5) -> KernelResult:
+                     gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5,
+                     backend: Optional[str] = None) -> KernelResult:
     """Inference-mode batch normalization with running statistics."""
-    shape = (1, -1) + (1,) * (x.ndim - 2)
-    inv = 1.0 / np.sqrt(var + eps)
-    out = (x - mean.reshape(shape)) * (gamma * inv).reshape(shape) + beta.reshape(shape)
+    out, _, _ = dispatch("batchnorm", x, mean, var, gamma, beta, eps,
+                         backend=backend)
     return KernelResult(out, batchnorm_counts(x.size), "batchnorm")
+
+
+# ---------------------------------------------------------------------------
+# 2D wrappers (the original Fig. 9 / Table 6 surface)
+# ---------------------------------------------------------------------------
+def conv2d_kernel(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray] = None,
+                  stride: int = 1, padding: int = 0,
+                  backend: Optional[str] = None) -> KernelResult:
+    return conv_nd_kernel(x, w, bias, stride, padding, backend=backend)
+
+
+def deconv2d_naive_kernel(x: np.ndarray, w: np.ndarray,
+                          stride: int = 1, padding: int = 0) -> KernelResult:
+    return deconv_nd_naive_kernel(x, w, stride, padding)
+
+
+def deconv2d_refactored_kernel(x: np.ndarray, w: np.ndarray,
+                               stride: int = 1, padding: int = 0,
+                               backend: Optional[str] = None) -> KernelResult:
+    return deconv_nd_refactored_kernel(x, w, stride, padding, backend=backend)
+
+
+def maxpool_kernel(x: np.ndarray, k: int = 3, stride: int = 2, padding: int = 1,
+                   backend: Optional[str] = None) -> KernelResult:
+    return maxpool_nd_kernel(x, k, stride, padding, backend=backend)
+
+
+def unpool_bilinear_kernel(x: np.ndarray, scale: int = 2,
+                           backend: Optional[str] = None) -> KernelResult:
+    return unpool_nd_kernel(x, scale, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# 3D wrappers (the volumetric Fig. 9 extension)
+# ---------------------------------------------------------------------------
+def _require_volume(x: np.ndarray, w: np.ndarray) -> None:
+    if x.ndim != 5 or w.ndim != 5:
+        raise ValueError(
+            f"3D kernels expect (N, C, D, H, W) input and 5-d weights; "
+            f"got {x.shape} and {w.shape}")
+
+
+def conv3d_kernel(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray] = None,
+                  stride: int = 1, padding: int = 0,
+                  backend: Optional[str] = None) -> KernelResult:
+    _require_volume(x, w)
+    return conv_nd_kernel(x, w, bias, stride, padding, backend=backend)
+
+
+def deconv3d_naive_kernel(x: np.ndarray, w: np.ndarray,
+                          stride: int = 1, padding: int = 0) -> KernelResult:
+    _require_volume(x, w)
+    return deconv_nd_naive_kernel(x, w, stride, padding)
+
+
+def deconv3d_refactored_kernel(x: np.ndarray, w: np.ndarray,
+                               stride: int = 1, padding: int = 0,
+                               backend: Optional[str] = None) -> KernelResult:
+    _require_volume(x, w)
+    return deconv_nd_refactored_kernel(x, w, stride, padding, backend=backend)

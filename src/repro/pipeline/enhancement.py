@@ -73,6 +73,11 @@ class EnhancementAI:
         self.model.to_dtype(dtype)
         return self
 
+    def to_backend(self, backend) -> "EnhancementAI":
+        """Select the kernel backend DDnet dispatches on."""
+        self.model.to_backend(backend)
+        return self
+
     # ------------------------------------------------------------------
     def enhance_slice(self, image: np.ndarray) -> np.ndarray:
         """Enhance one [0, 1] slice of shape (H, W)."""

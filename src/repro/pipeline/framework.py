@@ -104,6 +104,7 @@ class ComputeCovid19Plus:
         threshold: float = 0.5,
         use_enhancement: bool = True,
         hu_window=LUNG_WINDOW,
+        backend: Optional[str] = None,
     ):
         self.enhancement = enhancement or EnhancementAI()
         self.segmentation = segmentation or SegmentationAI()
@@ -111,6 +112,8 @@ class ComputeCovid19Plus:
         self.threshold = threshold
         self.use_enhancement = use_enhancement
         self.hu_window = hu_window
+        if backend is not None:
+            self.to_backend(backend)
 
     # ------------------------------------------------------------------
     def enhance_volume_hu(self, volume_hu: np.ndarray) -> np.ndarray:
@@ -267,6 +270,19 @@ class ComputeCovid19Plus:
         self.classification.to_dtype(dtype)
         if self.segmentation.ahnet is not None:
             self.segmentation.ahnet.to_dtype(dtype)
+        return self
+
+    def to_backend(self, backend: Optional[str]) -> "ComputeCovid19Plus":
+        """Select the kernel backend for every learned stage.
+
+        ``framework.to_backend("opt")`` routes all tensor ops through
+        the optimized (bit-identical) kernel variants; ``None`` reverts
+        to the thread-scoped default.
+        """
+        self.enhancement.to_backend(backend)
+        self.classification.to_backend(backend)
+        if self.segmentation.ahnet is not None:
+            self.segmentation.ahnet.to_backend(backend)
         return self
 
     # ------------------------------------------------------------------

@@ -78,6 +78,32 @@ class ServiceTimeModel:
         self.slices_per_scan = slices_per_scan
         self._cache: Dict[tuple, float] = {}
 
+    @classmethod
+    def calibrated(
+        cls,
+        kernel_calibration=None,
+        input_size: int = 512,
+        slices_per_scan: int = 32,
+        **calibrate_kwargs,
+    ) -> "ServiceTimeModel":
+        """Service times anchored on *measured* host kernel execution.
+
+        Builds a :class:`repro.backend.calibrate.CalibratedPerfModel`
+        from ``kernel_calibration`` (or from a fresh
+        :func:`repro.backend.calibrate.calibrate_host` microbenchmark
+        when omitted) so perf-aware placement runs on service times
+        fitted to the machine actually executing the kernels.
+        """
+        from repro.backend.calibrate import CalibratedPerfModel, calibrate_host
+
+        if kernel_calibration is None:
+            kernel_calibration = calibrate_host(**calibrate_kwargs)
+        return cls(
+            perf_model=CalibratedPerfModel(kernel_calibration),
+            input_size=input_size,
+            slices_per_scan=slices_per_scan,
+        )
+
     def batch_time(self, device: DeviceSpec, stage: str, batch_size: int) -> float:
         """Service time for ``batch_size`` scans of ``stage`` on ``device``."""
         if stage not in STAGES:

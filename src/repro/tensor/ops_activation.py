@@ -5,34 +5,63 @@ the 3D classifier head uses sigmoid for its binary output and ReLU
 internally.  All are implemented as fused forward/backward pairs rather
 than compositions, so each costs one pass over memory — the same
 "memory-bound, minimize traffic" concern §5.1.3 of the paper raises.
+
+The elementwise ReLU family dispatches through the
+:mod:`repro.backend` registry (ops ``relu`` / ``leaky_relu``); the
+backward pass recomputes its sign mask from the saved input so the
+kernels stay single-output.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.counters import OpCounts, leaky_relu_counts
+from repro.backend.registry import dispatch, register_kernel
 from repro.tensor.tensor import Tensor, as_tensor
 
 
-def relu(a) -> Tensor:
+# ---------------------------------------------------------------------------
+# Raw kernels (the registry's ``reference`` backend)
+# ---------------------------------------------------------------------------
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.where(x > 0, x, 0.0)
+
+
+def leaky_relu_forward(x: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    return np.where(x > 0, x, negative_slope * x)
+
+
+def _elementwise_dispatch_counts(result, x, *args, **kwargs) -> OpCounts:
+    return leaky_relu_counts(result.size)
+
+
+register_kernel("relu", "reference", kind="relu",
+                counts=_elementwise_dispatch_counts)(relu_forward)
+register_kernel("leaky_relu", "reference", kind="leaky_relu",
+                counts=_elementwise_dispatch_counts)(leaky_relu_forward)
+
+
+# ---------------------------------------------------------------------------
+# Autograd ops
+# ---------------------------------------------------------------------------
+def relu(a, backend=None) -> Tensor:
     a = as_tensor(a)
-    mask = a.data > 0
-    out_data = np.where(mask, a.data, 0.0)
+    out_data = dispatch("relu", a.data, backend=backend)
 
     def backward(g):
-        a._accumulate(g * mask)
+        a._accumulate(g * (a.data > 0))
 
     return Tensor._make(out_data, (a,), backward)
 
 
-def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+def leaky_relu(a, negative_slope: float = 0.01, backend=None) -> Tensor:
     """Leaky ReLU: ``x`` if positive else ``negative_slope * x``."""
     a = as_tensor(a)
-    mask = a.data > 0
-    out_data = np.where(mask, a.data, negative_slope * a.data)
+    out_data = dispatch("leaky_relu", a.data, negative_slope, backend=backend)
 
     def backward(g):
-        a._accumulate(np.where(mask, g, negative_slope * g))
+        a._accumulate(np.where(a.data > 0, g, negative_slope * g))
 
     return Tensor._make(out_data, (a,), backward)
 

@@ -12,6 +12,13 @@ kernels.  A literal, naive deconvolution (one scatter per partial sum)
 lives in :mod:`repro.hetero.kernels` for the Fig. 9 / Table 7
 baseline-vs-refactored comparison.
 
+Execution goes through the :mod:`repro.backend` registry: the raw
+kernels below are registered as the ``reference`` backend for the
+``conv`` / ``deconv`` / ``conv_weight_grad`` / ``conv_bias_act`` ops
+and the autograd wrappers call :func:`repro.backend.registry.dispatch`,
+so optimized variants (:mod:`repro.backend.opt`) and per-dispatch
+telemetry slot in without touching this module.
+
 Weight layouts follow PyTorch:
 
 - conv:            ``(C_out, C_in, *kernel)``
@@ -25,6 +32,8 @@ from typing import Optional, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.backend.counters import OpCounts, conv_counts_nd, leaky_relu_counts
+from repro.backend.registry import dispatch, register_kernel
 from repro.tensor.tensor import Tensor, as_tensor
 
 IntOrTuple = int
@@ -104,7 +113,8 @@ def _unpad_spatial(xp: np.ndarray, padding: Tuple[int, ...]) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
-# Raw (non-autograd) kernels, shared by forward and backward passes
+# Raw (non-autograd) kernels, shared by forward and backward passes.
+# These are the registry's ``reference`` backend.
 # ---------------------------------------------------------------------------
 def conv_nd_forward(
     x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray], stride, padding,
@@ -145,7 +155,11 @@ def conv_nd_forward(
 def conv_nd_input_grad(
     g: np.ndarray, w: np.ndarray, x_shape: Tuple[int, ...], stride, padding
 ) -> np.ndarray:
-    """Gradient of conv w.r.t. its input (also = transposed-conv forward)."""
+    """Gradient of conv w.r.t. its input (also = transposed-conv forward).
+
+    This *is* the paper's refactored deconvolution (Fig. 9b): every
+    output element gathers its contributing inputs and writes once.
+    """
     nd = w.ndim - 2
     stride = _tuplify(stride, nd)
     padding = _tuplify(padding, nd)
@@ -173,10 +187,61 @@ def conv_nd_weight_grad(
     return (g_cols.T @ cols2).reshape(w_shape)
 
 
+def conv_bias_act_nd_forward(
+    x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray], stride, padding,
+    negative_slope: float = 0.01,
+) -> np.ndarray:
+    """Convolution + bias + Leaky-ReLU as one kernel (inference form).
+
+    The reference composes the conv kernel and the activation; the opt
+    backend fuses the activation into the conv's output pass.
+    """
+    out, _, _ = conv_nd_forward(x, w, bias, stride, padding, want_cols=False)
+    return np.where(out > 0, out, negative_slope * out)
+
+
+# ---------------------------------------------------------------------------
+# Analytic per-dispatch counts (Table 6 conventions, from real shapes)
+# ---------------------------------------------------------------------------
+def _conv_dispatch_counts(result, x, w, *args, **kwargs) -> OpCounts:
+    out = result[0]
+    return conv_counts_nd(out.shape[2:], out.shape[1], w.shape[1], w.shape[2:],
+                          batch=out.shape[0])
+
+
+def _deconv_dispatch_counts(result, g, w, *args, **kwargs) -> OpCounts:
+    return conv_counts_nd(result.shape[2:], result.shape[1], g.shape[1],
+                          w.shape[2:], batch=result.shape[0])
+
+
+def _weight_grad_dispatch_counts(result, cols2, g, w_shape, **kwargs) -> OpCounts:
+    macs = cols2.shape[0] * cols2.shape[1] * int(w_shape[0])
+    stores = 1
+    for s in w_shape:
+        stores *= int(s)
+    return OpCounts(loads=2 * macs, stores=stores, flops=2 * macs)
+
+
+def _conv_bias_act_dispatch_counts(result, x, w, *args, **kwargs) -> OpCounts:
+    conv = conv_counts_nd(result.shape[2:], result.shape[1], w.shape[1],
+                          w.shape[2:], batch=result.shape[0])
+    return conv + leaky_relu_counts(result.size)
+
+
+register_kernel("conv", "reference", kind="convolution",
+                counts=_conv_dispatch_counts)(conv_nd_forward)
+register_kernel("deconv", "reference", kind="deconvolution",
+                counts=_deconv_dispatch_counts)(conv_nd_input_grad)
+register_kernel("conv_weight_grad", "reference", kind="convolution",
+                counts=_weight_grad_dispatch_counts)(conv_nd_weight_grad)
+register_kernel("conv_bias_act", "reference", kind="convolution",
+                counts=_conv_bias_act_dispatch_counts)(conv_bias_act_nd_forward)
+
+
 # ---------------------------------------------------------------------------
 # Autograd ops
 # ---------------------------------------------------------------------------
-def conv_nd(x, w, bias=None, stride=1, padding=0) -> Tensor:
+def conv_nd(x, w, bias=None, stride=1, padding=0, backend=None) -> Tensor:
     """N-d convolution over an ``(N, C, *spatial)`` tensor."""
     x, w = as_tensor(x), as_tensor(w)
     b = as_tensor(bias) if bias is not None else None
@@ -195,17 +260,19 @@ def conv_nd(x, w, bias=None, stride=1, padding=0) -> Tensor:
     # under no_grad (inference) the conv records no parents and the
     # buffer dies with this call frame.
     needs_w_grad = is_grad_enabled() and w.requires_grad
-    out_data, cols2, _ = conv_nd_forward(
-        x.data, w.data, b.data if b is not None else None, stride, padding,
-        want_cols=needs_w_grad,
+    out_data, cols2, _ = dispatch(
+        "conv", x.data, w.data, b.data if b is not None else None, stride, padding,
+        want_cols=needs_w_grad, backend=backend,
     )
     parents = (x, w) if b is None else (x, w, b)
 
     def backward(g):
         if x.requires_grad:
-            x._accumulate(conv_nd_input_grad(g, w.data, x.data.shape, stride, padding))
+            x._accumulate(dispatch("deconv", g, w.data, x.data.shape,
+                                   stride, padding, backend=backend))
         if w.requires_grad and cols2 is not None:
-            w._accumulate(conv_nd_weight_grad(cols2, g, w.data.shape))
+            w._accumulate(dispatch("conv_weight_grad", cols2, g, w.data.shape,
+                                   backend=backend))
         if b is not None and b.requires_grad:
             axes = (0,) + tuple(range(2, g.ndim))
             b._accumulate(g.sum(axis=axes))
@@ -213,7 +280,8 @@ def conv_nd(x, w, bias=None, stride=1, padding=0) -> Tensor:
     return Tensor._make(out_data, parents, backward)
 
 
-def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0) -> Tensor:
+def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0,
+                      backend=None) -> Tensor:
     """N-d transposed convolution ("deconvolution" in the paper).
 
     ``w`` has shape ``(C_in, C_out, *kernel)``.  Output spatial size is
@@ -236,19 +304,21 @@ def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0) ->
     )
     if any(o <= 0 for o in out_spatial):
         raise ValueError(f"non-positive transposed-conv output shape {out_spatial}")
-    # Forward is exactly conv_nd_input_grad with the weight seen as a
-    # (C_in=F, C_out, *k) conv filter and x playing the output-grad role.
+    # Forward is exactly conv_nd_input_grad (the gather / Fig. 9b
+    # formulation) with the weight seen as a (C_in=F, C_out, *k) conv
+    # filter and x playing the output-grad role.
     y_shape = (x.data.shape[0], w.data.shape[1]) + out_spatial
-    out_data = conv_nd_input_grad(x.data, w.data, y_shape, stride_t, padding_t)
+    out_data = dispatch("deconv", x.data, w.data, y_shape, stride_t, padding_t,
+                        backend=backend)
     if b is not None:
         out_data = out_data + b.data.reshape((1, -1) + (1,) * nd)
     parents = (x, w) if b is None else (x, w, b)
 
     def backward(g):
         if x.requires_grad:
-            gx, _, _ = conv_nd_forward(g, w.data, None, stride_t, padding_t,
-                                       want_cols=False)
-            # conv_nd_forward output spatial must match x; guaranteed when
+            gx, _, _ = dispatch("conv", g, w.data, None, stride_t, padding_t,
+                                want_cols=False, backend=backend)
+            # conv output spatial must match x; guaranteed when
             # output_padding < stride (checked below on entry).
             x._accumulate(gx[(slice(None), slice(None)) + tuple(slice(0, s) for s in x.data.shape[2:])])
         if w.requires_grad:
@@ -260,7 +330,8 @@ def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0) ->
             # input size by one; keep exactly one window per input site.
             cols = cols[(slice(None),) + tuple(slice(0, s) for s in x.data.shape[2:])]
             cols2 = cols.reshape(x.data.shape[0] * int(np.prod(x.data.shape[2:])), -1)
-            w._accumulate(conv_nd_weight_grad(cols2, x.data, w.data.shape))
+            w._accumulate(dispatch("conv_weight_grad", cols2, x.data, w.data.shape,
+                                   backend=backend))
         if b is not None and b.requires_grad:
             axes = (0,) + tuple(range(2, g.ndim))
             b._accumulate(g.sum(axis=axes))
@@ -269,17 +340,21 @@ def conv_transpose_nd(x, w, bias=None, stride=1, padding=0, output_padding=0) ->
 
 
 # Convenience wrappers -------------------------------------------------------
-def conv2d(x, w, bias=None, stride=1, padding=0) -> Tensor:
-    return conv_nd(x, w, bias=bias, stride=stride, padding=padding)
+def conv2d(x, w, bias=None, stride=1, padding=0, backend=None) -> Tensor:
+    return conv_nd(x, w, bias=bias, stride=stride, padding=padding, backend=backend)
 
 
-def conv3d(x, w, bias=None, stride=1, padding=0) -> Tensor:
-    return conv_nd(x, w, bias=bias, stride=stride, padding=padding)
+def conv3d(x, w, bias=None, stride=1, padding=0, backend=None) -> Tensor:
+    return conv_nd(x, w, bias=bias, stride=stride, padding=padding, backend=backend)
 
 
-def conv_transpose2d(x, w, bias=None, stride=1, padding=0, output_padding=0) -> Tensor:
-    return conv_transpose_nd(x, w, bias=bias, stride=stride, padding=padding, output_padding=output_padding)
+def conv_transpose2d(x, w, bias=None, stride=1, padding=0, output_padding=0,
+                     backend=None) -> Tensor:
+    return conv_transpose_nd(x, w, bias=bias, stride=stride, padding=padding,
+                             output_padding=output_padding, backend=backend)
 
 
-def conv_transpose3d(x, w, bias=None, stride=1, padding=0, output_padding=0) -> Tensor:
-    return conv_transpose_nd(x, w, bias=bias, stride=stride, padding=padding, output_padding=output_padding)
+def conv_transpose3d(x, w, bias=None, stride=1, padding=0, output_padding=0,
+                     backend=None) -> Tensor:
+    return conv_transpose_nd(x, w, bias=bias, stride=stride, padding=padding,
+                             output_padding=output_padding, backend=backend)

@@ -3,17 +3,58 @@
 Normalizes over all axes except the channel axis (axis 1), matching
 ``torch.nn.BatchNorm2d/3d`` semantics.  The backward pass uses the
 standard fused expression so only two extra reductions are needed.
+
+The normalization arithmetic itself lives in a registered kernel
+(op ``batchnorm``) so both training and inference dispatch through the
+:mod:`repro.backend` registry; the statistics (batch vs. running) are
+resolved here, outside the kernel.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend.counters import OpCounts, batchnorm_counts
+from repro.backend.registry import dispatch, register_kernel
 from repro.tensor.tensor import Tensor, as_tensor
 
 
+# ---------------------------------------------------------------------------
+# Raw kernel (the registry's ``reference`` backend)
+# ---------------------------------------------------------------------------
+def batchnorm_forward(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize ``x`` with the given per-channel statistics.
+
+    Returns ``(out, x_hat, inv_std)``; the latter two feed the backward
+    pass without recomputation.
+    """
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+    return out, x_hat, inv_std
+
+
+def _batchnorm_dispatch_counts(result, x, *args, **kwargs) -> OpCounts:
+    return batchnorm_counts(result[0].size)
+
+
+register_kernel("batchnorm", "reference", kind="batchnorm",
+                counts=_batchnorm_dispatch_counts)(batchnorm_forward)
+
+
+# ---------------------------------------------------------------------------
+# Autograd op
+# ---------------------------------------------------------------------------
 def batch_norm(
     x,
     gamma,
@@ -23,6 +64,7 @@ def batch_norm(
     training: bool = True,
     momentum: float = 0.1,
     eps: float = 1e-5,
+    backend=None,
 ) -> Tensor:
     """Batch normalization over an ``(N, C, *spatial)`` tensor.
 
@@ -49,9 +91,10 @@ def batch_norm(
         mean = running_mean
         var = running_var
 
-    inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
-    out_data = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+    out_data, x_hat, inv_std = dispatch(
+        "batchnorm", x.data, mean, var, gamma.data, beta.data, eps,
+        backend=backend,
+    )
 
     def backward(g):
         gr = gamma.data.reshape(shape)

@@ -1,0 +1,530 @@
+"""Tests for the kernel-dispatch registry, backends, and calibration.
+
+Covers the contract every backend must honor: registration semantics,
+bit-identical parity with ``reference`` across shapes / strides /
+dimensionalities / dtypes, dispatch-level telemetry, per-module backend
+selection, cache invalidation, and the measured-execution calibration
+loop that feeds the serving scheduler.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.backend.calibrate import (
+    KIND_TO_OP,
+    OP_UNITS,
+    CalibratedPerfModel,
+    KernelCalibration,
+    OpCoefficients,
+    calibrate_host,
+)
+from repro.backend.counters import OpCounts, unpool_counts_nd
+from repro.backend.registry import (
+    REGISTRY,
+    dispatch,
+    known_backends,
+    known_ops,
+    set_default_backend,
+    trace_dispatches,
+    use_backend,
+)
+from repro.tensor import Tensor, no_grad
+
+ALL_OPS = (
+    "avgpool", "batchnorm", "conv", "conv_bias_act", "conv_weight_grad",
+    "deconv", "leaky_relu", "maxpool", "relu", "unpool",
+)
+
+OP_KINDS = {
+    "conv": "convolution", "deconv": "deconvolution",
+    "conv_weight_grad": "convolution", "conv_bias_act": "convolution",
+    "maxpool": "pooling", "avgpool": "pooling", "unpool": "unpooling",
+    "leaky_relu": "leaky_relu", "relu": "relu", "batchnorm": "batchnorm",
+}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _assert_same(a, b):
+    """Bit-identical comparison over ndarray / tuple-of-ndarray results."""
+    if isinstance(a, np.ndarray):
+        assert b.dtype == a.dtype
+        assert np.array_equal(a, b)
+        return
+    assert type(a) is type(b) and len(a) == len(b)
+    for x, y in zip(a, b):
+        if isinstance(x, np.ndarray):
+            assert y.dtype == x.dtype
+            assert np.array_equal(x, y)
+        else:
+            assert x == y
+
+
+class TestRegistry:
+    def test_all_ops_registered(self):
+        assert tuple(known_ops()) == ALL_OPS
+
+    def test_both_backends_for_every_op(self):
+        for op in known_ops():
+            assert known_backends(op) == ["opt", "reference"], op
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            REGISTRY.register("conv", "reference", lambda: None)
+
+    def test_kind_change_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            REGISTRY.register("conv", "other", lambda: None, kind="pooling")
+
+    def test_unknown_op_and_backend(self):
+        with pytest.raises(KeyError, match="unknown op"):
+            dispatch("nope", 1)
+        with pytest.raises(KeyError, match="no 'cuda' backend"):
+            dispatch("conv", 1, backend="cuda")
+
+    def test_backend_selection_precedence(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        # thread default < use_backend scope < explicit argument: all
+        # three produce identical results, so verify via the filter
+        # cache that the opt path really ran.
+        from repro.backend.opt import clear_filter_cache, filter_cache_size
+        w = rng.normal(size=(2, 2, 3, 3))
+        clear_filter_cache()
+        with no_grad():
+            dispatch("conv", x, w, None, 1, 1, want_cols=False,
+                     backend="opt")
+        assert filter_cache_size() == 1
+        clear_filter_cache()
+
+    def test_set_default_backend_validates(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            set_default_backend("cuda")
+        set_default_backend(None)
+
+    def test_use_backend_restores_previous(self, rng):
+        from repro.backend.registry import get_backend
+        assert get_backend() == "reference"
+        with use_backend("opt"):
+            assert get_backend() == "opt"
+            with use_backend(None):
+                assert get_backend() == "reference"
+            assert get_backend() == "opt"
+        assert get_backend() == "reference"
+
+
+class TestBackendParity:
+    """``opt`` must be bit-identical to ``reference`` for every op."""
+
+    # (x_shape, w_shape, stride, padding): odd spatial sizes, stride >
+    # 1, and 3D volumes all covered.
+    CONV_CASES = [
+        ((2, 3, 7, 5), (4, 3, 3, 3), 1, 1),
+        ((1, 2, 9, 9), (3, 2, 3, 3), 2, 1),
+        ((1, 3, 8, 8), (2, 3, 5, 5), 1, 2),
+        ((1, 2, 5, 4, 3), (2, 2, 3, 3, 3), 1, 1),
+        ((1, 3, 6, 5, 4), (2, 3, 2, 2, 2), 2, 0),
+    ]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_conv_family(self, rng, case, dtype):
+        x_shape, w_shape, stride, padding = case
+        x = rng.normal(size=x_shape).astype(dtype)
+        w = rng.normal(size=w_shape).astype(dtype)
+        bias = rng.normal(size=w_shape[0]).astype(dtype)
+
+        ref = dispatch("conv", x, w, bias, stride, padding,
+                       want_cols=True, backend="reference")
+        opt = dispatch("conv", x, w, bias, stride, padding,
+                       want_cols=True, backend="opt")
+        _assert_same(ref, opt)
+
+        g, cols2 = ref[0], ref[1]
+        _assert_same(
+            dispatch("deconv", g, w, x.shape, stride, padding,
+                     backend="reference"),
+            dispatch("deconv", g, w, x.shape, stride, padding,
+                     backend="opt"))
+        _assert_same(
+            dispatch("conv_weight_grad", cols2, g, w.shape,
+                     backend="reference"),
+            dispatch("conv_weight_grad", cols2, g, w.shape, backend="opt"))
+        _assert_same(
+            dispatch("conv_bias_act", x, w, bias, stride, padding, 0.01,
+                     backend="reference"),
+            dispatch("conv_bias_act", x, w, bias, stride, padding, 0.01,
+                     backend="opt"))
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("shape", [(2, 3, 7, 5), (1, 2, 6, 6),
+                                       (1, 2, 4, 5, 6)])
+    def test_pointwise_and_pooling(self, rng, shape, dtype):
+        x = rng.normal(size=shape).astype(dtype)
+        c = shape[1]
+        mean = rng.normal(size=c).astype(dtype)
+        var = rng.uniform(0.5, 2.0, c).astype(dtype)
+        gamma = rng.normal(size=c).astype(dtype)
+        beta = rng.normal(size=c).astype(dtype)
+        calls = [
+            ("maxpool", (x, 2, 2, 0), {"want_indices": True}),
+            ("maxpool", (x, 3, 2, 1), {"want_indices": False}),
+            ("avgpool", (x, 2, 2, 0), {}),
+            ("unpool", (x, 2), {}),
+            ("leaky_relu", (x, 0.01), {}),
+            ("relu", (x,), {}),
+            ("batchnorm", (x, mean, var, gamma, beta, 1e-5), {}),
+        ]
+        for op, args, kwargs in calls:
+            _assert_same(dispatch(op, *args, backend="reference", **kwargs),
+                         dispatch(op, *args, backend="opt", **kwargs))
+
+    def test_fused_conv_bias_act_matches_composition(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        bias = rng.normal(size=3)
+        for backend in known_backends():
+            fused = dispatch("conv_bias_act", x, w, bias, 1, 1, 0.01,
+                             backend=backend)
+            conv = dispatch("conv", x, w, bias, 1, 1, want_cols=False,
+                            backend="reference")[0]
+            assert np.array_equal(fused, np.where(conv > 0, conv, 0.01 * conv))
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    class TestParityProperty:
+        """Property-based parity: random shapes/strides stay bit-identical."""
+
+        @given(
+            n=st.integers(1, 2), c=st.integers(1, 3), f=st.integers(1, 3),
+            h=st.integers(3, 9), wdt=st.integers(3, 9),
+            k=st.integers(1, 3), stride=st.integers(1, 2),
+            padding=st.integers(0, 2), seed=st.integers(0, 2**16),
+            f32=st.booleans(),
+        )
+        @settings(max_examples=25, deadline=None)
+        def test_conv_and_deconv_parity(self, n, c, f, h, wdt, k, stride,
+                                        padding, seed, f32):
+            rng = np.random.default_rng(seed)
+            dtype = np.float32 if f32 else np.float64
+            x = rng.normal(size=(n, c, h, wdt)).astype(dtype)
+            w = rng.normal(size=(f, c, k, k)).astype(dtype)
+            if h + 2 * padding < k or wdt + 2 * padding < k:
+                return
+            ref = dispatch("conv", x, w, None, stride, padding,
+                           want_cols=False, backend="reference")
+            opt = dispatch("conv", x, w, None, stride, padding,
+                           want_cols=False, backend="opt")
+            assert np.array_equal(ref[0], opt[0])
+            g = ref[0]
+            assert np.array_equal(
+                dispatch("deconv", g, w, x.shape, stride, padding,
+                         backend="reference"),
+                dispatch("deconv", g, w, x.shape, stride, padding,
+                         backend="opt"))
+except ImportError:  # pragma: no cover - hypothesis is in the dev extra
+    pass
+
+
+class TestTelemetry:
+    def test_dispatch_records_kind_site_counts_time(self, rng):
+        class Sink:
+            def __init__(self):
+                self.rows = []
+
+            def record(self, kind, site, counts, time_s):
+                self.rows.append((kind, site, counts, time_s))
+
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        sink = Sink()
+        with trace_dispatches(sink):
+            dispatch("conv", x, w, None, 1, 1, want_cols=False,
+                     site="layer1/conv")
+            dispatch("relu", x)
+        assert len(sink.rows) == 2
+        kind, site, counts, time_s = sink.rows[0]
+        assert kind == "convolution" and site == "layer1/conv"
+        assert counts.flops > 0 and counts.stores == 3 * 6 * 6
+        assert time_s >= 0.0
+        assert sink.rows[1][0] == "relu"
+        assert sink.rows[1][1] == "relu"  # site defaults to the op name
+
+    def test_no_sink_no_overhead_path(self, rng):
+        # Outside trace_dispatches the sink is None; dispatch must not
+        # record anywhere (smoke: just runs).
+        x = rng.normal(size=(2, 2))
+        out = dispatch("relu", x)
+        assert np.array_equal(out, np.where(x > 0, x, 0.0))
+
+    def test_kernel_kinds_cover_calibration_map(self):
+        for op in known_ops():
+            assert OP_KINDS[op] == REGISTRY._specs[op].kind
+        for kind, op in KIND_TO_OP.items():
+            assert op in OP_UNITS
+
+
+class TestModuleBackend:
+    def test_to_backend_propagates_and_validates(self):
+        net = nn.Sequential(nn.Conv2d(1, 2, 3), nn.ReLU(),
+                            nn.Sequential(nn.Conv2d(2, 1, 3)))
+        assert net.backend is None
+        net.to_backend("opt")
+        assert all(m.backend == "opt" for m in net.modules())
+        net.to_backend(None)
+        assert all(m.backend is None for m in net.modules())
+        with pytest.raises(ValueError, match="unknown backend"):
+            net.to_backend("cuda")
+
+    def test_model_forward_identical_across_backends(self, rng):
+        from repro.models import DDnet
+
+        model = DDnet(base_channels=4, growth=2, num_blocks=2,
+                      layers_per_block=2).eval()
+        x = Tensor(rng.normal(size=(1, 1, 16, 16)))
+        with no_grad():
+            ref = model(x).data
+            model.to_backend("opt")
+            opt = model(x).data
+        assert np.array_equal(ref, opt)
+
+    def test_pipeline_backend_threads_through(self, rng):
+        from repro.pipeline import ComputeCovid19Plus
+
+        fw = ComputeCovid19Plus(backend="opt")
+        assert fw.enhancement.model.backend == "opt"
+        assert fw.classification.model.backend == "opt"
+
+
+class TestOptCaches:
+    def test_filter_cache_hit_and_invalidation(self, rng):
+        from repro.backend.opt import clear_filter_cache, filter_cache_size
+
+        clear_filter_cache()
+        layer = nn.Conv2d(2, 3, 3, rng=np.random.default_rng(1))
+        layer.to_backend("opt")
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+        with no_grad():
+            layer(x)
+            assert filter_cache_size() == 1
+            layer(x)
+            assert filter_cache_size() == 1  # hit, not a second entry
+        # load_state_dict replaces weight arrays -> cache must drop.
+        layer.load_state_dict(layer.state_dict())
+        assert filter_cache_size() == 0
+        with no_grad():
+            layer(x)
+            assert filter_cache_size() == 1
+        layer.to_dtype(np.float32)
+        assert filter_cache_size() == 0
+        clear_filter_cache()
+
+    def test_grad_mode_bypasses_filter_cache(self, rng):
+        from repro.backend.opt import clear_filter_cache, filter_cache_size
+
+        clear_filter_cache()
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        dispatch("conv", x, w, None, 1, 1, want_cols=True, backend="opt")
+        assert filter_cache_size() == 0  # training path: no stale risk
+
+
+class TestCounters3d:
+    def test_unpool_3d_per_output_costs(self):
+        # Trilinear: 2^3 = 8 corner loads, 2^(3+2) - 2 = 30 FLOPs per
+        # output element (the N-d generalization of Table 6's 4 / 14).
+        c = unpool_counts_nd((4, 4, 4), ch=2, batch=1)
+        outs = 4 * 4 * 4 * 2
+        assert c.loads == 8 * outs
+        assert c.stores == outs
+        assert c.flops == 30 * outs
+
+
+def _synthetic_calibration(rate: float = 1e-9,
+                           overhead: float = 0.0) -> KernelCalibration:
+    coeffs = {
+        op: OpCoefficients(op=op, kind=OP_KINDS[op], unit=unit,
+                           seconds_per_unit=rate, overhead_s=overhead,
+                           samples=3)
+        for op, unit in OP_UNITS.items()
+    }
+    return KernelCalibration(host="test-host", backend="reference",
+                             coefficients=coeffs)
+
+
+class TestCalibration:
+    def test_calibrate_host_fits_every_op(self):
+        cal = calibrate_host(sizes=(8, 16), repeats=1, warmup=0)
+        assert set(cal.coefficients) == set(OP_UNITS)
+        for op, coeff in cal.coefficients.items():
+            assert coeff.seconds_per_unit > 0, op
+            assert coeff.overhead_s >= 0, op
+            assert coeff.samples == 2
+            assert coeff.unit == OP_UNITS[op]
+        assert cal.backend == "reference"
+
+    def test_coefficients_predict_monotone_in_work(self):
+        coeff = OpCoefficients(op="conv", kind="convolution", unit="flops",
+                               seconds_per_unit=1e-9, overhead_s=1e-5,
+                               samples=3)
+        small = OpCounts(loads=10, stores=5, flops=1000)
+        big = OpCounts(loads=10, stores=5, flops=100000)
+        assert coeff.predict(big) > coeff.predict(small) > 0
+
+    def test_calibration_round_trips_through_dict(self):
+        cal = _synthetic_calibration(rate=2e-9, overhead=1e-6)
+        back = KernelCalibration.from_dict(cal.to_dict())
+        assert back.host == cal.host and back.backend == cal.backend
+        for op in cal.coefficients:
+            assert back.coefficients[op] == cal.coefficients[op]
+
+    def test_kind_time_maps_schedule_vocabulary(self):
+        cal = _synthetic_calibration()
+        counts = OpCounts(loads=100, stores=10, flops=1000)
+        # Both deconv spellings resolve to the deconv coefficients.
+        assert (cal.kind_time("deconvolution", counts)
+                == cal.kind_time("deconvolution_naive", counts))
+        with pytest.raises(KeyError, match="unknown kernel kind"):
+            cal.kind_time("fft", counts)
+
+    def test_group_times_cover_reference_schedule(self):
+        from repro.hetero.schedule import ddnet_kernel_schedule
+
+        cal = _synthetic_calibration()
+        groups = cal.group_times(ddnet_kernel_schedule())
+        assert set(groups) == {"convolution", "deconvolution", "other"}
+        assert all(v > 0 for v in groups.values())
+
+
+class TestCalibratedPerfModel:
+    def test_ratios_preserved_absolute_rescaled(self):
+        from repro.hetero import DEVICES, PerfModel
+
+        base = PerfModel()
+        cal_model = CalibratedPerfModel(_synthetic_calibration())
+        p100, t4 = DEVICES["Nvidia P100 GPU"], DEVICES["Nvidia T4 GPU"]
+        for part in ("convolution_s", "deconvolution_s", "other_s"):
+            base_ratio = (getattr(base.predict(p100), part)
+                          / getattr(base.predict(t4), part))
+            cal_ratio = (getattr(cal_model.predict(p100), part)
+                         / getattr(cal_model.predict(t4), part))
+            assert cal_ratio == pytest.approx(base_ratio, rel=1e-12)
+        # Every group scales by its correction factor exactly.
+        for part, group in (("convolution_s", "convolution"),
+                            ("deconvolution_s", "deconvolution"),
+                            ("other_s", "other")):
+            assert getattr(cal_model.predict(p100), part) == pytest.approx(
+                getattr(base.predict(p100), part)
+                * cal_model.corrections[group])
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(KeyError, match="unknown anchor"):
+            CalibratedPerfModel(_synthetic_calibration(), anchor="TPU v9")
+
+    def test_placement_flips_with_calibrated_deconv_cost(self):
+        """Perf-aware placement changes when measurement disagrees with
+        the analytic model.
+
+        Analytically (Table 5) the P100 beats the T4 on a DDnet batch
+        (0.249 s vs 0.292 s per chunk).  If this host's measured
+        execution shows deconvolution 5x more expensive than the
+        anchor's analytic split — everything else matching — the T4's
+        smaller deconv share makes it the better pick, and the
+        scheduler built on the calibrated model must flip to it.
+        """
+        from repro.hetero.device import DEVICES
+        from repro.serve.batcher import Batch
+        from repro.serve.scheduler import FleetScheduler, ServiceTimeModel
+
+        fleet = [DEVICES["Nvidia P100 GPU"], DEVICES["Nvidia T4 GPU"]]
+        batch = Batch(batch_id=0, stage="enhance", requests=[object()],
+                      formed_s=0.0)
+
+        analytic = FleetScheduler(fleet, policy="perf-aware",
+                                  service_model=ServiceTimeModel())
+        assert analytic.pick(batch, now=0.0).spec.name == "Nvidia P100 GPU"
+
+        cal_model = CalibratedPerfModel(_synthetic_calibration())
+        cal_model.corrections = {"convolution": 1.0, "deconvolution": 5.0,
+                                 "other": 1.0}
+        calibrated = FleetScheduler(
+            fleet, policy="perf-aware",
+            service_model=ServiceTimeModel(perf_model=cal_model))
+        assert calibrated.pick(batch, now=0.0).spec.name == "Nvidia T4 GPU"
+
+    def test_service_time_model_calibrated_integration(self):
+        from repro.serve.scheduler import STAGES, ServiceTimeModel
+
+        cal = _synthetic_calibration()
+        stm = ServiceTimeModel.calibrated(kernel_calibration=cal)
+        assert isinstance(stm.perf_model, CalibratedPerfModel)
+        from repro.hetero.device import DEVICES
+        v100 = DEVICES["Nvidia V100 GPU"]
+        for stage in STAGES:
+            assert stm.batch_time(v100, stage, 1) > 0
+
+
+class TestKernelLint:
+    def test_violation_waiver_and_allowlist(self):
+        from repro.backend.lint import lint_source
+
+        bad = "import numpy as np\ny = np.matmul(a, b)\n"
+        assert len(lint_source(bad)) == 1
+        waived = "import numpy as np\ny = np.matmul(a, b)  # kernel-lint: allow\n"
+        assert lint_source(waived) == []
+        above = ("import numpy as np\n"
+                 "# kernel-lint: allow\n"
+                 "y = np.matmul(a, b)\n")
+        assert lint_source(above) == []
+        ok = ("import numpy as np\n"
+              "x = np.zeros((2, 2), dtype=np.float32)\n"
+              "r = np.random.default_rng(0).normal(size=3)\n"
+              "s = np.stack([x, x])\n")
+        assert lint_source(ok) == []
+        from_imp = "from numpy import einsum\n"
+        assert len(lint_source(from_imp)) == 1
+
+    def test_linted_tree_is_clean(self):
+        from pathlib import Path
+
+        from repro.backend.lint import lint_paths
+
+        import repro
+        src_root = Path(repro.__file__).resolve().parents[1]
+        assert lint_paths(src_root) == []
+
+
+class TestKernelBench:
+    def test_quick_payload_schema_and_parity(self):
+        from repro.backend.kernel_bench import (
+            format_kernel_summary,
+            run_kernel_bench,
+        )
+
+        payload = run_kernel_bench(quick=True, repeats=1, size=12,
+                                   with_calibration=False)
+        assert payload["bench"] == "kernels" and payload["schema"] == 1
+        assert set(payload["ops"]) == set(known_ops())
+        assert payload["parity_ok"] is True
+        for op, entry in payload["ops"].items():
+            assert entry["bit_identical"] is True, op
+            for backend in payload["backends"]:
+                assert entry[backend]["median_s"] >= 0
+            assert "opt" in entry["speedups"]
+        assert payload["host"]["cpu_count"] >= 1
+        summary = format_kernel_summary(payload)
+        assert "parity_ok=True" in summary
+
+    def test_payload_embeds_calibration(self):
+        from repro.backend.kernel_bench import run_kernel_bench
+
+        payload = run_kernel_bench(quick=True, repeats=1, size=12,
+                                   with_calibration=True)
+        cal = KernelCalibration.from_dict(payload["calibration"])
+        assert set(cal.coefficients) == set(OP_UNITS)

@@ -26,6 +26,9 @@ from repro.hetero.device import get_device
 from repro.hetero.fpga import ReconfigurationSchedule
 from repro.hetero.kernels import (
     batchnorm_kernel,
+    conv3d_kernel,
+    deconv3d_naive_kernel,
+    deconv3d_refactored_kernel,
     leaky_relu_kernel,
     maxpool_kernel,
     unpool_bilinear_kernel,
@@ -134,6 +137,43 @@ class TestKernels:
     def test_channel_validation(self, rng):
         with pytest.raises(ValueError):
             deconv2d_naive_kernel(np.zeros((1, 3, 4, 4)), np.zeros((2, 2, 3, 3)))
+
+    def test_naive_equals_refactored_3d(self, rng):
+        """Fig. 9 extended to volumes: scatter and gather forms agree."""
+        x = rng.normal(size=(2, 2, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 3, 3, 3))
+        for stride, padding in [(1, 0), (1, 1), (2, 1)]:
+            a = deconv3d_naive_kernel(x, w, stride, padding)
+            b = deconv3d_refactored_kernel(x, w, stride, padding)
+            assert a.output.shape == b.output.shape, (stride, padding)
+            assert np.allclose(a.output, b.output, atol=1e-10), (stride, padding)
+
+    def test_refactored_3d_matches_input_grad(self, rng):
+        """The 3D gather deconv IS the registered conv input-gradient."""
+        from repro.tensor.ops_conv import conv_nd_input_grad
+
+        x = rng.normal(size=(1, 2, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 3, 3, 3))
+        stride, padding = 2, 1
+        res = deconv3d_refactored_kernel(x, w, stride, padding)
+        out_shape = (1, 3) + tuple(
+            (s - 1) * stride + 3 - 2 * padding for s in x.shape[2:])
+        ref = conv_nd_input_grad(x, w, out_shape, stride, padding)
+        assert np.array_equal(res.output, ref)
+
+    def test_refactored_fewer_memory_ops_3d(self, rng):
+        """Table 6's store asymmetry carries over to the 3D kernels."""
+        x = rng.normal(size=(1, 2, 4, 4, 4))
+        w = rng.normal(size=(2, 2, 3, 3, 3))
+        a = deconv3d_naive_kernel(x, w)
+        b = deconv3d_refactored_kernel(x, w)
+        assert a.counts.stores > b.counts.stores * 10
+
+    def test_3d_wrappers_validate_rank(self):
+        with pytest.raises(ValueError):
+            conv3d_kernel(np.zeros((1, 2, 4, 4)), np.zeros((2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            deconv3d_naive_kernel(np.zeros((1, 2, 4, 4)), np.zeros((2, 2, 3, 3)))
 
 
 class TestSchedule:

@@ -69,6 +69,40 @@ class TestModuleSystem:
         b.load(path)
         assert np.array_equal(a.weight.data, b.weight.data)
 
+    def test_float32_state_dict_roundtrip_no_dtype_drift(self, tmp_path):
+        """A float32-cast model survives save/load with no dtype drift.
+
+        ``to_dtype`` casts parameters *and* float buffers (batch-norm
+        running stats); the checkpoint round-trip must preserve both —
+        a silent re-promotion to float64 would quietly disable the
+        float32 inference fast path.
+        """
+        a = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(1)),
+                          nn.BatchNorm2d(2))
+        # Exercise the running buffers so they hold non-initial values.
+        a(Tensor(np.random.default_rng(2).normal(size=(2, 1, 6, 6))))
+        a.to_dtype(np.float32)
+        state = a.state_dict()
+        assert state  # params and buffers present
+        assert all(v.dtype == np.float32 for v in state.values()
+                   if v.dtype.kind == "f")
+
+        path = str(tmp_path / "model32.npz")
+        a.save(path)
+        b = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(9)),
+                          nn.BatchNorm2d(2))
+        assert b.dtype == np.float64  # fresh model starts float64
+        b.load(path)
+        assert b.dtype == np.float32
+        for (name, arr) in b.state_dict().items():
+            if arr.dtype.kind == "f":
+                assert arr.dtype == np.float32, name
+            assert np.array_equal(arr, state[name]), name
+        # The live buffer attributes track the re-bound arrays too.
+        bn = b[1]
+        assert bn.running_mean.dtype == np.float32
+        assert bn.running_var.dtype == np.float32
+
     def test_module_list(self):
         ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
         assert len(ml) == 2
