@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""DAG-serving perf harness (standalone, not a pytest bench).
+
+Runs the six-arm monolithic-vs-stage-pipelined scenario from
+:mod:`repro.dag.bench` — diagnosis-only, monitoring cold, monitoring
+warm — plus the cross-mode functional-parity check, and writes
+``BENCH_dag.json`` at the repo root.  Exits nonzero when any gate
+fails: functional parity broken, the DAG arm not beating monolithic on
+the monitoring workload, or the warm replay failing to skip the
+enhance and segment stages.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_dag.py [--quick]
+        [--out PATH]
+
+Also exposed as ``repro bench dag``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_dag.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller parity workload for CI smoke runs")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo-root BENCH_dag.json)")
+    args = parser.parse_args(argv)
+
+    from repro.dag.bench import format_dag_summary, run_dag_bench
+    from repro.parallel import write_bench_json
+
+    payload = run_dag_bench(quick=args.quick)
+    write_bench_json(args.out, payload)
+    print(format_dag_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["gates_ok"]:
+        print("GATE FAILURE: parity broken or DAG claims not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,11 @@ optimizations that preserve the exact floating-point evaluation order:
   largest intermediate, ``C·∏kernel`` × output size) is copied into a
   thread-local scratch arena that is reused across layers instead of
   re-allocated per call, cutting allocator traffic on the inference
-  path.  The copy preserves the reference's C-order element layout, so
-  the GEMM input is byte-for-byte the same.
+  path.  Parity demands matching the reference operand's *strides*, not
+  just its bytes (BLAS picks kernels by layout, and layouts can round
+  differently at the last ulp), so shapes where the reference's
+  ``reshape`` is a no-copy view keep that exact view and only
+  reference-would-copy shapes hit the arena.
 - **gather-formulated deconvolution** — the ``reference`` deconv already
   uses the paper's refactored inverse-coefficient-mapping (Fig. 9b)
   gather form; the opt variant keeps that exact formulation and adds
@@ -82,6 +85,30 @@ def release_scratch() -> None:
     """Drop this thread's scratch buffers (frees the arena memory)."""
     if hasattr(_tls, "buffers"):
         _tls.buffers = {}
+
+
+def _reshape_view_or_scratch(
+    arr: np.ndarray, shape: Tuple[int, ...], slot: str
+) -> np.ndarray:
+    """``arr.reshape(shape)`` with the copy (if any) pooled in scratch.
+
+    Bit parity with the reference requires matching not just the operand
+    *bytes* but its *strides*: BLAS selects kernels by memory layout, and
+    different layouts can round differently at the last ulp.  So when
+    numpy can reshape ``arr`` without copying (e.g. 1×1 kernels, or a
+    single-sample batch), return that view — the very same layout the
+    reference's ``reshape`` produces.  Only when the reference itself
+    would have copied do we copy, into the scratch arena, in the same
+    C-order traversal as reshape's implicit copy.
+    """
+    view = arr.view()
+    try:
+        view.shape = shape  # in-place reshape: raises instead of copying
+        return view
+    except AttributeError:
+        buf = _scratch(slot, shape, arr.dtype)
+        np.copyto(buf.reshape(arr.shape), arr)
+        return buf
 
 
 # ---------------------------------------------------------------------------
@@ -164,11 +191,9 @@ def conv_nd_forward_opt(
     for k in kernel:
         width *= k
     if want_cols:
-        cols2 = cols.reshape(rows, width)  # reshape of a strided view: copies
+        cols2 = cols.reshape(rows, width)  # must outlive the call: no scratch
     else:
-        cols2 = _scratch("im2col", (rows, width), cols.dtype)
-        # Same C-order traversal as the reference's reshape-copy.
-        np.copyto(cols2.reshape(cols.shape), cols)
+        cols2 = _reshape_view_or_scratch(cols, (rows, width), "im2col")
     w2 = _flat_filter(w)
     out = cols2 @ w2.T
     if not want_cols:
@@ -201,8 +226,7 @@ def conv_nd_input_grad_opt(
     rows = n
     for o in out_spatial:
         rows *= o
-    g_cols = _scratch("deconv_g", (rows, f), g.dtype)
-    np.copyto(g_cols.reshape(g_t.shape), g_t)
+    g_cols = _reshape_view_or_scratch(g_t, (rows, f), "deconv_g")
     width = int(x_shape[1])
     for k in kernel:
         width *= k

@@ -10,7 +10,11 @@ code:
 - ``inventory`` — print the Table 1 data-source registry,
 - ``serve``     — simulate serving a diagnosis-request stream over the
   Table 4 device fleet with dynamic batching (``repro.serve``);
-  ``--trace-out`` exports the run's telemetry events as JSONL,
+  ``--mode dag`` (or ``--dag``) serves the pipeline as a stage graph
+  with model residency and an intermediate-artifact cache
+  (``repro.dag``), ``--arrivals epi`` draws arrivals from the SEIR
+  epidemic curve, ``--monitor-fraction`` mixes in monitoring re-reads,
+  and ``--trace-out`` exports the run's telemetry events as JSONL,
 - ``trace``     — work with exported traces: ``trace summary FILE``
   recomputes the serving summary (bit-identical latency percentiles,
   throughput, shed counts) from the events alone,
@@ -18,7 +22,10 @@ code:
   ``repro.parallel`` hot paths (dataset simulation, batch scoring,
   float32 inference) and writes ``BENCH_hotpaths.json``;
   ``bench kernels`` times every registered kernel op on every backend,
-  re-proves reference/opt bit parity, and writes ``BENCH_kernels.json``.
+  re-proves reference/opt bit parity, and writes ``BENCH_kernels.json``;
+  ``bench dag`` runs the monolithic-vs-stage-pipelined serving
+  comparison (cold and warm monitoring caches, cross-mode functional
+  parity) and writes ``BENCH_dag.json``.
 
 ``diagnose --backend opt`` runs the whole pipeline on the optimized
 kernel backend; ``serve --calibrated`` microbenchmarks this host first
@@ -148,6 +155,7 @@ def _cmd_serve(args) -> int:
         requests = make_workload(
             args.requests, rate_per_s=args.rate, pattern=args.pattern,
             seed=args.seed, dup_fraction=args.dup_fraction,
+            monitor_fraction=args.monitor_fraction,
         )
         resilience = _build_resilience(args)
         service_model = None
@@ -165,6 +173,8 @@ def _cmd_serve(args) -> int:
             verify_workers=args.workers,
             resilience=resilience,
             service_model=service_model,
+            mode=args.mode,
+            artifact_cache_mb=args.artifact_cache_mb,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -186,7 +196,25 @@ def _cmd_serve(args) -> int:
     print(f"  queue     : mean depth {summary['queue_mean_depth']:.2f}, "
           f"max {summary['queue_max_depth']}")
     print(f"  cache     : hit rate {summary['cache_hit_rate']:.1%} "
-          f"({summary['cache_hits']} hits)")
+          f"({summary['cache_hits']} hits, "
+          f"{summary['cache_evictions']} evictions, "
+          f"{summary['cache_resident_bytes']} bytes resident)")
+    if "artifact_cache" in summary:
+        art = summary["artifact_cache"]
+        print(f"  artifacts : hit rate {art['hit_rate']:.1%} "
+              f"({art['hits']} hits, {art['misses']} misses, "
+              f"{art['evictions']} evictions, "
+              f"{art['resident_bytes']} bytes resident)")
+        stages = ", ".join(f"{k}={v}" for k, v in
+                           summary["stage_completions"].items()) or "none"
+        print(f"  dag       : stage batches {stages}; "
+              f"{summary['artifact_entries']} artifact fast-path entries "
+              f"({summary['stages_skipped']} stages skipped); "
+              f"{summary['model_swaps']} model swaps "
+              f"({summary['model_evictions']} evictions)")
+        if summary["stage_degraded_requests"]:
+            print(f"  dag       : {summary['stage_degraded_requests']} "
+                  "requests routed around a failed skippable stage")
     for name, util in summary["device_utilization"].items():
         print(f"  {name:32s} util {util:6.1%}  "
               f"batches {summary['device_batches'][name]}")
@@ -241,6 +269,14 @@ def _cmd_trace(args) -> int:
           f"{summary['shed_fault']} faulted; "
           f"{summary['slo_violations']} SLO violations")
     print(f"  cache     : {summary['cache_hits']} hits")
+    if "stage_completions" in summary:
+        stages = ", ".join(f"{k}={v}" for k, v in
+                           summary["stage_completions"].items()) or "none"
+        print(f"  dag       : stage batches {stages}; "
+              f"{summary['artifact_entries']} artifact fast-path entries "
+              f"({summary['stages_skipped']} stages skipped); "
+              f"{summary['model_swaps']} model swaps "
+              f"({summary['model_evictions']} evictions)")
     if summary["fault_events"] or summary["retries"]:
         faults = ", ".join(f"{k}={v}" for k, v in
                            sorted(summary["fault_events"].items())) or "none"
@@ -296,6 +332,21 @@ def _cmd_bench_kernels(args) -> int:
     return 0
 
 
+def _cmd_bench_dag(args) -> int:
+    from repro.dag.bench import format_dag_summary, run_dag_bench
+    from repro.parallel import write_bench_json
+
+    payload = run_dag_bench(quick=args.quick)
+    write_bench_json(args.out, payload)
+    print(format_dag_summary(payload))
+    print(f"wrote {args.out}")
+    if not payload["gates_ok"]:
+        print("GATE FAILURE: parity broken or DAG claims not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_inventory(args) -> int:
     from repro.data import data_source_table
     from repro.report import format_table
@@ -343,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inventory", help="print the Table 1 registry")
     p.set_defaults(func=_cmd_inventory)
 
+    from repro.serve.engine import SERVE_MODES
     from repro.serve.request import ARRIVAL_PATTERNS
     from repro.serve.scheduler import FLEET_PRESETS, SCHEDULING_POLICIES
 
@@ -352,8 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload size (number of diagnosis requests)")
     p.add_argument("--rate", type=float, default=8.0,
                    help="mean arrival rate, requests/s")
-    p.add_argument("--pattern", choices=ARRIVAL_PATTERNS, default="poisson")
+    p.add_argument("--pattern", "--arrivals", dest="pattern",
+                   choices=ARRIVAL_PATTERNS, default="poisson",
+                   help="arrival process (epi = SEIR epidemic curve)")
     p.add_argument("--policy", choices=SCHEDULING_POLICIES, default="perf-aware")
+    p.add_argument("--mode", choices=SERVE_MODES, default="staged",
+                   help="staged per-stage batching, monolithic fused "
+                        "pipeline, or dag stage-graph serving")
+    p.add_argument("--dag", action="store_const", const="dag", dest="mode",
+                   help="shorthand for --mode dag")
+    p.add_argument("--monitor-fraction", type=float, default=0.0,
+                   help="fraction of requests that are monitoring re-reads "
+                        "of an earlier patient (bypass the result cache)")
+    p.add_argument("--artifact-cache-mb", type=float, default=4096.0,
+                   help="DAG mode: intermediate-artifact cache capacity")
     p.add_argument("--fleet", default="mixed",
                    help=f"preset ({', '.join(FLEET_PRESETS)}) or "
                         "comma-separated device names")
@@ -427,6 +491,15 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--no-calibration", action="store_true",
                     help="skip embedding the host calibration fit")
     pk.set_defaults(func=_cmd_bench_kernels)
+    pd = bench_sub.add_parser(
+        "dag", help="monolithic vs stage-pipelined serving (cold/warm "
+                    "monitoring cache), check cross-mode functional "
+                    "parity, and write BENCH_dag.json")
+    pd.add_argument("--quick", action="store_true",
+                    help="smaller parity workload for CI smoke runs")
+    pd.add_argument("--out", default="BENCH_dag.json",
+                    help="output JSON path")
+    pd.set_defaults(func=_cmd_bench_dag)
     return parser
 
 

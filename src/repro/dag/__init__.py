@@ -1,0 +1,66 @@
+"""Stage-level DAG serving: placement, pipelining, and model residency.
+
+The paper's inference path is three very differently-sized models —
+DDnet enhance → AH-Net segment → DenseNet classify — and this package
+gives the serving layer a first-class view of that structure (the
+Clockwork model-record idiom, the Goel et al. follow-up framework
+arXiv:2112.09216, and CoRSAI arXiv:2105.11863 all share the shape):
+
+- :mod:`~repro.dag.stage` — :class:`StageFn` cost records
+  (``space`` / ``pre`` / ``input`` / ``exec_bN`` / ``output`` /
+  ``post``), sampled from the (optionally calibrated) service-time
+  model,
+- :mod:`~repro.dag.graph` — :class:`StageGraph` and the
+  :func:`covid_stage_graph` factory,
+- :mod:`~repro.dag.residency` — :class:`ModelResidency`, per-device
+  LRU weight residency with swap penalties (PCIe load on GPUs/CPUs,
+  bitstream reconfiguration on the FPGA),
+- :mod:`~repro.dag.artifacts` — :class:`ArtifactCache`, the
+  ``(scan hash, stage)`` intermediate-artifact LRU that lets a
+  monitoring re-read enter the DAG at the classify stage,
+- :mod:`~repro.dag.bench` — the monolithic-vs-DAG benchmark harness
+  behind ``repro bench dag``.
+
+:class:`repro.serve.ServingEngine` consumes all of it via
+``mode="dag"``; see ``docs/serving.md`` ("Pipeline as a DAG").
+"""
+
+from dataclasses import dataclass
+
+from repro.dag.artifacts import ARTIFACT_METRIC_PREFIX, ArtifactCache
+from repro.dag.graph import STAGE_MODELS, StageGraph, covid_stage_graph
+from repro.dag.residency import (
+    DAG_SOURCE,
+    EVICTION_COUNTER,
+    SWAP_COUNTER,
+    ModelResidency,
+)
+from repro.dag.stage import (
+    EXEC_BATCH_SIZES,
+    FPGA_MODEL_SWAP_S,
+    HOST_LINK_GB_S,
+    StageFn,
+    build_stage,
+)
+
+__all__ = [
+    "StageFn", "build_stage", "EXEC_BATCH_SIZES", "HOST_LINK_GB_S",
+    "FPGA_MODEL_SWAP_S",
+    "StageGraph", "covid_stage_graph", "STAGE_MODELS",
+    "ModelResidency", "SWAP_COUNTER", "EVICTION_COUNTER", "DAG_SOURCE",
+    "ArtifactCache", "ARTIFACT_METRIC_PREFIX",
+    "DagContext",
+]
+
+
+@dataclass
+class DagContext:
+    """Everything the serving engine's DAG mode threads through its
+    lifecycle and dispatch units."""
+
+    graph: StageGraph
+    residency: ModelResidency
+    artifacts: ArtifactCache
+    #: Route requests around a skippable stage whose batch exhausted
+    #: failover (tagged degraded) instead of shedding them.
+    route_around_stage: bool = True

@@ -1,0 +1,144 @@
+"""The stage graph: the Fig. 4 pipeline as a chain of StageFn records.
+
+``covid_stage_graph`` builds the paper's three-model DAG —
+DDnet enhance → AH-Net segment → DenseNet3D classify — with per-stage
+cost records sampled from a :class:`repro.serve.scheduler.
+ServiceTimeModel` (analytic or calibrated).  The graph is a chain (the
+paper's pipeline has no branches), but every consumer goes through
+:meth:`StageGraph.next_stage` / :meth:`StageGraph.entry_after` so the
+serving layer stays shape-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.dag.stage import EXEC_BATCH_SIZES, StageFn, build_stage
+from repro.hetero.device import DEVICES, DeviceSpec
+
+__all__ = ["StageGraph", "covid_stage_graph", "STAGE_MODELS"]
+
+#: Stage name → (model label, weight footprint GB).  Footprints are the
+#: float32 parameter sets of the paper's three models at deploy scale.
+STAGE_MODELS = {
+    "enhance": ("DDnet", 1.6),
+    "segment": ("AH-Net", 0.9),
+    "classify": ("DenseNet3D-121", 0.5),
+}
+
+#: One paper-scale scan chunk (512×512×32 float32 voxels) in MB.
+SCAN_MB = 512 * 512 * 32 * 4 / 1e6
+
+
+@dataclass(frozen=True)
+class StageGraph:
+    """An ordered chain of :class:`StageFn` stages plus skip metadata.
+
+    ``skippable`` names stages the pipeline can route around without
+    changing the *kind* of answer (only its quality) — for the paper
+    that is exactly the enhancement stage (the Fig. 13 "original" arm).
+    """
+
+    name: str
+    stages: Tuple[StageFn, ...]
+    skippable: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        self.sanity_check()
+
+    # -- views -----------------------------------------------------------
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def stage(self, name: str) -> StageFn:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage {name!r} in graph {self.name!r}")
+
+    def next_stage(self, name: str) -> Optional[str]:
+        names = self.stage_names
+        idx = names.index(name)
+        return names[idx + 1] if idx + 1 < len(names) else None
+
+    def entry_after(self, cached_stage: str) -> Optional[str]:
+        """Entry stage for a request holding ``cached_stage``'s artifact."""
+        return self.next_stage(cached_stage)
+
+    # -- validation ------------------------------------------------------
+    def sanity_check(self) -> None:
+        """Structural + cost-record invariants (raises on violation)."""
+        names = self.stage_names
+        if not names:
+            raise ValueError("a stage graph needs at least one stage")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        for skip in self.skippable:
+            if skip not in names:
+                raise ValueError(f"skippable stage {skip!r} not in {names}")
+            if skip == names[-1]:
+                raise ValueError("the final stage cannot be skippable")
+        for s in self.stages:
+            if not s.exec_b:
+                raise ValueError(f"{s.name}: no devices sampled")
+            for dev, samples in s.exec_b.items():
+                missing = [b for b in EXEC_BATCH_SIZES if b not in samples]
+                if missing:
+                    raise ValueError(
+                        f"{s.name}/{dev}: missing exec samples at {missing}")
+                times = [samples[b] for b in EXEC_BATCH_SIZES]
+                if any(t <= 0 for t in times):
+                    raise ValueError(f"{s.name}/{dev}: non-positive exec time")
+                if any(b > a for a, b in zip(times[1:], times)):
+                    raise ValueError(
+                        f"{s.name}/{dev}: exec time must be non-decreasing "
+                        f"in batch size, got {times}")
+
+
+def covid_stage_graph(
+    service_model=None,
+    devices: Optional[Sequence[DeviceSpec]] = None,
+    use_enhancement: bool = True,
+) -> StageGraph:
+    """The ComputeCOVID19+ pipeline as a stage graph.
+
+    - **enhance** (DDnet, §2.2): consumes the raw low-dose chunk,
+      produces the enhanced chunk — the heavy stage (Tables 4–7).
+    - **segment** (AH-Net role, §2.3.1): bandwidth-bound lung masking;
+      its artifact is the masked volume + mask.
+    - **classify** (3D DenseNet-121, §2.3.2): consumes the segmented
+      volume, emits a probability — tiny output, modest compute.
+
+    ``use_enhancement=False`` builds the Fig. 13 "original" arm (the
+    graph the degradation controller effectively serves).
+    """
+    if service_model is None:
+        from repro.serve.scheduler import ServiceTimeModel
+
+        service_model = ServiceTimeModel()
+    if devices is None:
+        devices = list(DEVICES.values())
+    specs = {
+        "enhance": dict(input_mb=SCAN_MB, output_mb=SCAN_MB,
+                        paper="§2.2 / Tables 4-7"),
+        # masked volume + boolean mask ≈ 1.25× the float32 chunk.
+        "segment": dict(input_mb=SCAN_MB, output_mb=SCAN_MB * 1.25,
+                        paper="§2.3.1 / §5.1.1"),
+        "classify": dict(input_mb=SCAN_MB * 1.25, output_mb=1e-3,
+                         paper="§2.3.2 / Table 9"),
+    }
+    names = list(STAGE_MODELS) if use_enhancement else list(STAGE_MODELS)[1:]
+    stages = []
+    for name in names:
+        model, space_gb = STAGE_MODELS[name]
+        spec = specs[name]
+        stages.append(build_stage(
+            name, model, space_gb, spec["input_mb"], spec["output_mb"],
+            service_model, devices, paper=spec["paper"]))
+    return StageGraph(
+        name="covid19+" if use_enhancement else "covid19+/no-enhance",
+        stages=tuple(stages),
+        skippable=("enhance",) if use_enhancement else (),
+    )

@@ -34,6 +34,10 @@ class DeviceSpec:
         (calibration constant; see module docstring).
     launch_overhead_us:
         Per-kernel-invocation overhead (queueing/launch).
+    memory_gb:
+        Device memory available for model weights (HBM/GDDR on GPUs,
+        host RAM on CPUs, on-board DDR on the FPGA) — the residency
+        budget :class:`repro.dag.ModelResidency` evicts against.
     """
 
     name: str
@@ -45,6 +49,7 @@ class DeviceSpec:
     mem_efficiency: float = 1.0
     flops_per_cycle_per_core: float = 2.0
     launch_overhead_us: float = 10.0
+    memory_gb: float = 16.0
 
     @property
     def peak_flops(self) -> float:
@@ -65,6 +70,8 @@ class DeviceSpec:
             raise ValueError(f"invalid device spec for {self.name}")
         if not 0.0 < self.mem_efficiency <= 1.5:
             raise ValueError("mem_efficiency must be in (0, 1.5]")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be > 0")
 
 
 NVIDIA_V100 = DeviceSpec(
@@ -91,13 +98,14 @@ INTEL_XEON_6128 = DeviceSpec(
     name="Intel Xeon Gold 6128 CPU", device_type="cpu", cores=24,
     bandwidth_gb_s=119.0, frequency_mhz=3400.0, pytorch_supported=True,
     mem_efficiency=0.45, flops_per_cycle_per_core=32.0,  # AVX-512 FMA
-    launch_overhead_us=1.0,
+    launch_overhead_us=1.0, memory_gb=192.0,  # host RAM, not HBM
 )
 INTEL_ARRIA10 = DeviceSpec(
     name="Intel Arria 10 GX 1150 FPGA", device_type="fpga", cores=2,
     bandwidth_gb_s=3.0, frequency_mhz=184.0, pytorch_supported=False,
     mem_efficiency=0.9, flops_per_cycle_per_core=10.0,  # unroll-5 pipeline, 2 CUs
     launch_overhead_us=100.0,
+    memory_gb=2.0,  # dev-kit DDR4: one bitstream's model at a time
 )
 
 #: Table 4 platform registry in the paper's row order.

@@ -60,6 +60,11 @@ class ResilienceConfig:
     retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
     health: HealthConfig = field(default_factory=HealthConfig)
     degrade: Optional[DegradeConfig] = None
+    #: DAG mode only: when a batch at a *skippable* stage (enhance)
+    #: exhausts failover, route its requests around the stage — they
+    #: continue degraded (Fig. 13 no-enhancement arm) instead of being
+    #: shed with ``ShedReason.FAULT``.
+    route_around_stage: bool = True
 
 
 __all__ = [

@@ -45,6 +45,7 @@ from repro.serve.cache import ResultCache
 from repro.serve.dispatch import DispatchController
 from repro.serve.engine import (
     CACHE_HIT_LATENCY_S,
+    SERVE_MODES,
     BatchVerifier,
     ServedRequest,
     ServingEngine,
@@ -62,15 +63,18 @@ from repro.serve.metrics import (
 from repro.serve.queue import AdmissionQueue, QueueStats
 from repro.serve.request import (
     ARRIVAL_PATTERNS,
+    REQUEST_KINDS,
     SLO,
     ScanRequest,
     burst_arrivals,
     epidemic_wave_arrivals,
     make_workload,
     poisson_arrivals,
+    seir_arrivals,
 )
 from repro.serve.scheduler import (
     FLEET_PRESETS,
+    MONOLITHIC_STAGE,
     SCHEDULING_POLICIES,
     STAGES,
     DeviceWorker,
@@ -80,15 +84,17 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
-    "SLO", "ScanRequest", "ARRIVAL_PATTERNS", "make_workload",
-    "poisson_arrivals", "burst_arrivals", "epidemic_wave_arrivals",
+    "SLO", "ScanRequest", "ARRIVAL_PATTERNS", "REQUEST_KINDS",
+    "make_workload", "poisson_arrivals", "burst_arrivals",
+    "epidemic_wave_arrivals", "seir_arrivals",
     "AdmissionQueue", "QueueStats",
     "Batch", "BatchPolicy", "DynamicBatcher",
     "FleetScheduler", "DeviceWorker", "ServiceTimeModel",
-    "SCHEDULING_POLICIES", "STAGES", "FLEET_PRESETS", "fleet_from_spec",
+    "SCHEDULING_POLICIES", "STAGES", "MONOLITHIC_STAGE", "FLEET_PRESETS",
+    "fleet_from_spec",
     "ResultCache",
     "ServingEngine", "ServingReport", "ServedRequest", "TraceEvent",
-    "ShedReason", "CACHE_HIT_LATENCY_S",
+    "ShedReason", "CACHE_HIT_LATENCY_S", "SERVE_MODES",
     "RequestLifecycle", "DispatchController", "BatchVerifier",
     "LatencyStats", "percentile", "summarize", "summarize_trace",
 ]

@@ -5,6 +5,12 @@ Repeat scans of the same patient (identical content key, see
 entirely and are answered from here.  Because the key is a content
 hash, a hit can never change a result — the cached entry was computed
 from byte-identical input — which the test suite pins.
+
+When constructed with a :class:`repro.telemetry.MetricsRegistry`,
+every transition is mirrored into counters
+``serve.cache.result.{hits,misses,evictions}`` and gauges
+``serve.cache.result.{entries,resident_bytes}`` so the serve summary
+and ``repro trace summary`` can report cache behaviour from the spine.
 """
 
 from __future__ import annotations
@@ -12,11 +18,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+RESULT_METRIC_PREFIX = "serve.cache.result."
+
+#: Modelled footprint of one cached diagnosis result (probability,
+#: label, threshold, and the content key — a small serialized record).
+RESULT_ENTRY_BYTES = 512
+
 
 class ResultCache:
     """Bounded LRU map: content key → served result."""
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, registry=None):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
@@ -24,6 +36,18 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.registry = registry
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(RESULT_METRIC_PREFIX + name).inc()
+
+    def _update_gauges(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge(RESULT_METRIC_PREFIX + "entries").set(
+                len(self._entries))
+            self.registry.gauge(RESULT_METRIC_PREFIX + "resident_bytes").set(
+                self.resident_bytes)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -31,13 +55,19 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._entries) * RESULT_ENTRY_BYTES
+
     def get(self, key: str) -> Optional[Any]:
         """Look up; counts a hit/miss and refreshes LRU order."""
         if key in self._entries:
             self.hits += 1
+            self._count("hits")
             self._entries.move_to_end(key)
             return self._entries[key]
         self.misses += 1
+        self._count("misses")
         return None
 
     def put(self, key: str, value: Any) -> None:
@@ -49,6 +79,8 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._count("evictions")
+        self._update_gauges()
 
     @property
     def hit_rate(self) -> float:
@@ -59,5 +91,6 @@ class ResultCache:
         return {
             "hits": self.hits, "misses": self.misses,
             "evictions": self.evictions, "entries": len(self._entries),
+            "resident_bytes": self.resident_bytes,
             "hit_rate": self.hit_rate,
         }

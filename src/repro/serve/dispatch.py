@@ -24,13 +24,22 @@ from typing import Dict, Sequence, Set
 
 from repro.resilience.faults import FAULT_KINDS
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
-from repro.serve.lifecycle import SERVE_SOURCE, RequestLifecycle
+from repro.serve.lifecycle import (
+    ARTIFACT_ENTRY_COUNTER,
+    SERVE_SOURCE,
+    STAGE_DEGRADED_COUNTER,
+    STAGES_SKIPPED_COUNTER,
+    RequestLifecycle,
+)
 from repro.serve.request import ScanRequest
 from repro.serve.scheduler import DeviceWorker, FleetScheduler, ServiceTimeModel
 from repro.telemetry import EventBus, MetricsRegistry
 
 #: Registry name prefix for injected-fault counters (reset per run).
 FAULT_COUNTER_PREFIX = "serve.faults."
+
+#: Per-stage completion counters in DAG mode (reset per run).
+STAGE_DONE_PREFIX = "serve.dag.stage_done."
 
 
 class DispatchController:
@@ -48,6 +57,7 @@ class DispatchController:
         injector=None,
         failover=None,
         health=None,
+        dag=None,
     ):
         self.scheduler = scheduler
         self.service_model = service_model
@@ -59,6 +69,7 @@ class DispatchController:
         self.injector = injector
         self.failover = failover
         self.health = health
+        self.dag = dag  # repro.dag.DagContext in DAG mode, else None
         self.loop = None
         self._backlog: "deque[Batch]" = deque()
         self._batchers: Dict[str, DynamicBatcher] = {}
@@ -72,6 +83,15 @@ class DispatchController:
                           for s in self.stages}
         for kind in FAULT_KINDS:
             self.registry.counter(FAULT_COUNTER_PREFIX + kind).reset()
+        if self.dag is not None:
+            from repro.dag.residency import EVICTION_COUNTER, SWAP_COUNTER
+
+            for name in (SWAP_COUNTER, EVICTION_COUNTER,
+                         STAGES_SKIPPED_COUNTER, ARTIFACT_ENTRY_COUNTER,
+                         STAGE_DEGRADED_COUNTER):
+                self.registry.counter(name).reset()
+            for stage in self.stages:
+                self.registry.counter(STAGE_DONE_PREFIX + stage).reset()
 
     # -- telemetry ------------------------------------------------------
     def emit(self, t: float, kind: str, **payload) -> None:
@@ -108,8 +128,21 @@ class DispatchController:
         # FleetHealth.record_success rides this event (see attach()).
         self.emit(now, "complete", stage=batch.stage, device=worker.spec.name,
                   size=len(batch), batch=batch.batch_id)
+        if self.dag is not None:
+            self.registry.counter(STAGE_DONE_PREFIX + batch.stage).inc()
+            self.emit(now, "stage_complete", stage=batch.stage,
+                      device=worker.spec.name, size=len(batch),
+                      batch=batch.batch_id)
         idx = self.stages.index(batch.stage)
         if idx + 1 < len(self.stages):
+            if self.dag is not None:
+                # Store this stage's artifact for every full-quality
+                # member: a later monitoring re-read enters past it.
+                fn = self.dag.graph.stage(batch.stage)
+                for req in batch.requests:
+                    if req.request_id not in self.lifecycle.degraded_ids:
+                        self.dag.artifacts.put(req.content_key, batch.stage,
+                                               fn.artifact_bytes)
             for req in batch.requests:
                 self.add_to_stage(self.stages[idx + 1], req, now)
         else:
@@ -137,8 +170,28 @@ class DispatchController:
                           attempt=batch.attempt, retry_at=round(retry_at, 6))
                 self.pump_backlog(now)
                 return
+        if self._route_around(batch, now):
+            return
         self.lifecycle.shed_batch_fault(batch, now)
         self.pump_backlog(now)
+
+    def _route_around(self, batch: Batch, now: float) -> bool:
+        """DAG per-stage resilience: a *skippable* stage that exhausted
+        failover degrades its requests (Fig. 13 arm) and forwards them
+        to the next stage instead of shedding the whole pipeline."""
+        if (self.dag is None or not self.dag.route_around_stage
+                or batch.stage not in self.dag.graph.skippable
+                or not batch.requests):
+            return False
+        idx = self.stages.index(batch.stage)
+        if idx + 1 >= len(self.stages):
+            return False
+        self.lifecycle.degrade_batch_around(batch, now)
+        requests, batch.requests = batch.requests, []
+        for req in requests:
+            self.add_to_stage(self.stages[idx + 1], req, now)
+        self.pump_backlog(now)
+        return True
 
     def on_retry(self, batch: Batch, now: float) -> None:
         self.dispatch_or_backlog(batch, now)
@@ -194,6 +247,14 @@ class DispatchController:
             return False
         service = self.service_model.batch_time(worker.spec, batch.stage,
                                                 len(batch))
+        swap_s = 0.0
+        if self.dag is not None:
+            # Clockwork-style charge: swap the stage's weights in if
+            # absent (pre), move activations (input/output), then post.
+            fn = self.dag.graph.stage(batch.stage)
+            swap_s = self.dag.residency.ensure(worker.spec, fn, now)
+            service = (swap_s + fn.transfer_time(len(batch)) + service
+                       + fn.post_s)
         outcome = (self.injector.outcome(worker.spec, batch.batch_id, now,
                                          service, batch.attempt)
                    if self.injector is not None else None)
@@ -201,6 +262,8 @@ class DispatchController:
             self.health.breaker(worker.spec.name).begin_probe()
         detail = dict(stage=batch.stage, device=worker.spec.name,
                       size=len(batch), batch=batch.batch_id)
+        if self.dag is not None:
+            self.emit(now, "stage_start", swap_s=round(swap_s, 6), **detail)
         if outcome is not None and outcome.fails:
             # Doomed launch: the device is busy until the failure fires.
             self.scheduler.dispatch(worker, batch, now,

@@ -63,6 +63,7 @@ from repro.serve.lifecycle import (
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import ScanRequest
 from repro.serve.scheduler import (
+    MONOLITHIC_STAGE,
     STAGES,
     DeviceWorker,
     FleetScheduler,
@@ -72,9 +73,20 @@ from repro.serve.scheduler import (
 from repro.telemetry import EventBus, MetricsRegistry, TelemetryEvent
 
 __all__ = [
-    "CACHE_HIT_LATENCY_S", "ShedReason", "ServedRequest", "TraceEvent",
-    "BatchVerifier", "ServingReport", "ServingEngine",
+    "CACHE_HIT_LATENCY_S", "SERVE_MODES", "ShedReason", "ServedRequest",
+    "TraceEvent", "BatchVerifier", "ServingReport", "ServingEngine",
 ]
+
+#: How the engine decomposes a request onto the fleet:
+#: - ``staged`` — the historical default: per-stage batching over the
+#:   logical stages, no cost model beyond exec time,
+#: - ``monolithic`` — one fused ``pipeline`` pseudo-stage per request
+#:   (the whole enhance+segment+classify on one device) — the baseline
+#:   the DAG benchmark compares against,
+#: - ``dag`` — stage-graph serving: Clockwork-style stage cost records,
+#:   model residency/eviction, intermediate-artifact fast path, and
+#:   per-stage route-around resilience (see :mod:`repro.dag`).
+SERVE_MODES = ("staged", "monolithic", "dag")
 
 
 @dataclass(frozen=True)
@@ -189,6 +201,10 @@ class ServingReport:
     # -- telemetry spine -------------------------------------------------
     events: List[TelemetryEvent] = field(default_factory=list)
     registry: Optional[MetricsRegistry] = None
+    # -- DAG mode (empty on staged/monolithic runs) ----------------------
+    mode: str = "staged"
+    dag_stats: Dict[str, object] = field(default_factory=dict)
+    artifact_stats: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
         from repro.serve.metrics import summarize
@@ -215,18 +231,58 @@ class ServingEngine:
         resilience: Optional[ResilienceConfig] = None,
         telemetry: Optional[EventBus] = None,
         metrics: Optional[MetricsRegistry] = None,
+        mode: str = "staged",
+        artifact_cache_mb: float = 4096.0,
+        stage_graph=None,
     ):
+        if mode not in SERVE_MODES:
+            raise ValueError(f"mode must be one of {SERVE_MODES}")
+        if mode == "monolithic" and not use_enhancement:
+            raise ValueError("monolithic mode fuses the full pipeline; "
+                             "use staged/dag for the no-enhancement arm")
         devices = fleet_from_spec(fleet) if isinstance(fleet, str) else list(fleet)
+        self.mode = mode
         self.telemetry = telemetry if telemetry is not None else EventBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.service_model = service_model or ServiceTimeModel()
+        # Logical pipeline stages (verification, degrade semantics) vs
+        # the stages batches actually move through: monolithic serving
+        # fuses the former into one "pipeline" pseudo-stage.
+        self.stages = STAGES if use_enhancement else STAGES[1:]
+        dispatch_stages = ((MONOLITHIC_STAGE,) if mode == "monolithic"
+                           else self.stages)
+        self.dag = None
+        extra_delay = None
+        if mode == "dag":
+            from repro.dag import (
+                ArtifactCache,
+                DagContext,
+                ModelResidency,
+                covid_stage_graph,
+            )
+
+            graph = stage_graph or covid_stage_graph(
+                self.service_model, devices, use_enhancement=use_enhancement)
+            residency = ModelResidency(devices, bus=self.telemetry,
+                                       registry=self.metrics)
+            artifacts = ArtifactCache(artifact_cache_mb,
+                                      registry=self.metrics)
+            route = (resilience.route_around_stage
+                     if resilience is not None else True)
+            self.dag = DagContext(graph, residency, artifacts,
+                                  route_around_stage=route)
+
+            def extra_delay(worker, batch, _dag=self.dag):
+                fn = _dag.graph.stage(batch.stage)
+                return (_dag.residency.load_penalty(worker.spec, fn)
+                        + fn.transfer_time(len(batch)) + fn.post_s)
         self.scheduler = FleetScheduler(devices, policy=policy,
                                         service_model=self.service_model,
-                                        slots=slots_per_device)
+                                        slots=slots_per_device,
+                                        extra_delay=extra_delay)
         self.batch_policy = batch_policy or BatchPolicy()
         self.queue = AdmissionQueue(queue_capacity, registry=self.metrics)
-        self.cache = ResultCache(cache_capacity)
-        self.stages = STAGES if use_enhancement else STAGES[1:]
+        self.cache = ResultCache(cache_capacity, registry=self.metrics)
         self.verifier = BatchVerifier(self.stages, verify_batches,
                                       framework=framework,
                                       workers=verify_workers,
@@ -243,14 +299,14 @@ class ServingEngine:
         self.degrade_ctl = (DegradationController(resilience.degrade)
                             if resilience and resilience.degrade else None)
         self.lifecycle = RequestLifecycle(
-            self.queue, self.cache, self.stages, self.telemetry,
+            self.queue, self.cache, dispatch_stages, self.telemetry,
             self.metrics, degrade_ctl=self.degrade_ctl,
-            verifier=self.verifier)
+            verifier=self.verifier, dag=self.dag)
         self.dispatcher = DispatchController(
             self.scheduler, self.service_model, self.batch_policy,
-            self.stages, self.telemetry, self.metrics, self.lifecycle,
+            dispatch_stages, self.telemetry, self.metrics, self.lifecycle,
             injector=self.injector, failover=self.failover,
-            health=self.health)
+            health=self.health, dag=self.dag)
         self._loop: Optional[EventLoop] = None
 
     # -- compatibility accessors ----------------------------------------
@@ -291,6 +347,32 @@ class ServingEngine:
                             completed=len(self.lifecycle.completed))
         self.queue.check_conservation()
         events = self.telemetry.since(mark)
+        dag_stats: Dict[str, object] = {}
+        artifact_stats: Dict[str, float] = {}
+        if self.dag is not None:
+            from repro.dag.residency import EVICTION_COUNTER, SWAP_COUNTER
+            from repro.serve.dispatch import STAGE_DONE_PREFIX
+            from repro.serve.lifecycle import (
+                ARTIFACT_ENTRY_COUNTER,
+                STAGE_DEGRADED_COUNTER,
+                STAGES_SKIPPED_COUNTER,
+            )
+
+            counter = lambda name: self.metrics.counter(name).value  # noqa: E731
+            # Zero-count stages omitted (the fault_stats convention), so
+            # the dict matches the trace-side recount key-for-key.
+            stage_done = {s: counter(STAGE_DONE_PREFIX + s)
+                          for s in self.dispatcher.stages
+                          if counter(STAGE_DONE_PREFIX + s)}
+            dag_stats = {
+                "model_swaps": counter(SWAP_COUNTER),
+                "model_evictions": counter(EVICTION_COUNTER),
+                "stages_skipped": counter(STAGES_SKIPPED_COUNTER),
+                "artifact_entries": counter(ARTIFACT_ENTRY_COUNTER),
+                "stage_degraded_requests": counter(STAGE_DEGRADED_COUNTER),
+                "stage_completions": stage_done,
+            }
+            artifact_stats = self.dag.artifacts.stats()
         return ServingReport(
             offered=len(requests),
             completed=self.lifecycle.completed,
@@ -313,6 +395,9 @@ class ServingEngine:
             health_states=self.health.states() if self.health else {},
             events=events,
             registry=self.metrics,
+            mode=self.mode,
+            dag_stats=dag_stats,
+            artifact_stats=artifact_stats,
         )
 
     # -- handlers kept at the root --------------------------------------

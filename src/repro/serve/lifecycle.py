@@ -38,6 +38,14 @@ SERVE_SOURCE = "serve.engine"
 #: Registry histogram holding end-to-end completion latencies.
 LATENCY_HISTOGRAM = "serve.latency_s"
 
+#: Run-scoped DAG counters (bumped here and in dispatch, reset by
+#: ``DispatchController.begin_run``; each increment site also emits the
+#: matching bus event, which is what keeps ``repro trace summary``
+#: bit-identical to the live summary).
+STAGES_SKIPPED_COUNTER = "serve.dag.stages_skipped"
+ARTIFACT_ENTRY_COUNTER = "serve.dag.artifact_entries"
+STAGE_DEGRADED_COUNTER = "serve.dag.stage_degraded"
+
 
 class ShedReason(str, Enum):
     """Why a request left the system without a result."""
@@ -72,6 +80,7 @@ class RequestLifecycle:
         registry: MetricsRegistry,
         degrade_ctl=None,
         verifier=None,
+        dag=None,
     ):
         self.queue = queue
         self.cache = cache
@@ -80,6 +89,7 @@ class RequestLifecycle:
         self.registry = registry
         self.degrade_ctl = degrade_ctl
         self.verifier = verifier
+        self.dag = dag  # repro.dag.DagContext in DAG mode, else None
         self.completed: List[ServedRequest] = []
         self.shed: List[ServedRequest] = []
         self.degraded_ids: Set[int] = set()
@@ -99,23 +109,47 @@ class RequestLifecycle:
         """Admit ``req``; returns its entry stage, or None if it already
         reached a terminal state (cache hit or queue-full shed)."""
         self.emit(now, "arrival", request=req.request_id, key=req.content_key)
-        hit = self.cache.get(req.content_key)
-        if hit is not None:
-            self._complete(req, now, completed_s=now + CACHE_HIT_LATENCY_S,
-                           latency_s=CACHE_HIT_LATENCY_S, from_cache=True,
-                           result=hit if hit is not True else None)
-            self.emit(now, "cache_hit", request=req.request_id)
-            return None
+        if not req.is_monitoring:
+            # Monitoring re-reads want a *fresh* classification, so they
+            # bypass the result cache (the DAG artifact fast path below
+            # still spares them the enhance/segment work).
+            hit = self.cache.get(req.content_key)
+            if hit is not None:
+                self._complete(req, now, completed_s=now + CACHE_HIT_LATENCY_S,
+                               latency_s=CACHE_HIT_LATENCY_S, from_cache=True,
+                               result=hit if hit is not True else None)
+                self.emit(now, "cache_hit", request=req.request_id)
+                return None
         if not self.queue.offer(req, now):
             self._shed(req, ShedReason.QUEUE_FULL, now)
             return None
         self.evaluate_degrade(now)
+        entry = self._artifact_entry(req, now)
+        if entry is not None:
+            return entry
         entry_stage = self.stages[0]
         if (self.degrade_ctl is not None and self.degrade_ctl.active
                 and entry_stage == "enhance" and len(self.stages) > 1):
             entry_stage = self.stages[1]
             self.degraded_ids.add(req.request_id)
         return entry_stage
+
+    def _artifact_entry(self, req: ScanRequest, now: float) -> Optional[str]:
+        """DAG fast path: enter at the deepest stage whose predecessor
+        artifact is cached (emits ``stage_skip``), else None."""
+        if self.dag is None or len(self.stages) < 2:
+            return None
+        candidates = list(self.stages[:-1])[::-1]  # deepest first
+        found = self.dag.artifacts.deepest(req.content_key, candidates)
+        if found is None:
+            return None
+        idx = self.stages.index(found)
+        skipped = list(self.stages[:idx + 1])
+        self.registry.counter(STAGES_SKIPPED_COUNTER).inc(len(skipped))
+        self.registry.counter(ARTIFACT_ENTRY_COUNTER).inc()
+        self.emit(now, "stage_skip", request=req.request_id,
+                  entry=self.stages[idx + 1], skipped=skipped)
+        return self.stages[idx + 1]
 
     # -- degradation ----------------------------------------------------
     def evaluate_degrade(self, now: float) -> None:
@@ -127,6 +161,17 @@ class RequestLifecycle:
             self.emit(now, "degrade", active=after,
                       queue_depth=self.queue.occupancy,
                       p95_s=round(self.degrade_ctl.p95_s(), 4))
+
+    def degrade_batch_around(self, batch: Batch, now: float) -> None:
+        """Tag a batch's requests as degraded because their (skippable)
+        stage was routed around after exhausting failover — the DAG
+        per-stage resilience path.  Emits one ``stage_degraded`` event
+        (the trace-side count of routed requests)."""
+        ids = [r.request_id for r in batch.requests]
+        self.degraded_ids.update(ids)
+        self.registry.counter(STAGE_DEGRADED_COUNTER).inc(len(ids))
+        self.emit(now, "stage_degraded", stage=batch.stage,
+                  batch=batch.batch_id, size=len(ids), requests=ids)
 
     # -- terminal states ------------------------------------------------
     def _complete(self, req: ScanRequest, now: float, completed_s: float,
@@ -140,12 +185,14 @@ class RequestLifecycle:
         self.emit(now, "request_done", request=req.request_id,
                   latency_s=latency_s, from_cache=from_cache,
                   degraded=degraded, deadline_s=req.slo.deadline_s)
+        req.release_volume()  # terminal: bound resident memory
 
     def _shed(self, req: ScanRequest, reason: ShedReason, now: float) -> None:
         """Record the shed (queue-ledger counts are bumped by callers
         via the queue's own ``time_out``/``fault`` transitions)."""
         self.shed.append(ServedRequest(req, shed_reason=reason))
         self.emit(now, "shed", request=req.request_id, reason=reason.value)
+        req.release_volume()  # terminal: bound resident memory
 
     def shed_expired(self, batch: Batch, now: float) -> Batch:
         """Drop batch members that out-waited their queue timeout."""

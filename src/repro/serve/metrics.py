@@ -99,6 +99,8 @@ def summarize(report) -> Dict[str, object]:
         "queue_max_depth": report.queue_max_depth,
         "cache_hit_rate": round(report.cache_stats["hit_rate"], 4),
         "cache_hits": report.cache_stats["hits"],
+        "cache_evictions": report.cache_stats.get("evictions", 0),
+        "cache_resident_bytes": report.cache_stats.get("resident_bytes", 0),
         "device_utilization": {k: round(v, 4)
                                for k, v in report.utilization.items()},
         "device_batches": {w.spec.name: w.batches_done for w in report.workers},
@@ -115,7 +117,13 @@ def summarize(report) -> Dict[str, object]:
         "breaker_states": dict(report.health_states),
         "verified_batches": report.verified_batches,
         "policy": report.policy,
+        "mode": getattr(report, "mode", "staged"),
     })
+    if getattr(report, "dag_stats", None):
+        # Run-scoped DAG counters; each has a co-located bus event, so
+        # summarize_trace recounts the same numbers from events alone.
+        out.update(report.dag_stats)
+        out["artifact_cache"] = dict(report.artifact_stats)
     return out
 
 
@@ -139,9 +147,26 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
     makespan = 0.0
     shed_by_reason = {"queue_full": 0, "timeout": 0, "fault": 0}
     fault_events: Dict[str, int] = {}
+    stage_completions: Dict[str, int] = {}
+    model_swaps = 0
+    model_evictions = 0
+    stages_skipped = 0
+    artifact_entries = 0
+    stage_degraded = 0
     for e in events:
         if e.kind == "arrival":
             requests += 1
+        elif e.kind == "stage_complete":
+            stage = e.payload["stage"]
+            stage_completions[stage] = stage_completions.get(stage, 0) + 1
+        elif e.kind == "model_swap":
+            model_swaps += 1
+            model_evictions += len(e.payload.get("evicted", []))
+        elif e.kind == "stage_skip":
+            artifact_entries += 1
+            stages_skipped += len(e.payload["skipped"])
+        elif e.kind == "stage_degraded":
+            stage_degraded += int(e.payload["size"])
         elif e.kind == "request_done":
             latency = float(e.payload["latency_s"])
             latencies.append(latency)
@@ -175,4 +200,15 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
         "fault_events": fault_events,
         "degraded_completed": degraded,
     })
+    if stage_completions or model_swaps or artifact_entries or stage_degraded:
+        # DAG-mode traces: recount the run-scoped DAG counters from
+        # their co-located events — bit-identical to the live summary.
+        out.update({
+            "model_swaps": model_swaps,
+            "model_evictions": model_evictions,
+            "stages_skipped": stages_skipped,
+            "artifact_entries": artifact_entries,
+            "stage_degraded_requests": stage_degraded,
+            "stage_completions": stage_completions,
+        })
     return out

@@ -13,18 +13,30 @@ Arrival processes
 - :func:`epidemic_wave_arrivals` — inter-arrival intensity proportional
   to the Fig. 2 multi-variant SEIR case curve
   (:func:`repro.epi.uk_delta_wave_scenario`), i.e. scan traffic that
-  tracks an epidemic wave compressed into the simulated horizon.
+  tracks an epidemic wave compressed into the simulated horizon,
+- :func:`seir_arrivals` — the ``epi`` pattern: the same SEIR-driven
+  intensity, but each arrival also carries the *cumulative* share of
+  the wave already diagnosed, which ``make_workload`` uses to ramp the
+  probability that a request is a **monitoring** re-read of a known
+  patient (``kind="monitoring"``) — early-wave traffic is diagnosis,
+  the tail is follow-up monitoring.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-ARRIVAL_PATTERNS = ("poisson", "burst", "wave")
+ARRIVAL_PATTERNS = ("poisson", "burst", "wave", "epi")
+
+#: What a request asks for: a first diagnosis, or a monitoring re-read
+#: of an already-diagnosed patient (same scan content; monitoring skips
+#: the result cache because the clinician wants a fresh classification,
+#: but can reuse intermediate artifacts in DAG mode).
+REQUEST_KINDS = ("diagnosis", "monitoring")
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,15 @@ class ScanRequest:
     slices: int = 16
     covid: bool = False
     slo: SLO = field(default_factory=SLO)
+    kind: str = "diagnosis"
+
+    def __post_init__(self):
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(f"kind must be one of {REQUEST_KINDS}")
+
+    @property
+    def is_monitoring(self) -> bool:
+        return self.kind == "monitoring"
 
     @property
     def content_key(self) -> str:
@@ -86,6 +107,18 @@ class ScanRequest:
             # Frozen dataclass: stash the cache outside the field set.
             object.__setattr__(self, "_volume", cached)
         return cached
+
+    def release_volume(self) -> None:
+        """Drop the memoized volume (terminal-state memory bound).
+
+        The serving lifecycle calls this when the request completes or
+        is shed, so long wave workloads don't accumulate one resident
+        volume per verified request.  Safe to call at any time: the
+        volume is a pure function of the descriptor, so a later
+        :meth:`materialize` simply re-synthesizes it.
+        """
+        if getattr(self, "_volume", None) is not None:
+            object.__setattr__(self, "_volume", None)
 
 
 # ---------------------------------------------------------------------------
@@ -156,6 +189,40 @@ def epidemic_wave_arrivals(
     return day_positions / days * horizon
 
 
+def seir_arrivals(
+    n: int,
+    rate_per_s: float,
+    rng: np.random.Generator,
+    days: int = 240,
+    horizon_s: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``epi`` arrival process: SEIR-driven times plus wave phase.
+
+    Arrival times follow the same inverse-CDF construction as
+    :func:`epidemic_wave_arrivals` (intensity ∝ the Fig. 2 case curve),
+    but each arrival additionally carries ``F(t)`` — the *cumulative*
+    share of the wave's cases that have already occurred by its arrival
+    time.  ``make_workload`` uses that phase to ramp the monitoring
+    probability: follow-up re-reads are proportional to the pool of
+    already-diagnosed patients, so they concentrate in the wave's tail.
+
+    Returns ``(times, phase)`` with ``phase`` in [0, 1], both length
+    ``n``.
+    """
+    _validate_arrival_args(n, rate_per_s)
+    from repro.epi import uk_delta_wave_scenario
+
+    cases = uk_delta_wave_scenario().run(days)["cases_per_million"]
+    density = np.maximum(cases, 0.0) + 1e-9
+    cdf = np.cumsum(density)
+    cdf /= cdf[-1]
+    horizon = horizon_s if horizon_s is not None else n / rate_per_s
+    u = np.sort(rng.random(n))  # u IS the cumulative wave phase F(t)
+    day_positions = np.interp(u, np.concatenate([[0.0], cdf]),
+                              np.arange(days + 1, dtype=float))
+    return day_positions / days * horizon, u
+
+
 def make_workload(
     n: int,
     rate_per_s: float = 4.0,
@@ -166,25 +233,51 @@ def make_workload(
     slices: int = 16,
     covid_prevalence: float = 0.4,
     slo: Optional[SLO] = None,
+    monitor_fraction: float = 0.0,
 ) -> List[ScanRequest]:
     """Generate a request stream for the serving engine.
 
     ``dup_fraction`` of requests re-submit a previously seen scan
     (follow-up reads of the same patient), which is what exercises the
-    content-hash result cache.
+    content-hash result cache.  ``monitor_fraction`` of requests are
+    **monitoring** re-reads (``kind="monitoring"``) of a previously
+    seen patient: same scan content, but they bypass the result cache
+    (the DAG's intermediate-artifact fast path serves them instead).
+    Under the ``epi`` pattern the monitoring probability ramps with the
+    wave phase from :func:`seir_arrivals`; elsewhere it is flat.  The
+    random stream is untouched when ``monitor_fraction`` is 0, so
+    existing seeded workloads are bit-identical to before.
     """
     if pattern not in ARRIVAL_PATTERNS:
         raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
+    if not 0.0 <= monitor_fraction <= 1.0:
+        raise ValueError("monitor_fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
-    arrivals = {
-        "poisson": poisson_arrivals,
-        "burst": burst_arrivals,
-        "wave": epidemic_wave_arrivals,
-    }[pattern](n, rate_per_s, rng)
+    phase = None
+    if pattern == "epi":
+        arrivals, phase = seir_arrivals(n, rate_per_s, rng)
+    else:
+        arrivals = {
+            "poisson": poisson_arrivals,
+            "burst": burst_arrivals,
+            "wave": epidemic_wave_arrivals,
+        }[pattern](n, rate_per_s, rng)
     slo = slo or SLO()
     requests: List[ScanRequest] = []
     for i, t in enumerate(arrivals):
-        if requests and rng.random() < dup_fraction:
+        kind = "diagnosis"
+        if monitor_fraction and requests:
+            # Monitoring load ∝ already-diagnosed pool: ramp with the
+            # wave phase under ``epi`` (mean ≈ monitor_fraction since
+            # E[2·F] = 1), flat elsewhere.
+            p_mon = (min(1.0, 2.0 * monitor_fraction * float(phase[i]))
+                     if phase is not None else monitor_fraction)
+            if rng.random() < p_mon:
+                kind = "monitoring"
+        if kind == "monitoring":
+            ref = requests[int(rng.integers(len(requests)))]
+            scan_seed, covid = ref.seed, ref.covid
+        elif requests and rng.random() < dup_fraction:
             ref = requests[int(rng.integers(len(requests)))]
             scan_seed, covid = ref.seed, ref.covid
         else:
@@ -192,6 +285,6 @@ def make_workload(
             covid = bool(rng.random() < covid_prevalence)
         requests.append(ScanRequest(
             request_id=i, arrival_s=float(t), seed=scan_seed,
-            size=size, slices=slices, covid=covid, slo=slo,
+            size=size, slices=slices, covid=covid, slo=slo, kind=kind,
         ))
     return requests

@@ -31,6 +31,10 @@ SCHEDULING_POLICIES = ("round-robin", "least-loaded", "perf-aware")
 #: Pipeline stages in Fig. 4 order.
 STAGES = ("enhance", "segment", "classify")
 
+#: The fused pseudo-stage of monolithic serving (``mode="monolithic"``):
+#: one batch runs enhance+segment+classify back-to-back on one device.
+MONOLITHIC_STAGE = "pipeline"
+
 #: Named fleets for the CLI / benchmarks.
 FLEET_PRESETS: Dict[str, Sequence[str]] = {
     "all": tuple(DEVICES),
@@ -105,9 +109,16 @@ class ServiceTimeModel:
         )
 
     def batch_time(self, device: DeviceSpec, stage: str, batch_size: int) -> float:
-        """Service time for ``batch_size`` scans of ``stage`` on ``device``."""
-        if stage not in STAGES:
-            raise ValueError(f"unknown stage {stage!r}; have {STAGES}")
+        """Service time for ``batch_size`` scans of ``stage`` on ``device``.
+
+        ``stage`` may also be :data:`MONOLITHIC_STAGE` (``"pipeline"``):
+        the fused whole-pipeline time, i.e. the sum of the three stage
+        times on the same device — the monolithic-serving baseline the
+        DAG benchmark compares against.
+        """
+        if stage not in STAGES and stage != MONOLITHIC_STAGE:
+            raise ValueError(f"unknown stage {stage!r}; have "
+                             f"{STAGES + (MONOLITHIC_STAGE,)}")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         key = (device.name, stage, batch_size)
@@ -116,6 +127,8 @@ class ServiceTimeModel:
         return self._cache[key]
 
     def _compute(self, device: DeviceSpec, stage: str, batch_size: int) -> float:
+        if stage == MONOLITHIC_STAGE:
+            return sum(self.batch_time(device, s, batch_size) for s in STAGES)
         if stage == "segment":
             voxels = batch_size * self.slices_per_scan * self.input_size**2
             return (voxels * self.SEGMENT_PASS_BYTES / device.sustained_bandwidth
@@ -195,6 +208,7 @@ class FleetScheduler:
         service_model: Optional[ServiceTimeModel] = None,
         slots: int = 1,
         lookahead: float = 2.0,
+        extra_delay=None,
     ):
         if not fleet:
             raise ValueError("fleet must not be empty")
@@ -206,6 +220,11 @@ class FleetScheduler:
         self.policy = policy
         self.service_model = service_model or ServiceTimeModel()
         self.lookahead = lookahead
+        #: Optional ``(worker, batch) -> seconds`` hook folded into the
+        #: perf-aware completion estimate.  DAG mode passes the model
+        #: residency swap penalty + activation transfer + post cost, so
+        #: placement prefers devices that already hold a stage's weights.
+        self.extra_delay = extra_delay
         self._rr_index = 0
 
     def pick(self, batch: Batch, now: float,
@@ -242,8 +261,11 @@ class FleetScheduler:
         # everything onto the single fastest device; pure free-only
         # ETA would feed the FPGA whenever the GPUs are briefly busy.
         def delay(w: DeviceWorker) -> float:
-            return max(0.0, w.free_at - now) + self.service_model.batch_time(
+            d = max(0.0, w.free_at - now) + self.service_model.batch_time(
                 w.spec, batch.stage, len(batch))
+            if self.extra_delay is not None:
+                d += self.extra_delay(w, batch)
+            return d
         best = min(eligible, key=lambda w: (delay(w), w.spec.name))
         cand = min(free, key=lambda w: (delay(w), w.spec.name))
         return cand if delay(cand) <= self.lookahead * delay(best) else None

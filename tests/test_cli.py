@@ -79,6 +79,42 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["serve", "--policy", "fifo"])
 
+    def test_serve_dag_mode(self, capsys):
+        assert main(["serve", "--dag", "--requests", "40", "--rate", "10",
+                     "--monitor-fraction", "0.3", "--dup-fraction", "0.2",
+                     "--queue-capacity", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts" in out and "model swaps" in out
+        assert "stage batches" in out
+
+    def test_serve_epi_arrivals(self, capsys):
+        assert main(["serve", "--arrivals", "epi", "--requests", "30",
+                     "--rate", "8", "--queue-capacity", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "epi arrivals" in out
+
+    def test_serve_dag_trace_round_trip(self, tmp_path, capsys):
+        """DAG-mode stage events replay through `repro trace summary`."""
+        import json
+
+        trace_file = str(tmp_path / "dag.jsonl")
+        live_json = str(tmp_path / "live.json")
+        replay_json = str(tmp_path / "replay.json")
+        assert main(["serve", "--mode", "dag", "--requests", "40",
+                     "--rate", "10", "--seed", "3", "--dup-fraction", "0.3",
+                     "--queue-capacity", "1000", "--json", live_json,
+                     "--trace-out", trace_file]) == 0
+        assert main(["trace", "summary", trace_file,
+                     "--json", replay_json]) == 0
+        assert "stage batches" in capsys.readouterr().out
+        with open(live_json) as fh:
+            live = json.load(fh)
+        with open(replay_json) as fh:
+            replay = json.load(fh)
+        for key in ("model_swaps", "model_evictions", "stages_skipped",
+                    "artifact_entries", "stage_completions"):
+            assert replay[key] == live[key], key
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
