@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Multi-region pandemic serving harness (standalone, not a pytest bench).
+
+Drives a full epidemic wave — three regions with phase-shifted SEIR
+onsets, millions of simulated users — through the ``repro.fleet``
+multi-region serving stack on one discrete-event loop, and writes
+``BENCH_pandemic.json`` at the repo root.  Arms: isolated vs
+capacity-aware spillover, fixed-undersized vs telemetry-autoscaled vs
+statically peak-provisioned, a scripted regional outage, and the
+capacity-planning table (devices per region per SLO target per wave
+shape).  Exits nonzero when any gate fails: spillover not beating
+isolation, the autoscaler failing to restore SLO attainment,
+autoscaling not cheaper than static peak provisioning, the trace
+round-trip drifting, or determinism broken.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pandemic.py [--quick]
+        [--out PATH] [--seed N]
+
+Also exposed as ``repro bench pandemic``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_pandemic.json")
+
+
+def main(argv=None) -> int:
+    from repro.benchrunner import finish_bench, make_bench_parser
+
+    parser = make_bench_parser(__doc__.splitlines()[0], DEFAULT_OUT,
+                               seed=True)
+    args = parser.parse_args(argv)
+
+    from repro.fleet.bench import format_pandemic_summary, run_pandemic_bench
+
+    payload = run_pandemic_bench(quick=args.quick, seed=args.seed)
+    return finish_bench(
+        payload, args.out, format_pandemic_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: a pandemic-fleet claim is not met")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,6 @@ Also exposed as ``repro bench dag``.
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
@@ -30,25 +29,17 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_dag.json")
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="smaller parity workload for CI smoke runs")
-    parser.add_argument("--out", default=DEFAULT_OUT,
-                        help="output JSON path (default: repo-root BENCH_dag.json)")
+    from repro.benchrunner import finish_bench, make_bench_parser
+
+    parser = make_bench_parser(__doc__.splitlines()[0], DEFAULT_OUT)
     args = parser.parse_args(argv)
 
     from repro.dag.bench import format_dag_summary, run_dag_bench
-    from repro.parallel import write_bench_json
 
     payload = run_dag_bench(quick=args.quick)
-    write_bench_json(args.out, payload)
-    print(format_dag_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["gates_ok"]:
-        print("GATE FAILURE: parity broken or DAG claims not met",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_dag_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: parity broken or DAG claims not met")
 
 
 if __name__ == "__main__":

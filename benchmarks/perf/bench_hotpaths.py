@@ -19,7 +19,6 @@ Also exposed as ``repro bench hotpaths``.
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
@@ -30,34 +29,23 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small problem sizes for CI smoke runs")
-    parser.add_argument("--out", default=DEFAULT_OUT,
-                        help="output JSON path (default: repo-root BENCH_hotpaths.json)")
+    from repro.benchrunner import finish_bench, make_bench_parser
+
+    parser = make_bench_parser(__doc__.splitlines()[0], DEFAULT_OUT)
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per configuration (default: 3, quick: 2)")
     parser.add_argument("--workers", default="1,2,4",
                         help="comma-separated worker counts to sweep")
     args = parser.parse_args(argv)
 
-    from repro.parallel import (
-        format_bench_summary,
-        run_hotpath_bench,
-        write_bench_json,
-    )
+    from repro.parallel import format_bench_summary, run_hotpath_bench
 
     workers = tuple(int(w) for w in args.workers.split(","))
     payload = run_hotpath_bench(quick=args.quick, workers=workers,
                                 repeats=args.repeats)
-    write_bench_json(args.out, payload)
-    print(format_bench_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["parity_ok"]:
-        print("PARITY FAILURE: parallel results diverge from serial",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_bench_summary,
+        failure_msg="PARITY FAILURE: parallel results diverge from serial")
 
 
 if __name__ == "__main__":

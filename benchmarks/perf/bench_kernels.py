@@ -19,7 +19,6 @@ Also exposed as ``repro bench kernels``.
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
@@ -30,11 +29,9 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernels.json")
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small workload for CI smoke runs")
-    parser.add_argument("--out", default=DEFAULT_OUT,
-                        help="output JSON path (default: repo-root BENCH_kernels.json)")
+    from repro.benchrunner import finish_bench, make_bench_parser
+
+    parser = make_bench_parser(__doc__.splitlines()[0], DEFAULT_OUT)
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per op (default: 3, quick: 2)")
     parser.add_argument("--size", type=int, default=None,
@@ -44,19 +41,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
-    from repro.parallel import write_bench_json
 
     payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
                                size=args.size,
                                with_calibration=not args.no_calibration)
-    write_bench_json(args.out, payload)
-    print(format_kernel_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["parity_ok"]:
-        print("PARITY FAILURE: a backend diverges from reference",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_kernel_summary,
+        failure_msg="PARITY FAILURE: a backend diverges from reference")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,9 @@ code:
   and ``--trace-out`` exports the run's telemetry events as JSONL,
 - ``trace``     — work with exported traces: ``trace summary FILE``
   recomputes the serving summary (bit-identical latency percentiles,
-  throughput, shed counts) from the events alone,
+  throughput, shed counts) from the events alone; multi-region fleet
+  traces are detected automatically and render per-region blocks plus
+  the fleet block (spillover, scaling, cost),
 - ``bench``     — performance harnesses: ``bench hotpaths`` times the
   ``repro.parallel`` hot paths (dataset simulation, batch scoring,
   float32 inference) and writes ``BENCH_hotpaths.json``;
@@ -25,7 +27,10 @@ code:
   re-proves reference/opt bit parity, and writes ``BENCH_kernels.json``;
   ``bench dag`` runs the monolithic-vs-stage-pipelined serving
   comparison (cold and warm monitoring caches, cross-mode functional
-  parity) and writes ``BENCH_dag.json``.
+  parity) and writes ``BENCH_dag.json``; ``bench pandemic`` drives a
+  full epidemic wave through a 3-region fleet (isolated vs spillover,
+  static vs autoscaled, capacity-planning table) and writes
+  ``BENCH_pandemic.json``.
 
 ``diagnose --backend opt`` runs the whole pipeline on the optimized
 kernel backend; ``serve --calibrated`` microbenchmarks this host first
@@ -247,8 +252,34 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _print_fleet_trace(events) -> dict:
+    from repro.serve.metrics import summarize_fleet_trace
+
+    summary = summarize_fleet_trace(events)
+    fleet = summary["fleet"]
+    print(f"{len(events)} events across {len(summary['regions'])} regions "
+          f"({', '.join(fleet['regions'])}); makespan "
+          f"{fleet['makespan_s']:.2f} s")
+    for name, region in summary["regions"].items():
+        print(f"  {name:10s}: {region['completed']}/{region['requests']} "
+              f"completed, p99 {region['latency_p99_s']:.3f} s, "
+              f"{region['slo_violations']} SLO violations, "
+              f"shed {region['shed_queue_full']}+{region['shed_timeout']}"
+              f"+{region['shed_fault']} (queue/timeout/fault)")
+    print(f"  spillover : {fleet['spillover']} requests, "
+          f"{fleet['wan_bytes']} WAN bytes "
+          f"({fleet['artifact_replication_bytes']} artifact replication)")
+    print(f"  scaling   : {fleet['devices_provisioned']} provisioned, "
+          f"{fleet['devices_decommissioned']} decommissioned; peak "
+          + ", ".join(f"{k}={v}" for k, v in fleet["peak_devices"].items()))
+    print(f"  cost      : ${fleet['cost_total_usd']:.4f} total ("
+          + ", ".join(f"{k}=${v:.4f}" for k, v in fleet["cost_usd"].items())
+          + ")")
+    return summary
+
+
 def _cmd_trace(args) -> int:
-    from repro.serve.metrics import summarize_trace
+    from repro.serve.metrics import is_fleet_trace, summarize_trace
     from repro.telemetry import load_jsonl
 
     try:
@@ -256,6 +287,15 @@ def _cmd_trace(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if is_fleet_trace(events):
+        summary = _print_fleet_trace(events)
+        if args.json:
+            import json
+
+            with open(args.json, "w") as fh:
+                json.dump(summary, fh, indent=2)
+            print(f"wrote JSON summary to {args.json}")
+        return 0
     summary = summarize_trace(events)
     print(f"{len(events)} events: {summary['completed']}/"
           f"{summary['requests']} requests completed")
@@ -291,11 +331,8 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_bench_hotpaths(args) -> int:
-    from repro.parallel import (
-        format_bench_summary,
-        run_hotpath_bench,
-        write_bench_json,
-    )
+    from repro.benchrunner import finish_bench
+    from repro.parallel import format_bench_summary, run_hotpath_bench
 
     try:
         workers = tuple(int(w) for w in args.workers.split(","))
@@ -305,46 +342,41 @@ def _cmd_bench_hotpaths(args) -> int:
         return 2
     payload = run_hotpath_bench(quick=args.quick, workers=workers,
                                 repeats=args.repeats)
-    write_bench_json(args.out, payload)
-    print(format_bench_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["parity_ok"]:
-        print("PARITY FAILURE: parallel results diverge from serial",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_bench_summary,
+        failure_msg="PARITY FAILURE: parallel results diverge from serial")
 
 
 def _cmd_bench_kernels(args) -> int:
     from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
-    from repro.parallel import write_bench_json
+    from repro.benchrunner import finish_bench
 
     payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
                                size=args.size,
                                with_calibration=not args.no_calibration)
-    write_bench_json(args.out, payload)
-    print(format_kernel_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["parity_ok"]:
-        print("PARITY FAILURE: a backend diverges from reference",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_kernel_summary,
+        failure_msg="PARITY FAILURE: a backend diverges from reference")
 
 
 def _cmd_bench_dag(args) -> int:
+    from repro.benchrunner import finish_bench
     from repro.dag.bench import format_dag_summary, run_dag_bench
-    from repro.parallel import write_bench_json
 
     payload = run_dag_bench(quick=args.quick)
-    write_bench_json(args.out, payload)
-    print(format_dag_summary(payload))
-    print(f"wrote {args.out}")
-    if not payload["gates_ok"]:
-        print("GATE FAILURE: parity broken or DAG claims not met",
-              file=sys.stderr)
-        return 1
-    return 0
+    return finish_bench(
+        payload, args.out, format_dag_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: parity broken or DAG claims not met")
+
+
+def _cmd_bench_pandemic(args) -> int:
+    from repro.benchrunner import finish_bench
+    from repro.fleet.bench import format_pandemic_summary, run_pandemic_bench
+
+    payload = run_pandemic_bench(quick=args.quick, seed=args.seed)
+    return finish_bench(
+        payload, args.out, format_pandemic_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: a pandemic-fleet claim is not met")
 
 
 def _cmd_inventory(args) -> int:
@@ -463,15 +495,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--json", help="also write the summary to this JSON file")
     ps.set_defaults(func=_cmd_trace)
 
+    from repro.benchrunner import add_bench_arguments
+
     p = sub.add_parser("bench", help="performance harnesses")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     pb = bench_sub.add_parser(
         "hotpaths", help="time the repro.parallel hot paths and write "
                          "BENCH_hotpaths.json")
-    pb.add_argument("--quick", action="store_true",
-                    help="small problem sizes for CI smoke runs")
-    pb.add_argument("--out", default="BENCH_hotpaths.json",
-                    help="output JSON path")
+    add_bench_arguments(pb, "BENCH_hotpaths.json",
+                        quick_help="small problem sizes for CI smoke runs")
     pb.add_argument("--repeats", type=int, default=None,
                     help="timing repeats per configuration (default: 3, quick: 2)")
     pb.add_argument("--workers", default="1,2,4",
@@ -480,10 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     pk = bench_sub.add_parser(
         "kernels", help="time every registered kernel op on every backend, "
                         "check bit parity, and write BENCH_kernels.json")
-    pk.add_argument("--quick", action="store_true",
-                    help="small workload for CI smoke runs")
-    pk.add_argument("--out", default="BENCH_kernels.json",
-                    help="output JSON path")
+    add_bench_arguments(pk, "BENCH_kernels.json")
     pk.add_argument("--repeats", type=int, default=None,
                     help="timing repeats per op (default: 3, quick: 2)")
     pk.add_argument("--size", type=int, default=None,
@@ -495,11 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
         "dag", help="monolithic vs stage-pipelined serving (cold/warm "
                     "monitoring cache), check cross-mode functional "
                     "parity, and write BENCH_dag.json")
-    pd.add_argument("--quick", action="store_true",
-                    help="smaller parity workload for CI smoke runs")
-    pd.add_argument("--out", default="BENCH_dag.json",
-                    help="output JSON path")
+    add_bench_arguments(pd, "BENCH_dag.json",
+                        quick_help="smaller parity workload for CI smoke runs")
     pd.set_defaults(func=_cmd_bench_dag)
+    pp = bench_sub.add_parser(
+        "pandemic", help="full epidemic wave over a 3-region fleet: "
+                         "isolated vs spillover, static vs autoscaled, "
+                         "capacity table; writes BENCH_pandemic.json")
+    add_bench_arguments(pp, "BENCH_pandemic.json", seed=True,
+                        quick_help="smaller waves for CI smoke runs")
+    pp.set_defaults(func=_cmd_bench_pandemic)
     return parser
 
 

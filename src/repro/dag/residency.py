@@ -50,6 +50,17 @@ class ModelResidency:
         if self.registry is not None:
             self.registry.counter(name).inc(n)
 
+    def add_device(self, spec: DeviceSpec) -> None:
+        """Track a device provisioned mid-run (fleet autoscaling).
+
+        It starts with nothing resident, so its first dispatch of every
+        stage pays the full swap-in cost — the autoscaler's warm-up.
+        """
+        if spec.name in self.capacity:
+            raise ValueError(f"device {spec.name!r} already tracked")
+        self.capacity[spec.name] = spec.memory_gb
+        self.resident[spec.name] = OrderedDict()
+
     def used_gb(self, device_name: str) -> float:
         return sum(self.resident[device_name].values())
 

@@ -4,7 +4,9 @@ from repro.epi.model import (
     SEIRParams,
     VariantSEIRModel,
     VariantSpec,
+    regional_wave_scenario,
     uk_delta_wave_scenario,
 )
 
-__all__ = ["SEIRParams", "VariantSpec", "VariantSEIRModel", "uk_delta_wave_scenario"]
+__all__ = ["SEIRParams", "VariantSpec", "VariantSEIRModel",
+           "uk_delta_wave_scenario", "regional_wave_scenario"]

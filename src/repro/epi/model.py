@@ -153,3 +153,37 @@ def uk_delta_wave_scenario(days: int = 240) -> VariantSEIRModel:
         vaccination_cap=0.5,
         initial_immune_fraction=0.2,
     )
+
+
+def regional_wave_scenario(
+    r0: float = 5.5,
+    onset_day: int = 0,
+    population: float = 10e6,
+    contact: float = 0.35,
+    days: int = 180,
+) -> VariantSEIRModel:
+    """One region's epidemic wave for the multi-region fleet simulator.
+
+    A single-variant SEIR wave whose onset is phase-shifted by
+    ``onset_day`` (the pandemic reaching region B weeks after region A)
+    and whose growth rate scales with the region's ``r0`` under a flat
+    contact multiplier.  Higher ``r0`` ⇒ earlier, sharper peak; later
+    ``onset_day`` ⇒ the whole wave shifts right.  Deterministic, like
+    every scenario here, so region traffic is seed-stable.
+
+    ``days`` is carried on the model (``model.days``) as the natural
+    horizon for :func:`VariantSEIRModel.run`.
+    """
+    if r0 <= 0:
+        raise ValueError("r0 must be positive")
+    if onset_day < 0 or onset_day >= days:
+        raise ValueError("onset_day must lie within the horizon")
+    model = VariantSEIRModel(
+        variants=[VariantSpec("Wave", r0=r0, seed_fraction=2e-5,
+                              seed_day=onset_day)],
+        population=population,
+        contact_schedule=lambda day: contact,
+        initial_immune_fraction=0.05,
+    )
+    model.days = days
+    return model

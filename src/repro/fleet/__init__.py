@@ -1,0 +1,49 @@
+"""Multi-region pandemic serving (ROADMAP: scale beyond one fleet).
+
+The paper serves one hospital's scanners from one device fleet; a
+pandemic is not so polite.  This package operates N *regional* fleets
+— each with its own devices, admission queue, scheduler, and SEIR
+epidemic phase-shifted against its neighbours — on one deterministic
+discrete-event loop and one telemetry spine:
+
+- :mod:`~repro.fleet.region` — regional serving stacks plus the
+  :class:`RegionLoop` / :class:`RegionBus` adapters that let N engines
+  share one loop and one bus,
+- :mod:`~repro.fleet.router` — capacity-aware spillover: requests stay
+  local while the home region's queue/p99 are healthy, and otherwise
+  pay a WAN transfer to the healthiest remote region,
+- :mod:`~repro.fleet.autoscale` — telemetry-driven per-region device
+  scaling with provisioning lag, warm-up, scale-down hysteresis, and
+  device-hour cost accounting,
+- :mod:`~repro.fleet.engine` — the composition root
+  (:class:`FleetEngine`) and :class:`FleetReport`,
+- :mod:`~repro.fleet.bench` — ``repro bench pandemic``: a full wave
+  over a 3-region fleet, isolated-vs-spillover, static-vs-autoscaled,
+  and the capacity-planning table (``BENCH_pandemic.json``).
+
+See ``docs/fleet.md`` for the architecture and the invariants the
+tests pin (shared-loop determinism, heartbeat locality, trace
+partitioning, billing).
+"""
+
+from repro.fleet.autoscale import (
+    COST_PER_HOUR,
+    AutoscalerConfig,
+    RegionAutoscaler,
+    region_cost,
+)
+from repro.fleet.engine import FleetEngine, FleetReport
+from repro.fleet.region import Region, RegionBus, RegionConfig, RegionLoop
+from repro.fleet.router import (
+    FLEET_SOURCE,
+    RouterConfig,
+    SpilloverRouter,
+    WanCostModel,
+)
+
+__all__ = [
+    "RegionConfig", "Region", "RegionLoop", "RegionBus",
+    "RouterConfig", "SpilloverRouter", "WanCostModel", "FLEET_SOURCE",
+    "AutoscalerConfig", "RegionAutoscaler", "COST_PER_HOUR", "region_cost",
+    "FleetEngine", "FleetReport",
+]

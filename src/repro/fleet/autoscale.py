@@ -1,0 +1,241 @@
+"""Telemetry-driven autoscaling and device-hour cost accounting.
+
+Each region gets a :class:`RegionAutoscaler` evaluated on a periodic
+fleet tick.  Decisions read the same telemetry the operator sees —
+admission-queue occupancy and the router's sliding-window p99 — and
+the mechanics are deliberately unfree:
+
+- **provisioning lag** — a scale-up decision only yields a device
+  ``provision_delay_s`` later (cloud boot + weights download),
+- **warm-up** — the new device's first dispatch is held back
+  ``warmup_s`` while model residency is established; in DAG mode the
+  device instead joins cold in the residency tracker and pays the real
+  per-stage swap-in costs,
+- **hysteresis** — scale-down needs ``scale_down_ticks`` consecutive
+  calm ticks, and only ever retires *idle* grown clones (never the
+  base fleet below ``min_devices``),
+- **billing** — every device accrues cost from ``provisioned_at`` to
+  retirement/crash/makespan at :data:`COST_PER_HOUR` rates, so an
+  aggressively scaled fleet shows up in dollars, not just p99.
+
+Every transition is observable: ``scale_up`` / ``provision`` /
+``decommission`` events on the fleet bus and the
+:data:`PROVISION_COUNTER` / :data:`DECOMMISSION_COUNTER` registry
+counters, which the trace-side fleet summary recounts bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.fleet.router import FLEET_SOURCE
+from repro.hetero.device import get_device
+
+__all__ = ["AutoscalerConfig", "RegionAutoscaler", "COST_PER_HOUR",
+           "region_cost", "PROVISION_COUNTER", "DECOMMISSION_COUNTER"]
+
+#: On-demand $/hour by device class (cloud-accelerator list prices:
+#: GPU ~ p3/g4 class, CPU ~ compute-optimized host, FPGA ~ f1 slice).
+COST_PER_HOUR: Dict[str, float] = {"gpu": 3.06, "cpu": 0.68, "fpga": 1.65}
+
+PROVISION_COUNTER = "fleet.devices_provisioned"
+DECOMMISSION_COUNTER = "fleet.devices_decommissioned"
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Scaling policy knobs (shared by every region's autoscaler)."""
+
+    tick_s: float = 2.0
+    #: Scale up when queue occupancy reaches this ratio ...
+    queue_high: float = 0.5
+    #: ... or the router's recent p99 exceeds this fraction of the SLO.
+    p99_high: float = 1.0
+    #: Calm means occupancy at/below this and p99 within ``p99_low``.
+    queue_low: float = 0.1
+    p99_low: float = 0.6
+    #: Seconds between the scale-up decision and the device existing.
+    provision_delay_s: float = 6.0
+    #: Hold on a new device's first dispatch (non-DAG modes; DAG mode
+    #: pays the residency swap-in costs instead).
+    warmup_s: float = 3.0
+    #: Fleet-size bounds per region (active devices, base included).
+    min_devices: int = 1
+    max_devices: int = 8
+    #: Most devices one overloaded tick may request (step scaling: the
+    #: actual step grows with how far occupancy overshoots
+    #: ``queue_high``, so a cliff-edge surge ramps faster than a drift).
+    scale_up_step: int = 1
+    #: Consecutive calm ticks before retiring one grown clone.
+    scale_down_ticks: int = 5
+
+    def __post_init__(self):
+        if self.tick_s <= 0 or self.provision_delay_s < 0 or self.warmup_s < 0:
+            raise ValueError("times must be positive (delays >= 0)")
+        if not 0.0 < self.queue_high <= 1.0 or not 0.0 <= self.queue_low < 1.0:
+            raise ValueError("queue thresholds must be ratios in (0, 1)")
+        if self.min_devices < 1 or self.max_devices < self.min_devices:
+            raise ValueError("need 1 <= min_devices <= max_devices")
+        if self.scale_up_step < 1 or self.scale_down_ticks < 1:
+            raise ValueError("scale_up_step/scale_down_ticks must be >= 1")
+
+
+class RegionAutoscaler:
+    """Scale one region's device count on its telemetry signals."""
+
+    def __init__(self, region, config: AutoscalerConfig, router, bus,
+                 registry):
+        self.region = region
+        self.config = config
+        self.router = router
+        self.bus = bus
+        self.registry = registry
+        #: Clones created this run, newest last (LIFO retirement).
+        self.grown: List[str] = []
+        #: Monotonic clone index — never reused, even after retirement
+        #: (retired workers keep their names on the billing ledger).
+        self._clone_seq = region.config.static_extra
+        #: No further scale-ups until the last batch has landed and had
+        #: one tick to move the signals (prevents pile-on: occupancy
+        #: stays high for the whole provisioning lag).
+        self._hold_until = 0.0
+        self.pending = 0           # provisions in flight (decided, not live)
+        self.calm_ticks = 0
+        self.peak_devices = len(region.engine.scheduler.workers)
+
+    # -- signals ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.region.config.name
+
+    @property
+    def active(self) -> int:
+        return len(self.region.engine.scheduler.workers)
+
+    @property
+    def alive(self) -> int:
+        """Dispatchable (non-crashed) devices — what capacity means."""
+        return self.router.alive_devices(self.name)
+
+    def _overloaded(self) -> bool:
+        if self.alive < self.config.min_devices:
+            # Crashes ate into the floor: replace dead capacity even if
+            # the (shedding) queue looks calm.
+            return True
+        occ = self.router.queue_occupancy(self.name)
+        p99 = self.router.recent_p99(self.name)
+        deadline = self.region.config.slo_deadline_s
+        return (occ >= self.config.queue_high
+                or (p99 is not None and p99 > self.config.p99_high * deadline))
+
+    def _calm(self) -> bool:
+        occ = self.router.queue_occupancy(self.name)
+        p99 = self.router.recent_p99(self.name)
+        deadline = self.region.config.slo_deadline_s
+        return (occ <= self.config.queue_low
+                and (p99 is None or p99 <= self.config.p99_low * deadline))
+
+    # -- the tick --------------------------------------------------------
+    def evaluate(self, now: float, schedule_provision) -> None:
+        """One autoscaler tick: decide up, down, or hold.
+
+        ``schedule_provision(t)`` enqueues the delayed provision event
+        on the fleet loop — the autoscaler never mutates the fleet at
+        decision time; capacity lands ``provision_delay_s`` later.
+        """
+        if self._overloaded():
+            self.calm_ticks = 0
+            if now < self._hold_until:
+                return
+            # Step scaling: overshoot past ``queue_high`` asks for more
+            # devices in one tick (each still pays the provision lag).
+            occ = self.router.queue_occupancy(self.name)
+            step = min(self.config.scale_up_step,
+                       max(1, int(occ / self.config.queue_high)))
+            issued = 0
+            for _ in range(step):
+                if self.alive + self.pending >= self.config.max_devices:
+                    break
+                self.pending += 1
+                ready_at = now + self.config.provision_delay_s
+                self.bus.emit(now, "scale_up", FLEET_SOURCE,
+                              region=self.name, ready_at=round(ready_at, 6),
+                              active=self.active, pending=self.pending)
+                schedule_provision(ready_at)
+                issued += 1
+            if issued:
+                self._hold_until = (now + self.config.provision_delay_s
+                                    + self.config.tick_s)
+            return
+        if self._calm():
+            self.calm_ticks += 1
+            if self.calm_ticks >= self.config.scale_down_ticks:
+                if self._retire_one(now):
+                    self.calm_ticks = 0
+        else:
+            self.calm_ticks = 0
+
+    def provision(self, now: float) -> None:
+        """The delayed provision fires: the new device joins, cold."""
+        engine = self.region.engine
+        spec = replace(get_device(self.region.config.grow_device),
+                       name=self.region.clone_name(self._clone_seq))
+        self._clone_seq += 1
+        # DAG mode pays the explicit residency swap-in costs on first
+        # dispatch (the device joins with nothing resident); other
+        # modes model the same warm-up as a flat hold on free_at.
+        warmup = self.config.warmup_s if engine.dag is None else 0.0
+        engine.scheduler.add_worker(spec, now=now, warmup_s=warmup)
+        if engine.injector is not None:
+            engine.injector.add_device(spec, now=now)
+        if engine.health is not None:
+            engine.health.add_device(spec.name)
+        if engine.dag is not None:
+            engine.dag.residency.add_device(spec)
+        self.grown.append(spec.name)
+        self.pending -= 1
+        self.peak_devices = max(self.peak_devices, self.active)
+        self.registry.counter(PROVISION_COUNTER).inc()
+        self.bus.emit(now, "provision", FLEET_SOURCE, region=self.name,
+                      device=spec.name, active=self.active,
+                      warmup_s=round(warmup, 6))
+        engine.dispatcher.pump_backlog(now)
+
+    def _retire_one(self, now: float) -> bool:
+        """Retire the newest idle grown clone (billing stops now)."""
+        if self.alive <= self.config.min_devices:
+            return False
+        engine = self.region.engine
+        for name in reversed(self.grown):
+            worker = next((w for w in engine.scheduler.workers
+                           if w.spec.name == name), None)
+            if worker is None or worker.in_flight or not worker.alive:
+                continue
+            engine.scheduler.retire_worker(name, now)
+            self.grown.remove(name)
+            self.registry.counter(DECOMMISSION_COUNTER).inc()
+            self.bus.emit(now, "decommission", FLEET_SOURCE,
+                          region=self.name, device=name,
+                          active=self.active)
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Device-hour cost accounting
+# ---------------------------------------------------------------------------
+def region_cost(workers, makespan_s: float) -> Dict[str, float]:
+    """Billing summary for one region's workers over a run.
+
+    Uses :meth:`repro.serve.scheduler.DeviceWorker.billed_s` — billing
+    runs from provisioning to retirement/crash/makespan — at the
+    :data:`COST_PER_HOUR` rate of each device's class.
+    """
+    hours = 0.0
+    cost = 0.0
+    for w in workers:
+        h = w.billed_s(makespan_s) / 3600.0
+        hours += h
+        cost += h * COST_PER_HOUR[w.spec.device_type]
+    return {"device_hours": round(hours, 6), "cost_usd": round(cost, 6)}

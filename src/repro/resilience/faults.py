@@ -118,6 +118,30 @@ class FaultInjector:
         self.crash_times = times
 
     # ------------------------------------------------------------------
+    def add_device(self, spec: DeviceSpec, now: float = 0.0) -> None:
+        """Register a device provisioned mid-run (fleet autoscaling).
+
+        Its crash time is drawn from a stream keyed on the device's
+        registration index, so the existing devices' fates are
+        untouched and the draw is independent of provisioning order
+        elsewhere in the fleet.  ``now`` shifts the draw: a device
+        cannot have crashed before it existed.
+        """
+        if spec.name in self._index:
+            raise ValueError(f"device {spec.name!r} already registered")
+        index = len(self.devices)
+        self.devices.append(spec)
+        self._index[spec.name] = index
+        if spec.name in self.config.crash_times:
+            self.crash_times[spec.name] = float(
+                self.config.crash_times[spec.name])
+        elif math.isfinite(self.config.mttf_s):
+            rng = np.random.default_rng([self.config.seed, 0xFA017, index])
+            self.crash_times[spec.name] = now + float(
+                rng.exponential(self.config.mttf_s))
+        else:
+            self.crash_times[spec.name] = math.inf
+
     def crash_time(self, device_name: str) -> float:
         return self.crash_times[device_name]
 

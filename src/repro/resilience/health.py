@@ -183,6 +183,14 @@ class FleetHealth:
             if event.payload.get("fault") in ("crash", "dead"):
                 breaker.mark_dead(event.t)
 
+    def add_device(self, name: str) -> CircuitBreaker:
+        """Start tracking a device provisioned mid-run (autoscaling)."""
+        if name in self.breakers:
+            raise ValueError(f"breaker for {name!r} already exists")
+        breaker = CircuitBreaker(name, self.config, bus=self.bus)
+        self.breakers[name] = breaker
+        return breaker
+
     def breaker(self, name: str) -> CircuitBreaker:
         return self.breakers[name]
 

@@ -65,7 +65,9 @@ from repro.serve.request import (
     ARRIVAL_PATTERNS,
     REQUEST_KINDS,
     SLO,
+    ArrivalConfig,
     ScanRequest,
+    arrivals_from_config,
     burst_arrivals,
     epidemic_wave_arrivals,
     make_workload,
@@ -85,6 +87,7 @@ from repro.serve.scheduler import (
 
 __all__ = [
     "SLO", "ScanRequest", "ARRIVAL_PATTERNS", "REQUEST_KINDS",
+    "ArrivalConfig", "arrivals_from_config",
     "make_workload", "poisson_arrivals", "burst_arrivals",
     "epidemic_wave_arrivals", "seir_arrivals",
     "AdmissionQueue", "QueueStats",

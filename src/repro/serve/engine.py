@@ -234,6 +234,7 @@ class ServingEngine:
         mode: str = "staged",
         artifact_cache_mb: float = 4096.0,
         stage_graph=None,
+        artifact_cache=None,
     ):
         if mode not in SERVE_MODES:
             raise ValueError(f"mode must be one of {SERVE_MODES}")
@@ -265,8 +266,10 @@ class ServingEngine:
                 self.service_model, devices, use_enhancement=use_enhancement)
             residency = ModelResidency(devices, bus=self.telemetry,
                                        registry=self.metrics)
-            artifacts = ArtifactCache(artifact_cache_mb,
-                                      registry=self.metrics)
+            # A caller-supplied cache lets several engines share one
+            # artifact store (repro.fleet's replicated-artifacts mode).
+            artifacts = artifact_cache if artifact_cache is not None else \
+                ArtifactCache(artifact_cache_mb, registry=self.metrics)
             route = (resilience.route_around_stage
                      if resilience is not None else True)
             self.dag = DagContext(graph, residency, artifacts,
@@ -323,11 +326,16 @@ class ServingEngine:
         return self.verifier.framework_degraded
 
     # ------------------------------------------------------------------
-    def run(self, requests: Sequence[ScanRequest]) -> ServingReport:
-        """Serve a workload to completion; returns the full report."""
-        loop = EventLoop()
+    def bind(self, loop) -> None:
+        """Bind handlers and reset per-run state onto ``loop``.
+
+        ``loop`` may be the engine's own :class:`~repro.des.EventLoop`
+        (the single-fleet :meth:`run` path) or a region-scoped proxy of
+        a shared loop (:class:`repro.fleet.RegionLoop`) — either way the
+        engine only ever sees ``schedule`` / ``on`` / ``pending`` /
+        ``now``, so N engines can interleave on one deterministic heap.
+        """
         self._loop = loop
-        mark = self.telemetry.mark()
         self.lifecycle.begin_run()
         self.dispatcher.begin_run(loop)
         loop.on("arrival", self._on_arrival)
@@ -338,15 +346,39 @@ class ServingEngine:
                 lambda p, now: self.dispatcher.on_fail(p[0], p[1], p[2], now))
         loop.on("retry", self.dispatcher.on_retry)
         loop.on("heartbeat", self._on_heartbeat)
+
+    def inject(self, requests: Sequence[ScanRequest]) -> None:
+        """Schedule a workload's arrivals (and arm the heartbeat)."""
         for req in requests:
-            loop.schedule(req.arrival_s, "arrival", req)
-        if self.resilience is not None and loop.pending:
-            loop.schedule(self.health.config.heartbeat_s, "heartbeat", None)
-        now = loop.run()
+            self._loop.schedule(req.arrival_s, "arrival", req)
+        self.arm_heartbeat()
+
+    def arm_heartbeat(self) -> None:
+        """Start the periodic health sweep if the resilience layer is on."""
+        if self.resilience is not None and self._loop.pending:
+            self._loop.schedule(self.health.config.heartbeat_s,
+                                "heartbeat", None)
+
+    def finish(self, now: float) -> None:
+        """Emit the terminal ``done`` event and check conservation."""
         self.telemetry.emit(now, "done", SERVE_SOURCE,
                             completed=len(self.lifecycle.completed))
         self.queue.check_conservation()
+
+    def run(self, requests: Sequence[ScanRequest]) -> ServingReport:
+        """Serve a workload to completion; returns the full report."""
+        loop = EventLoop()
+        mark = self.telemetry.mark()
+        self.bind(loop)
+        self.inject(requests)
+        now = loop.run()
+        self.finish(now)
         events = self.telemetry.since(mark)
+        return self.collect(now, len(requests), events)
+
+    def collect(self, now: float, offered: int,
+                events: List[TelemetryEvent]) -> ServingReport:
+        """Assemble the report for a finished run over ``events``."""
         dag_stats: Dict[str, object] = {}
         artifact_stats: Dict[str, float] = {}
         if self.dag is not None:
@@ -374,11 +406,11 @@ class ServingEngine:
             }
             artifact_stats = self.dag.artifacts.stats()
         return ServingReport(
-            offered=len(requests),
+            offered=offered,
             completed=self.lifecycle.completed,
             shed=self.lifecycle.shed,
             trace=[TraceEvent(e.t, e.kind, dict(e.payload)) for e in events],
-            workers=self.scheduler.workers,
+            workers=self.scheduler.all_workers,
             policy=self.scheduler.policy,
             makespan_s=now,
             queue_stats=self.queue.stats.as_dict(),

@@ -25,7 +25,8 @@ from typing import Dict, Iterable, List, Sequence
 
 from repro.telemetry.metrics import percentile
 
-__all__ = ["percentile", "LatencyStats", "summarize", "summarize_trace"]
+__all__ = ["percentile", "LatencyStats", "summarize", "summarize_trace",
+           "fleet_block", "summarize_fleet_trace", "is_fleet_trace"]
 
 
 @dataclass(frozen=True)
@@ -212,3 +213,104 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
             "stage_completions": stage_completions,
         })
     return out
+
+
+# ---------------------------------------------------------------------------
+# Multi-region fleet traces (repro.fleet)
+# ---------------------------------------------------------------------------
+def is_fleet_trace(events: Iterable) -> bool:
+    """Did this event stream come from a :class:`repro.fleet.FleetEngine`?
+
+    Fleet runs always open with one ``region_fleet`` event per region,
+    so the probe is cheap and unambiguous.
+    """
+    return any(e.kind == "region_fleet" for e in events)
+
+
+def fleet_block(events: Iterable) -> Dict[str, object]:
+    """Recount the fleet-level summary from the event stream alone.
+
+    This is the *only* implementation of the fleet block: the live
+    :meth:`repro.fleet.FleetReport.summary` calls it on the run's
+    events and ``repro trace summary`` calls it on the JSONL-loaded
+    ones, so the two cannot disagree (SLO/cost accounting gate of the
+    pandemic bench).  Inputs are the fleet's own events: ``spill``
+    (router), ``region_fleet`` / ``provision`` / ``decommission``
+    (fleet + autoscaler), ``region_cost`` (billing), and the per-region
+    ``done`` markers for the makespan.
+    """
+    spillover = 0
+    wan_bytes = 0
+    replication_bytes = 0
+    spills_out: Dict[str, int] = {}
+    spills_in: Dict[str, int] = {}
+    base_devices: Dict[str, int] = {}
+    peak_devices: Dict[str, int] = {}
+    provisioned: Dict[str, int] = {}
+    decommissioned: Dict[str, int] = {}
+    cost_usd: Dict[str, float] = {}
+    device_hours: Dict[str, float] = {}
+    makespan = 0.0
+    for e in events:
+        p = e.payload
+        if e.kind == "spill":
+            spillover += 1
+            wan_bytes += int(p["nbytes"])
+            replication_bytes += int(p.get("replicated_bytes", 0))
+            spills_out[p["region"]] = spills_out.get(p["region"], 0) + 1
+            spills_in[p["target"]] = spills_in.get(p["target"], 0) + 1
+        elif e.kind == "region_fleet":
+            base_devices[p["region"]] = int(p["devices"])
+            peak_devices[p["region"]] = max(
+                peak_devices.get(p["region"], 0), int(p["devices"]))
+        elif e.kind == "provision":
+            provisioned[p["region"]] = provisioned.get(p["region"], 0) + 1
+            peak_devices[p["region"]] = max(
+                peak_devices.get(p["region"], 0), int(p["active"]))
+        elif e.kind == "decommission":
+            decommissioned[p["region"]] = (
+                decommissioned.get(p["region"], 0) + 1)
+        elif e.kind == "region_cost":
+            cost_usd[p["region"]] = float(p["cost_usd"])
+            device_hours[p["region"]] = float(p["device_hours"])
+        elif e.kind == "done":
+            makespan = max(makespan, float(e.t))
+    return {
+        "regions": sorted(base_devices),
+        "makespan_s": round(makespan, 4),
+        "spillover": spillover,
+        "wan_bytes": wan_bytes,
+        "artifact_replication_bytes": replication_bytes,
+        "spills_out": {k: spills_out[k] for k in sorted(spills_out)},
+        "spills_in": {k: spills_in[k] for k in sorted(spills_in)},
+        "base_devices": {k: base_devices[k] for k in sorted(base_devices)},
+        "peak_devices": {k: peak_devices[k] for k in sorted(peak_devices)},
+        "devices_provisioned": sum(provisioned.values()),
+        "devices_provisioned_by_region": {
+            k: provisioned[k] for k in sorted(provisioned)},
+        "devices_decommissioned": sum(decommissioned.values()),
+        "cost_usd": {k: cost_usd[k] for k in sorted(cost_usd)},
+        "cost_total_usd": round(sum(cost_usd.values()), 6),
+        "device_hours": {k: device_hours[k] for k in sorted(device_hours)},
+    }
+
+
+def summarize_fleet_trace(events: Iterable) -> Dict[str, object]:
+    """Per-region :func:`summarize_trace` blocks plus the fleet block.
+
+    The event stream is partitioned by the ``region`` payload stamp
+    every :class:`repro.fleet.RegionBus` applies; each partition then
+    replays through the exact single-region recount, and the fleet
+    block recounts routing/scaling/billing — all from events alone, so
+    a JSONL round trip is bit-identical.
+    """
+    events = list(events)
+    names = sorted({e.payload["region"] for e in events
+                    if e.kind == "region_fleet"})
+    return {
+        "regions": {
+            name: summarize_trace(
+                [e for e in events if e.payload.get("region") == name])
+            for name in names},
+        "fleet": fleet_block(events),
+    }

@@ -160,33 +160,42 @@ def burst_arrivals(
     return np.cumsum(gaps)
 
 
+def _wave_cases(days: int, cases: Optional[np.ndarray]) -> np.ndarray:
+    """The daily case curve driving wave-shaped arrivals.
+
+    ``cases=None`` keeps the historical default (the Fig. 2 UK
+    Delta-wave scenario); a caller-supplied series — e.g. a per-region
+    SEIR trajectory from :func:`repro.epi.regional_wave_scenario` —
+    drives arrivals from that region's own epidemic instead.
+    """
+    if cases is not None:
+        cases = np.asarray(cases, dtype=float)
+        if cases.ndim != 1 or len(cases) < 2:
+            raise ValueError("cases must be a 1-D series of >= 2 days")
+        return cases
+    from repro.epi import uk_delta_wave_scenario
+
+    return uk_delta_wave_scenario().run(days)["cases_per_million"]
+
+
 def epidemic_wave_arrivals(
     n: int,
     rate_per_s: float,
     rng: np.random.Generator,
     days: int = 240,
     horizon_s: Optional[float] = None,
+    cases: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Arrival times whose intensity follows the Fig. 2 case curve.
 
-    The UK Delta-wave scenario's daily cases-per-million series is
-    normalized into an arrival density over a simulated horizon of
-    ``horizon_s`` seconds (default ``n / rate_per_s``), and ``n``
-    arrivals are drawn by inverse-CDF sampling — traffic concentrates
-    where the epidemic curve peaks.
+    The UK Delta-wave scenario's daily cases-per-million series (or a
+    caller-supplied ``cases`` curve) is normalized into an arrival
+    density over a simulated horizon of ``horizon_s`` seconds (default
+    ``n / rate_per_s``), and ``n`` arrivals are drawn by inverse-CDF
+    sampling — traffic concentrates where the epidemic curve peaks.
     """
-    _validate_arrival_args(n, rate_per_s)
-    from repro.epi import uk_delta_wave_scenario
-
-    cases = uk_delta_wave_scenario().run(days)["cases_per_million"]
-    density = np.maximum(cases, 0.0) + 1e-9
-    cdf = np.cumsum(density)
-    cdf /= cdf[-1]
-    horizon = horizon_s if horizon_s is not None else n / rate_per_s
-    u = np.sort(rng.random(n))
-    day_positions = np.interp(u, np.concatenate([[0.0], cdf]),
-                              np.arange(days + 1, dtype=float))
-    return day_positions / days * horizon
+    return seir_arrivals(n, rate_per_s, rng, days=days,
+                         horizon_s=horizon_s, cases=cases)[0]
 
 
 def seir_arrivals(
@@ -195,25 +204,27 @@ def seir_arrivals(
     rng: np.random.Generator,
     days: int = 240,
     horizon_s: Optional[float] = None,
+    cases: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The ``epi`` arrival process: SEIR-driven times plus wave phase.
 
     Arrival times follow the same inverse-CDF construction as
-    :func:`epidemic_wave_arrivals` (intensity ∝ the Fig. 2 case curve),
-    but each arrival additionally carries ``F(t)`` — the *cumulative*
-    share of the wave's cases that have already occurred by its arrival
-    time.  ``make_workload`` uses that phase to ramp the monitoring
-    probability: follow-up re-reads are proportional to the pool of
-    already-diagnosed patients, so they concentrate in the wave's tail.
+    :func:`epidemic_wave_arrivals` (intensity ∝ the Fig. 2 case curve,
+    or a caller-supplied ``cases`` series such as a per-region SEIR
+    trajectory), but each arrival additionally carries ``F(t)`` — the
+    *cumulative* share of the wave's cases that have already occurred by
+    its arrival time.  ``make_workload`` uses that phase to ramp the
+    monitoring probability: follow-up re-reads are proportional to the
+    pool of already-diagnosed patients, so they concentrate in the
+    wave's tail.
 
     Returns ``(times, phase)`` with ``phase`` in [0, 1], both length
     ``n``.
     """
     _validate_arrival_args(n, rate_per_s)
-    from repro.epi import uk_delta_wave_scenario
-
-    cases = uk_delta_wave_scenario().run(days)["cases_per_million"]
-    density = np.maximum(cases, 0.0) + 1e-9
+    curve = _wave_cases(days, cases)
+    days = len(curve)
+    density = np.maximum(curve, 0.0) + 1e-9
     cdf = np.cumsum(density)
     cdf /= cdf[-1]
     horizon = horizon_s if horizon_s is not None else n / rate_per_s
@@ -234,6 +245,10 @@ def make_workload(
     covid_prevalence: float = 0.4,
     slo: Optional[SLO] = None,
     monitor_fraction: float = 0.0,
+    monitor_slo: Optional[SLO] = None,
+    cases: Optional[np.ndarray] = None,
+    horizon_s: Optional[float] = None,
+    id_base: int = 0,
 ) -> List[ScanRequest]:
     """Generate a request stream for the serving engine.
 
@@ -247,6 +262,13 @@ def make_workload(
     wave phase from :func:`seir_arrivals`; elsewhere it is flat.  The
     random stream is untouched when ``monitor_fraction`` is 0, so
     existing seeded workloads are bit-identical to before.
+
+    ``monitor_slo`` attaches a distinct (typically laxer) SLO to
+    monitoring re-reads — the diagnosis-surge and monitoring-tail
+    workloads have different latency contracts.  ``cases`` /
+    ``horizon_s`` drive the ``wave`` / ``epi`` patterns from a custom
+    epidemic curve (a region's own SEIR trajectory); ``id_base``
+    offsets request ids so multi-region workloads stay globally unique.
     """
     if pattern not in ARRIVAL_PATTERNS:
         raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
@@ -255,12 +277,15 @@ def make_workload(
     rng = np.random.default_rng(seed)
     phase = None
     if pattern == "epi":
-        arrivals, phase = seir_arrivals(n, rate_per_s, rng)
+        arrivals, phase = seir_arrivals(n, rate_per_s, rng,
+                                        cases=cases, horizon_s=horizon_s)
+    elif pattern == "wave":
+        arrivals = epidemic_wave_arrivals(n, rate_per_s, rng,
+                                          cases=cases, horizon_s=horizon_s)
     else:
         arrivals = {
             "poisson": poisson_arrivals,
             "burst": burst_arrivals,
-            "wave": epidemic_wave_arrivals,
         }[pattern](n, rate_per_s, rng)
     slo = slo or SLO()
     requests: List[ScanRequest] = []
@@ -283,8 +308,72 @@ def make_workload(
         else:
             scan_seed = int(rng.integers(2**31))
             covid = bool(rng.random() < covid_prevalence)
+        req_slo = (monitor_slo if kind == "monitoring"
+                   and monitor_slo is not None else slo)
         requests.append(ScanRequest(
-            request_id=i, arrival_s=float(t), seed=scan_seed,
-            size=size, slices=slices, covid=covid, slo=slo, kind=kind,
+            request_id=id_base + i, arrival_s=float(t), seed=scan_seed,
+            size=size, slices=slices, covid=covid, slo=req_slo, kind=kind,
         ))
     return requests
+
+
+# ---------------------------------------------------------------------------
+# The one arrival-construction path shared by CLI and benches
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Declarative workload description → :func:`arrivals_from_config`.
+
+    The single source of truth for building request streams: the CLI's
+    ``serve`` subcommand (:meth:`from_args`) and every ``repro bench``
+    scenario construct an ``ArrivalConfig`` and call the same factory,
+    so arrival semantics (``--arrivals epi`` and friends) cannot drift
+    between entry points.  Field names match :func:`make_workload`.
+    """
+
+    n: int = 200
+    rate_per_s: float = 8.0
+    pattern: str = "poisson"
+    seed: int = 0
+    dup_fraction: float = 0.3
+    monitor_fraction: float = 0.0
+    size: int = 32
+    slices: int = 16
+    covid_prevalence: float = 0.4
+    slo: Optional[SLO] = None
+    monitor_slo: Optional[SLO] = None
+    id_base: int = 0
+
+    def __post_init__(self):
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
+
+    @classmethod
+    def from_args(cls, args) -> "ArrivalConfig":
+        """Build from the CLI ``serve`` namespace (shared flag names)."""
+        return cls(n=args.requests, rate_per_s=args.rate,
+                   pattern=args.pattern, seed=args.seed,
+                   dup_fraction=args.dup_fraction,
+                   monitor_fraction=args.monitor_fraction)
+
+
+def arrivals_from_config(config: ArrivalConfig,
+                         cases: Optional[np.ndarray] = None,
+                         horizon_s: Optional[float] = None,
+                         ) -> List[ScanRequest]:
+    """Materialize the request stream an :class:`ArrivalConfig` describes.
+
+    ``cases`` / ``horizon_s`` ride alongside the config (they are bulky
+    runtime arrays, not declarative knobs): a per-region SEIR curve for
+    the ``wave``/``epi`` patterns and the simulated horizon to compress
+    it into.
+    """
+    return make_workload(
+        config.n, rate_per_s=config.rate_per_s, pattern=config.pattern,
+        seed=config.seed, dup_fraction=config.dup_fraction,
+        size=config.size, slices=config.slices,
+        covid_prevalence=config.covid_prevalence, slo=config.slo,
+        monitor_fraction=config.monitor_fraction,
+        monitor_slo=config.monitor_slo, cases=cases, horizon_s=horizon_s,
+        id_base=config.id_base,
+    )

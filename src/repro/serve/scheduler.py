@@ -126,6 +126,20 @@ class ServiceTimeModel:
             self._cache[key] = self._compute(device, stage, batch_size)
         return self._cache[key]
 
+    @staticmethod
+    def _base(device: DeviceSpec) -> DeviceSpec:
+        """Resolve a regional clone to its calibrated base device.
+
+        ``repro.fleet`` renames devices ``<base> @<region>`` (and the
+        autoscaler appends ``+k``) to keep names fleet-unique; the perf
+        model's calibration stays keyed by the Table 4 base names.
+        """
+        if " @" in device.name:
+            from dataclasses import replace
+
+            return replace(device, name=device.name.split(" @", 1)[0])
+        return device
+
     def _compute(self, device: DeviceSpec, stage: str, batch_size: int) -> float:
         if stage == MONOLITHIC_STAGE:
             return sum(self.batch_time(device, s, batch_size) for s in STAGES)
@@ -140,7 +154,7 @@ class ServiceTimeModel:
         config = (OptimizationConfig.fpga_full()
                   if device.device_type == "fpga" else None)
         ddnet = self.perf_model.predict_batch(
-            device, batch=batch_size, config=config,
+            self._base(device), batch=batch_size, config=config,
             input_size=self.input_size, slices_per_scan=self.slices_per_scan,
         ).total_s
         if stage == "classify":
@@ -163,6 +177,24 @@ class DeviceWorker:
     max_in_flight: int = 0
     #: Simulated time at which the device permanently died (None = alive).
     crashed_at: Optional[float] = None
+    #: Simulated time the device joined the fleet (0.0 = from the start)
+    #: and left it (None = still provisioned) — the autoscaler's
+    #: device-hour billing window.
+    provisioned_at: float = 0.0
+    retired_at: Optional[float] = None
+
+    def billed_s(self, makespan: float) -> float:
+        """Seconds of provisioned (billable) time within the run.
+
+        Billing stops at retirement or permanent crash, whichever comes
+        first; a device alive at the end bills through the makespan.
+        """
+        end = makespan
+        if self.retired_at is not None:
+            end = min(end, self.retired_at)
+        if self.crashed_at is not None:
+            end = min(end, self.crashed_at)
+        return max(0.0, end - self.provisioned_at)
 
     @property
     def available(self) -> bool:
@@ -225,7 +257,47 @@ class FleetScheduler:
         #: residency swap penalty + activation transfer + post cost, so
         #: placement prefers devices that already hold a stage's weights.
         self.extra_delay = extra_delay
+        self.retired: List[DeviceWorker] = []
         self._rr_index = 0
+
+    @property
+    def all_workers(self) -> List[DeviceWorker]:
+        """Every worker that ever served this run (active + retired)."""
+        return self.workers + self.retired
+
+    def add_worker(self, spec: DeviceSpec, now: float = 0.0,
+                   slots: Optional[int] = None,
+                   warmup_s: float = 0.0) -> DeviceWorker:
+        """Grow the fleet with a newly provisioned device.
+
+        ``warmup_s`` holds the device's first dispatch back (model
+        residency being established); its billing clock starts at
+        ``now`` regardless — warm-up is paid for, not free.
+        """
+        if any(w.spec.name == spec.name for w in self.all_workers):
+            raise ValueError(f"duplicate device name {spec.name!r}")
+        worker = DeviceWorker(spec=spec,
+                              slots=slots if slots is not None
+                              else self.workers[0].slots if self.workers else 1,
+                              provisioned_at=now, free_at=now + warmup_s)
+        self.workers.append(worker)
+        return worker
+
+    def retire_worker(self, name: str, now: float) -> DeviceWorker:
+        """Remove an *idle* device from the fleet (scale-down).
+
+        The worker keeps its accounting and moves to :attr:`retired`;
+        billing stops at ``now``.
+        """
+        for i, w in enumerate(self.workers):
+            if w.spec.name == name:
+                if w.in_flight:
+                    raise RuntimeError(f"{name}: cannot retire with "
+                                       f"{w.in_flight} batch(es) in flight")
+                w.retired_at = now
+                self.retired.append(self.workers.pop(i))
+                return w
+        raise KeyError(f"no active worker named {name!r}")
 
     def pick(self, batch: Batch, now: float,
              exclude: Optional[Set[str]] = None) -> Optional[DeviceWorker]:
@@ -286,15 +358,15 @@ class FleetScheduler:
     def utilization(self, makespan: float) -> Dict[str, float]:
         """busy-time / makespan per device (can exceed 1 with slots > 1)."""
         if makespan <= 0:
-            return {w.spec.name: 0.0 for w in self.workers}
-        return {w.spec.name: w.busy_s / makespan for w in self.workers}
+            return {w.spec.name: 0.0 for w in self.all_workers}
+        return {w.spec.name: w.busy_s / makespan for w in self.all_workers}
 
     def availability(self, makespan: float) -> Dict[str, float]:
         """Fraction of the run each device was alive (1.0 = never crashed)."""
         if makespan <= 0:
-            return {w.spec.name: 1.0 for w in self.workers}
+            return {w.spec.name: 1.0 for w in self.all_workers}
         return {
             w.spec.name: 1.0 if w.alive
             else max(0.0, min(w.crashed_at, makespan)) / makespan
-            for w in self.workers
+            for w in self.all_workers
         }

@@ -1,0 +1,92 @@
+"""Unit tests for the SEIR model's physical invariants (``repro.epi``).
+
+Complements ``test_epi_report.py`` (scenario shapes, reporting): these
+pin the conservation law, seed determinism, and the monotone response
+of the wave to R0 and onset that the multi-region fleet scenario
+(:func:`repro.epi.regional_wave_scenario`) builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.epi import (
+    SEIRParams,
+    VariantSEIRModel,
+    VariantSpec,
+    regional_wave_scenario,
+)
+
+
+class TestConservation:
+    def test_cases_equal_ascertained_susceptible_depletion(self):
+        # Without vaccination, every person leaving S is a new
+        # infection, and confirmed cases are exactly the ascertained
+        # fraction of those: sum(cases) == ascertainment * (S0 - S_end).
+        m = VariantSEIRModel(
+            [VariantSpec("X", r0=4.0, seed_fraction=1e-4)],
+            initial_immune_fraction=0.1)
+        out = m.run(150)
+        total_cases = out["cases_per_million"].sum() / 1e6
+        s0 = 1.0 - 0.1
+        depletion = s0 - out["S"][-1]
+        assert total_cases == pytest.approx(
+            m.params.ascertainment * depletion, rel=1e-9)
+
+    def test_conservation_holds_across_variants(self):
+        m = VariantSEIRModel([
+            VariantSpec("A", r0=3.0, seed_fraction=1e-4),
+            VariantSpec("B", r0=5.0, seed_fraction=1e-5, seed_day=30),
+        ])
+        out = m.run(200)
+        total_cases = out["cases_per_million"].sum() / 1e6
+        depletion = 1.0 - out["S"][-1]
+        assert total_cases == pytest.approx(
+            m.params.ascertainment * depletion, rel=1e-9)
+
+    def test_susceptibles_never_negative(self):
+        m = regional_wave_scenario(r0=8.0)
+        assert np.all(m.run(m.days)["S"] >= 0.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_curves(self):
+        a = regional_wave_scenario(r0=5.5, onset_day=10).run(180)
+        b = regional_wave_scenario(r0=5.5, onset_day=10).run(180)
+        np.testing.assert_array_equal(a["cases_per_million"],
+                                      b["cases_per_million"])
+        np.testing.assert_array_equal(a["S"], b["S"])
+
+    def test_parameter_object_is_pure(self):
+        p = SEIRParams()
+        m1 = VariantSEIRModel([VariantSpec("X", r0=3.0)], params=p)
+        m2 = VariantSEIRModel([VariantSpec("X", r0=3.0)], params=p)
+        np.testing.assert_array_equal(m1.run(60)["cases_per_million"],
+                                      m2.run(60)["cases_per_million"])
+
+
+class TestWaveShape:
+    def test_peak_height_monotone_in_r0(self):
+        peaks = [regional_wave_scenario(r0=r0).run(180)
+                 ["cases_per_million"].max()
+                 for r0 in (4.0, 5.5, 7.0)]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_peak_day_monotone_in_r0(self):
+        # A more transmissible wave peaks earlier.
+        days = [int(np.argmax(regional_wave_scenario(r0=r0).run(180)
+                              ["cases_per_million"]))
+                for r0 in (4.5, 5.5, 7.0)]
+        assert days[0] > days[1] > days[2]
+
+    def test_onset_day_shifts_the_peak(self):
+        base = int(np.argmax(regional_wave_scenario(
+            r0=5.5, onset_day=0, days=240).run(240)["cases_per_million"]))
+        shifted = int(np.argmax(regional_wave_scenario(
+            r0=5.5, onset_day=30, days=240).run(240)["cases_per_million"]))
+        assert shifted == pytest.approx(base + 30, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regional_wave_scenario(r0=0.0)
+        with pytest.raises(ValueError):
+            regional_wave_scenario(onset_day=400, days=180)
