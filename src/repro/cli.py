@@ -15,11 +15,18 @@ code:
   (``repro.dag``), ``--arrivals epi`` draws arrivals from the SEIR
   epidemic curve, ``--monitor-fraction`` mixes in monitoring re-reads,
   and ``--trace-out`` exports the run's telemetry events as JSONL,
+- ``train``     — simulate elastic DDP training on the event spine
+  (``repro.distributed``): rank crashes with shrink/regrow membership,
+  stragglers with backup-rank mitigation, top-k gradient compression;
+  ``--trace-out`` exports the training events as JSONL,
+- ``sweep``     — the ranks × fault-profile × compression grid in one
+  consolidated JSON artifact (``SWEEP_training.json``),
 - ``trace``     — work with exported traces: ``trace summary FILE``
   recomputes the serving summary (bit-identical latency percentiles,
   throughput, shed counts) from the events alone; multi-region fleet
-  traces are detected automatically and render per-region blocks plus
-  the fleet block (spillover, scaling, cost),
+  traces render per-region blocks plus the fleet block, and training
+  traces (including combined train-then-serve runs) render the
+  membership/loss/comm accounting from :func:`repro.distributed.train_block`,
 - ``bench``     — performance harnesses: ``bench hotpaths`` times the
   ``repro.parallel`` hot paths (dataset simulation, batch scoring,
   float32 inference) and writes ``BENCH_hotpaths.json``;
@@ -30,7 +37,9 @@ code:
   parity) and writes ``BENCH_dag.json``; ``bench pandemic`` drives a
   full epidemic wave through a 3-region fleet (isolated vs spillover,
   static vs autoscaled, capacity-planning table) and writes
-  ``BENCH_pandemic.json``.
+  ``BENCH_pandemic.json``; ``bench training`` runs the elastic-DDP
+  chaos benchmark (scaling ladder, crash/straggler/compression arms,
+  combined train+serve trace) and writes ``BENCH_training.json``.
 
 ``diagnose --backend opt`` runs the whole pipeline on the optimized
 kernel backend; ``serve --calibrated`` microbenchmarks this host first
@@ -278,7 +287,28 @@ def _print_fleet_trace(events) -> dict:
     return summary
 
 
+def _print_train_trace(events) -> dict:
+    from repro.distributed.runtime import train_block
+
+    s = train_block(events)
+    print(f"training trace: {s['world_size']} ranks x {s['epochs']} epochs "
+          f"({'elastic' if s['elastic'] else 'fixed ring'}, "
+          f"compression {s['compression']})")
+    loss = "-" if s["final_loss"] is None else f"{s['final_loss']:.5f}"
+    print(f"  progress  : {s['steps']} steps, {s['completed_epochs']} epochs"
+          f" in {s['sim_time_s']:.2f} simulated s, final loss {loss}"
+          + (" — ABORTED" if s["aborted"] else ""))
+    print(f"  membership: crashes {s['rank_crashes']}, "
+          f"{s['shrinks']} shrinks, {s['regrows']} regrows, "
+          f"final active {s['final_active']}")
+    print(f"  comm      : {s['comm_s']:.3f}s, {s['wire_bytes']} wire bytes "
+          f"({s['compression_saving']:.1%} saved); "
+          f"{s['dropped_gradients']} gradients dropped")
+    return s
+
+
 def _cmd_trace(args) -> int:
+    from repro.distributed.runtime import is_train_trace
     from repro.serve.metrics import is_fleet_trace, summarize_trace
     from repro.telemetry import load_jsonl
 
@@ -287,6 +317,18 @@ def _cmd_trace(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    train_summary = None
+    if is_train_trace(events):
+        # A combined train-then-serve trace prints both blocks.
+        train_summary = _print_train_trace(events)
+        if not any(e.kind == "arrival" for e in events):
+            if args.json:
+                import json
+
+                with open(args.json, "w") as fh:
+                    json.dump(train_summary, fh, indent=2)
+                print(f"wrote JSON summary to {args.json}")
+            return 0
     if is_fleet_trace(events):
         summary = _print_fleet_trace(events)
         if args.json:
@@ -324,10 +366,78 @@ def _cmd_trace(args) -> int:
     if args.json:
         import json
 
+        if train_summary is not None:
+            summary = {"train": train_summary, "serve": summary}
         with open(args.json, "w") as fh:
             json.dump(summary, fh, indent=2)
         print(f"wrote JSON summary to {args.json}")
     return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.distributed.bench import run_training_cell
+
+    report = run_training_cell(
+        args.ranks, args.faults, args.compress,
+        epochs=args.epochs, local_batch=args.local_batch,
+        backup_ranks=args.backup_ranks, elastic=not args.no_elastic,
+        seed=args.seed, regrow=args.regrow_after, crashes=args.crashes,
+        straggler_rate=args.straggler_rate,
+        straggler_factor=args.straggler_factor)
+    s = report.summary()
+    print(f"train: {s['world_size']} ranks x {s['epochs']} epochs "
+          f"(local batch {s['local_batch']}, "
+          f"{'elastic' if s['elastic'] else 'fixed ring'}, "
+          f"compression {s['compression']}, "
+          f"backup ranks {s['backup_ranks']})")
+    print(f"  progress  : {s['steps']} steps, {s['completed_epochs']} epochs"
+          f" in {s['sim_time_s']:.2f} simulated s"
+          + (" — ABORTED" if s["aborted"] else ""))
+    loss = "-" if s["final_loss"] is None else f"{s['final_loss']:.5f}"
+    mean = "-" if s["mean_loss"] is None else f"{s['mean_loss']:.5f}"
+    print(f"  loss      : final {loss} (mean {mean})")
+    print(f"  membership: crashes {s['rank_crashes']}, "
+          f"{s['shrinks']} shrinks, {s['regrows']} regrows, "
+          f"final active {s['final_active']}")
+    print(f"  stragglers: {s['straggler_steps']} slow steps, "
+          f"{s['dropped_gradients']} gradients dropped by backup ranks")
+    print(f"  comm      : {s['comm_s']:.3f}s, {s['wire_bytes']} wire bytes "
+          f"({s['dense_bytes']} dense, "
+          f"{s['compression_saving']:.1%} saved)")
+    if args.trace_out:
+        from repro.telemetry import export_jsonl
+
+        export_jsonl(args.trace_out, report.events)
+        print(f"wrote {len(report.events)} events to {args.trace_out} "
+              f"(replay with `repro trace summary {args.trace_out}`)")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(s, fh, indent=2)
+        print(f"wrote JSON summary to {args.json}")
+    return 1 if s["aborted"] else 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.benchrunner import finish_bench
+    from repro.sweep import format_sweep_summary, run_training_sweep
+
+    ranks = None
+    if args.ranks:
+        try:
+            ranks = tuple(int(r) for r in args.ranks.split(","))
+        except ValueError:
+            print(f"error: --ranks must be comma-separated integers, "
+                  f"got {args.ranks!r}", file=sys.stderr)
+            return 2
+    payload = run_training_sweep(
+        quick=args.quick, seed=args.seed, ranks=ranks,
+        profiles=args.profiles.split(",") if args.profiles else None,
+        compressions=args.compress.split(",") if args.compress else None)
+    return finish_bench(
+        payload, args.out, format_sweep_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: a sweep cell aborted or determinism broke")
 
 
 def _cmd_bench_hotpaths(args) -> int:
@@ -377,6 +487,19 @@ def _cmd_bench_pandemic(args) -> int:
     return finish_bench(
         payload, args.out, format_pandemic_summary, gate_key="gates_ok",
         failure_msg="GATE FAILURE: a pandemic-fleet claim is not met")
+
+
+def _cmd_bench_training(args) -> int:
+    from repro.benchrunner import finish_bench
+    from repro.distributed.bench import (
+        format_training_summary,
+        run_training_bench,
+    )
+
+    payload = run_training_bench(quick=args.quick, seed=args.seed)
+    return finish_bench(
+        payload, args.out, format_training_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: an elastic-training claim is not met")
 
 
 def _cmd_inventory(args) -> int:
@@ -487,6 +610,57 @@ def build_parser() -> argparse.ArgumentParser:
                         "(replay with `repro trace summary FILE`)")
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser("train", help="simulate elastic DDP training on the "
+                                     "event spine (faults, stragglers, "
+                                     "compression)")
+    p.add_argument("--ranks", type=int, default=8,
+                   help="ring size (training replicas)")
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--local-batch", type=int, default=1,
+                   help="images per rank per step")
+    p.add_argument("--faults", choices=("none", "crash", "straggler",
+                                        "chaos"), default="none",
+                   help="fault profile (chaos = crashes + stragglers)")
+    p.add_argument("--crashes", type=int, default=2,
+                   help="scripted mid-epoch rank crashes (crash/chaos)")
+    p.add_argument("--regrow-after", type=float, default=None, metavar="S",
+                   help="crashed ranks rejoin after S simulated seconds "
+                        "(default: never)")
+    p.add_argument("--straggler-rate", type=float, default=None,
+                   help="per-(rank, step) straggle probability")
+    p.add_argument("--straggler-factor", type=float, default=None,
+                   help="compute-time multiplier for a straggling step")
+    p.add_argument("--backup-ranks", type=int, default=0,
+                   help="never wait for the N slowest ranks (Chen et al.)")
+    p.add_argument("--compress", default="none",
+                   help="gradient compression: none or topk:<ratio>")
+    p.add_argument("--no-elastic", action="store_true",
+                   help="fixed ring: any rank crash aborts the run "
+                        "(exit code 1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="also write the summary to this JSON file")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="export the run's telemetry events as JSONL "
+                        "(replay with `repro trace summary FILE`)")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("sweep", help="grid over ranks x fault profile x "
+                                     "compression; writes one consolidated "
+                                     "JSON artifact")
+    from repro.benchrunner import add_bench_arguments as _aba
+
+    _aba(p, "SWEEP_training.json", seed=True,
+         quick_help="smaller grid for CI smoke runs")
+    p.add_argument("--ranks", default=None,
+                   help="comma-separated ring sizes (default: 2,4,8,16)")
+    p.add_argument("--profiles", default=None,
+                   help="comma-separated fault profiles "
+                        "(default: none,crash,straggler)")
+    p.add_argument("--compress", default=None,
+                   help="comma-separated compression specs "
+                        "(default: none,topk:0.1)")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("trace", help="work with exported telemetry traces")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
     ps = trace_sub.add_parser(
@@ -534,6 +708,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(pp, "BENCH_pandemic.json", seed=True,
                         quick_help="smaller waves for CI smoke runs")
     pp.set_defaults(func=_cmd_bench_pandemic)
+    pt = bench_sub.add_parser(
+        "training", help="elastic DDP under chaos: rank-scaling ladder, "
+                         "crash/straggler/compression arms, combined "
+                         "train+serve trace; writes BENCH_training.json")
+    add_bench_arguments(pt, "BENCH_training.json", seed=True,
+                        quick_help="shorter ladder for CI smoke runs")
+    pt.set_defaults(func=_cmd_bench_training)
     return parser
 
 

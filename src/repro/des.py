@@ -47,6 +47,19 @@ class EventLoop:
         """Events still on the heap."""
         return len(self._heap)
 
+    def advance(self, dt: float) -> float:
+        """Charge ``dt`` seconds of work onto the clock directly.
+
+        For processes that run *on* the loop's timeline but outside its
+        heap — e.g. a trainer charging modelled step time between
+        events.  Scheduled events are unaffected; the clock simply
+        moves forward (it still never goes backwards).
+        """
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += dt
+        return self.now
+
     # -- execution ------------------------------------------------------
     def step(self) -> Optional[str]:
         """Pop and dispatch one event; returns its kind (None if idle)."""

@@ -6,23 +6,57 @@ over the gloo backend on a T4 cluster.  Here:
 - :mod:`~repro.distributed.comm` — an in-process process group with the
   gloo collective semantics (broadcast / all-reduce / all-gather) and a
   ring-algorithm communication *cost model*,
-- :mod:`~repro.distributed.ddp` — a ``DistributedDataParallel`` wrapper
-  performing real replica-synchronous gradient averaging,
+- :mod:`~repro.distributed.ddp` — the fixed-ring
+  ``DistributedDataParallel`` wrapper performing real
+  replica-synchronous gradient averaging,
+- :mod:`~repro.distributed.elastic` — elastic membership: collectives
+  over the live rank set, shrink on failure / regrow with parameter +
+  optimizer-state re-broadcast, Chen-et-al backup-rank mitigation,
+- :mod:`~repro.distributed.compress` — top-k gradient compression with
+  error feedback, priced as a sparse all-gather by the cost model,
+- :mod:`~repro.distributed.runtime` — the event-driven training
+  runtime on the shared DES/telemetry spine: steps and collectives are
+  discrete events, rank faults come from
+  :class:`repro.resilience.RankFaultInjector`, and the whole run
+  replays bit-identically from its JSONL trace,
 - :mod:`~repro.distributed.perfmodel` — the calibrated wall-clock model
   that regenerates Table 3's training runtimes.
 """
 
 from repro.distributed.comm import CommStats, GlooCostModel, ProcessGroup
+from repro.distributed.compress import (
+    GradientCompressor,
+    NoCompression,
+    TopKCompressor,
+    make_compressor,
+)
 from repro.distributed.ddp import DistributedDataParallel
+from repro.distributed.elastic import (
+    ElasticDDP,
+    ElasticProcessGroup,
+    RankFailure,
+    TrainingAborted,
+)
 from repro.distributed.perfmodel import (
     ClusterSpec,
     TrainingRunEstimate,
     TrainingTimeModel,
     paper_table3_rows,
 )
+from repro.distributed.runtime import (
+    DistributedTrainer,
+    TrainingRunConfig,
+    TrainingRunReport,
+    is_train_trace,
+    train_block,
+)
 
 __all__ = [
     "ProcessGroup", "GlooCostModel", "CommStats",
     "DistributedDataParallel",
+    "ElasticProcessGroup", "ElasticDDP", "RankFailure", "TrainingAborted",
+    "GradientCompressor", "NoCompression", "TopKCompressor", "make_compressor",
+    "DistributedTrainer", "TrainingRunConfig", "TrainingRunReport",
+    "train_block", "is_train_trace",
     "ClusterSpec", "TrainingTimeModel", "TrainingRunEstimate", "paper_table3_rows",
 ]

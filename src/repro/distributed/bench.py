@@ -1,0 +1,412 @@
+"""``repro bench training``: elastic DDP under chaos, on the event spine.
+
+One tiny-but-real model (the same forward/backward the pipeline uses)
+is trained by :class:`repro.distributed.DistributedTrainer` across a
+ladder of ring sizes and fault profiles, with every run priced by the
+Table 3 wall-clock model and every transition on the telemetry bus.
+Arms:
+
+- **scaling ladder** — 1–32 ranks under ``none`` / ``crash`` /
+  ``straggler`` fault profiles: the Table 3 trend (more ranks → less
+  simulated epoch time, sub-linearly, because the ring charges more),
+- ``healthy``     — the fixed-size reference run,
+- ``chaos``       — two scripted mid-epoch rank crashes with regrow;
+  elastic membership shrinks, re-shards, and completes,
+- ``fixed_ring``  — the same two crashes without elasticity: aborts,
+- ``straggler``   — a slow-rank storm without mitigation,
+- ``backup``      — the same storm with one Chen-et-al backup rank,
+- ``compressed``  — top-k(10%) gradient compression + error feedback.
+
+Gates (``gates_ok``):
+
+- ``scaling_trend`` — healthy simulated epoch time shrinks as ranks
+  grow, with speedup at the top of the ladder clearing 2x,
+- ``elastic_survives_fixed_aborts`` — the chaos arm completes all its
+  epochs (and its replicas end bit-identical) while the fixed ring
+  aborts on the first crash,
+- ``chaos_loss_in_band`` — the chaos run converges into the healthy
+  arm's loss band despite losing and regaining two ranks,
+- ``backup_mitigates_stragglers`` — one backup rank strictly reduces
+  simulated time under the straggler storm,
+- ``compression_reduces_bytes`` — top-k moves strictly fewer wire
+  bytes than dense all-reduce while still converging,
+- ``accounting_ok`` — a *combined* train-then-serve trace (one bus
+  shared by the trainer and a :class:`repro.serve.ServingEngine`)
+  exports to JSONL and replays through :func:`train_block` and the
+  serving accounting bit-identically,
+- ``deterministic`` — two chaos runs produce identical summaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.distributed.comm import GlooCostModel
+from repro.distributed.perfmodel import TrainingTimeModel
+from repro.distributed.runtime import (
+    DistributedTrainer,
+    TrainingRunConfig,
+    TrainingRunReport,
+    train_block,
+)
+from repro.resilience.ranks import (
+    RankFaultConfig,
+    RankFaultInjector,
+    scripted_crashes,
+)
+
+__all__ = ["run_training_bench", "format_training_summary",
+           "run_training_cell", "FAULT_PROFILES", "bench_time_model"]
+
+#: Fault profiles the scaling ladder and the sweep grid share.
+FAULT_PROFILES = ("none", "crash", "straggler")
+
+#: Rank ladder for the Table 3 scaling trend.
+RANK_LADDER = (1, 2, 4, 8, 16, 32)
+QUICK_LADDER = (1, 4, 8)
+
+#: Straggler storm shared by the mitigation arms.
+STRAGGLER_RATE = 0.25
+STRAGGLER_FACTOR = 6.0
+
+
+def bench_time_model() -> TrainingTimeModel:
+    """A compressed-timescale Table 3 model (same shape, smaller times).
+
+    The real DDnet constants make one epoch minutes of simulated time;
+    the bench keeps the ``max(t_min, launch + b·t_image)`` form and the
+    ring charge but at ~100 ms steps so chaos schedules are compact.
+    """
+    return TrainingTimeModel(t_min_s=0.05, t_launch_s=0.01, t_image_s=0.05,
+                             grad_bytes=4096)
+
+
+def _model_factory(seed: int):
+    def factory():
+        rng = np.random.default_rng(seed)
+        return nn.Sequential(
+            nn.Conv2d(1, 2, 3, padding=1, init_std=None, rng=rng),
+            nn.LeakyReLU(),
+            nn.Conv2d(2, 1, 3, padding=1, init_std=None, rng=rng),
+        )
+    return factory
+
+
+def _optimizer_factory(params):
+    return nn.SGD(params, lr=0.05, momentum=0.9)
+
+
+def _dataset(seed: int, n: int):
+    rng = np.random.default_rng([seed, 0xDA7A])
+    x = rng.normal(size=(n, 1, 6, 6))
+    return x, x * 0.5
+
+
+def _epoch_time_estimate(config: TrainingRunConfig, dataset: int) -> float:
+    steps = dataset // (config.world_size * config.local_batch)
+    return steps * config.time_model.iter_compute_time(config.local_batch)
+
+
+def _faults_for(profile: str, config: TrainingRunConfig, dataset: int,
+                seed: int, crashes: int = 2,
+                regrow: Optional[float] = None,
+                straggler_rate: Optional[float] = None,
+                straggler_factor: Optional[float] = None,
+                ) -> Optional[RankFaultInjector]:
+    """Build the injector for a named fault profile (``None`` = healthy).
+
+    ``chaos`` combines the scripted crashes with the straggler storm —
+    the profile ``repro train --faults chaos`` demos.
+    """
+    if profile == "none":
+        return None
+    if profile not in ("crash", "straggler", "chaos"):
+        raise ValueError(f"unknown fault profile {profile!r}")
+    rate = STRAGGLER_RATE if straggler_rate is None else straggler_rate
+    factor = (STRAGGLER_FACTOR if straggler_factor is None
+              else straggler_factor)
+    crash_times = {}
+    if profile in ("crash", "chaos"):
+        epoch_t = _epoch_time_estimate(config, dataset)
+        crash_times = scripted_crashes(crashes, config.world_size, epoch_t)
+    fc = RankFaultConfig(
+        seed=seed,
+        crash_times=crash_times,
+        regrow_delay_s=regrow if crash_times else None,
+        straggler_rate=rate if profile in ("straggler", "chaos") else 0.0,
+        straggler_factor=factor)
+    return RankFaultInjector(fc, config.world_size)
+
+
+def run_training_cell(
+    ranks: int,
+    profile: str = "none",
+    compression: str = "none",
+    *,
+    epochs: int = 2,
+    dataset: int = 64,
+    backup_ranks: int = 0,
+    elastic: bool = True,
+    seed: int = 0,
+    regrow: Optional[float] = None,
+    crashes: int = 2,
+    straggler_rate: Optional[float] = None,
+    straggler_factor: Optional[float] = None,
+    local_batch: int = 1,
+    bus=None,
+    loop=None,
+) -> TrainingRunReport:
+    """One grid cell: train ``ranks`` replicas under one fault profile.
+
+    The shared building block of the bench arms, ``repro sweep``, and
+    ``repro train``.
+    """
+    config = TrainingRunConfig(
+        world_size=ranks, epochs=epochs, local_batch=local_batch,
+        elastic=elastic, backup_ranks=backup_ranks, compression=compression,
+        seed=seed, time_model=bench_time_model(), cost_model=GlooCostModel())
+    x, y = _dataset(seed, dataset)
+    faults = _faults_for(profile, config, dataset, seed,
+                         crashes=crashes, regrow=regrow,
+                         straggler_rate=straggler_rate,
+                         straggler_factor=straggler_factor)
+    trainer = DistributedTrainer(
+        _model_factory(seed + 7), _optimizer_factory, nn.MSELoss(),
+        x, y, config, faults=faults, bus=bus, loop=loop)
+    return trainer.run()
+
+
+def _arm_row(report: TrainingRunReport) -> Dict[str, object]:
+    s = report.summary()
+    return {
+        "ranks": s["world_size"],
+        "steps": s["steps"],
+        "sim_time_s": s["sim_time_s"],
+        "final_loss": s["final_loss"],
+        "aborted": s["aborted"],
+        "rank_crashes": s["rank_crashes"],
+        "shrinks": s["shrinks"],
+        "regrows": s["regrows"],
+        "final_active": s["final_active"],
+        "straggler_steps": s["straggler_steps"],
+        "dropped_gradients": s["dropped_gradients"],
+        "comm_s": s["comm_s"],
+        "dense_bytes": s["dense_bytes"],
+        "wire_bytes": s["wire_bytes"],
+        "compression_saving": s["compression_saving"],
+    }
+
+
+def _accounting_gate(seed: int, dataset: int) -> Dict[str, object]:
+    """Combined train-then-serve trace: export → load → recount must
+    be bit-identical to the live accounting for *both* halves."""
+    from repro.serve import ServingEngine, make_workload
+    from repro.serve.metrics import summarize_trace
+    from repro.telemetry import EventBus, export_jsonl, load_jsonl
+
+    bus = EventBus()
+    run_training_cell(4, "crash", epochs=2, dataset=dataset,
+                      seed=seed, regrow=1.0, bus=bus)
+    engine = ServingEngine(telemetry=bus)
+    engine.run(make_workload(8, seed=seed))
+    events = bus.events
+    live_train = train_block(events)
+    live_serve = summarize_trace(events)
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        export_jsonl(path, events)
+        loaded = load_jsonl(path)
+        loaded_train = train_block(loaded)
+        loaded_serve = summarize_trace(loaded)
+    finally:
+        os.unlink(path)
+    train_ok = json.dumps(live_train, sort_keys=True) == json.dumps(
+        loaded_train, sort_keys=True)
+    serve_ok = json.dumps(live_serve, sort_keys=True) == json.dumps(
+        loaded_serve, sort_keys=True)
+    return {
+        "events": len(events),
+        "train_round_trip_identical": bool(train_ok),
+        "serve_round_trip_identical": bool(serve_ok),
+        "train_steps": live_train["steps"],
+        "rank_crashes": live_train["rank_crashes"],
+        "ok": bool(train_ok and serve_ok
+                   and live_train["rank_crashes"]
+                   and live_train["shrinks"] >= 1),
+    }
+
+
+def run_training_bench(quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Run every arm; returns the gated payload (see module docstring)."""
+    epochs = 2 if quick else 3
+    dataset = 64
+    ladder = QUICK_LADDER if quick else RANK_LADDER
+
+    # -- scaling ladder (Table 3 trend) ---------------------------------
+    scaling: List[Dict[str, object]] = []
+    for profile in FAULT_PROFILES:
+        for p in ladder:
+            rep = run_training_cell(p, profile, epochs=epochs,
+                                    dataset=dataset, seed=seed, regrow=None,
+                                    crashes=min(2, p - 1))
+            row = _arm_row(rep)
+            row["profile"] = profile
+            scaling.append(row)
+    base = {r["profile"]: {} for r in scaling}
+    for row in scaling:
+        base[row["profile"]][row["ranks"]] = row["sim_time_s"]
+    for row in scaling:
+        row["speedup"] = round(
+            base[row["profile"]][ladder[0]] / row["sim_time_s"], 3)
+    healthy_times = [base["none"][p] for p in ladder]
+    top_speedup = healthy_times[0] / healthy_times[-1]
+    scaling_trend = all(a > b for a, b in zip(healthy_times, healthy_times[1:])
+                        ) and top_speedup >= 2.0
+
+    # -- chaos vs fixed ring --------------------------------------------
+    chaos_ranks = 8
+    healthy = run_training_cell(chaos_ranks, "none", epochs=epochs,
+                                dataset=dataset, seed=seed)
+    chaos = run_training_cell(chaos_ranks, "crash", epochs=epochs,
+                              dataset=dataset, seed=seed, regrow=2.0)
+    chaos_again = run_training_cell(chaos_ranks, "crash", epochs=epochs,
+                                    dataset=dataset, seed=seed, regrow=2.0)
+    fixed = run_training_cell(chaos_ranks, "crash", epochs=epochs,
+                              dataset=dataset, seed=seed, elastic=False)
+    healthy_row, chaos_row = _arm_row(healthy), _arm_row(chaos)
+    fixed_row = _arm_row(fixed)
+    elastic_gate = (not chaos_row["aborted"]
+                    and len(chaos_row["rank_crashes"]) == 2
+                    and fixed_row["aborted"]
+                    and chaos.ddp.replicas_in_sync())
+    # Both runs see the same data and model; losing two ranks mid-epoch
+    # re-shards but must not knock convergence out of the healthy band.
+    band = max(0.5 * healthy_row["final_loss"], 0.05)
+    loss_gate = (chaos_row["final_loss"] is not None
+                 and abs(chaos_row["final_loss"] - healthy_row["final_loss"])
+                 <= band)
+    deterministic = json.dumps(chaos.summary(), sort_keys=True) == json.dumps(
+        chaos_again.summary(), sort_keys=True)
+
+    # -- straggler mitigation -------------------------------------------
+    straggler = run_training_cell(chaos_ranks, "straggler", epochs=epochs,
+                                  dataset=dataset, seed=seed)
+    backup = run_training_cell(chaos_ranks, "straggler", epochs=epochs,
+                               dataset=dataset, seed=seed, backup_ranks=1)
+    straggler_row, backup_row = _arm_row(straggler), _arm_row(backup)
+    backup_gate = (backup_row["sim_time_s"] < straggler_row["sim_time_s"]
+                   and backup_row["dropped_gradients"] > 0)
+
+    # -- gradient compression -------------------------------------------
+    dense = healthy
+    compressed = run_training_cell(chaos_ranks, "none", epochs=epochs,
+                                   dataset=dataset, seed=seed,
+                                   compression="topk:0.1")
+    comp_row = _arm_row(compressed)
+    comp_gate = (comp_row["wire_bytes"] < comp_row["dense_bytes"]
+                 and comp_row["final_loss"] < compressed.summary()["mean_loss"]
+                 * 2)
+
+    accounting = _accounting_gate(seed, dataset=32)
+
+    gates = {
+        "scaling_trend": bool(scaling_trend),
+        "elastic_survives_fixed_aborts": bool(elastic_gate),
+        "chaos_loss_in_band": bool(loss_gate),
+        "backup_mitigates_stragglers": bool(backup_gate),
+        "compression_reduces_bytes": bool(comp_gate),
+        "accounting_ok": bool(accounting["ok"]),
+        "deterministic": bool(deterministic),
+    }
+    payload = {
+        "bench": "training_chaos",
+        "quick": bool(quick),
+        "seed": int(seed),
+        "host": platform.node(),
+        "scenario": {
+            "dataset": dataset,
+            "epochs": epochs,
+            "ladder": list(ladder),
+            "profiles": list(FAULT_PROFILES),
+            "chaos_ranks": chaos_ranks,
+            "scripted_crashes": 2,
+            "straggler_rate": STRAGGLER_RATE,
+            "straggler_factor": STRAGGLER_FACTOR,
+        },
+        "scaling": scaling,
+        "arms": {
+            "healthy": healthy_row,
+            "chaos": chaos_row,
+            "fixed_ring": fixed_row,
+            "straggler": straggler_row,
+            "backup": backup_row,
+            "compressed": comp_row,
+        },
+        "headline": {
+            "top_ladder_speedup": round(top_speedup, 3),
+            "healthy_loss": healthy_row["final_loss"],
+            "chaos_loss": chaos_row["final_loss"],
+            "loss_band": round(band, 6),
+            "fixed_ring_aborted": fixed_row["aborted"],
+            "backup_time_saving_s": round(
+                straggler_row["sim_time_s"] - backup_row["sim_time_s"], 6),
+            "compression_saving": comp_row["compression_saving"],
+            "dense_final_loss": _arm_row(dense)["final_loss"],
+            "compressed_final_loss": comp_row["final_loss"],
+        },
+        "accounting": accounting,
+        "gates": gates,
+        "gates_ok": all(gates.values()),
+    }
+    return payload
+
+
+def format_training_summary(payload: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a training bench payload."""
+    s = payload["scenario"]
+    h = payload["headline"]
+    lines = [
+        f"elastic DDP training benchmark "
+        f"({'quick' if payload['quick'] else 'full'}; {s['dataset']} samples"
+        f" x {s['epochs']} epochs, ladder {s['ladder']})",
+        "  scaling (profile: sim_time_s by ranks):",
+    ]
+    by_profile: Dict[str, List] = {}
+    for row in payload["scaling"]:
+        by_profile.setdefault(row["profile"], []).append(row)
+    for profile, rows in by_profile.items():
+        cells = ", ".join(f"p={r['ranks']}: {r['sim_time_s']:.2f}s "
+                          f"(x{r['speedup']:.2f})" for r in rows)
+        lines.append(f"    {profile:9s}: {cells}")
+    for name, arm in payload["arms"].items():
+        lines.append(
+            f"  {name:10s}: steps {arm['steps']:3d}, "
+            f"sim {arm['sim_time_s']:7.2f}s, loss {arm['final_loss']}, "
+            f"crashes {arm['rank_crashes']}, dropped "
+            f"{arm['dropped_gradients']}, aborted={arm['aborted']}")
+    lines.append(
+        f"  chaos loss {h['chaos_loss']:.4f} vs healthy "
+        f"{h['healthy_loss']:.4f} (band {h['loss_band']:.4f}); "
+        f"fixed ring aborted={h['fixed_ring_aborted']}")
+    lines.append(
+        f"  backup rank saves {h['backup_time_saving_s']:.2f}s; "
+        f"top-k saves {h['compression_saving']:.1%} wire bytes "
+        f"(loss {h['compressed_final_loss']:.4f} vs dense "
+        f"{h['dense_final_loss']:.4f})")
+    acc = payload["accounting"]
+    lines.append(
+        f"  accounting: {acc['events']} combined train+serve events, "
+        f"train round-trip={acc['train_round_trip_identical']}, "
+        f"serve round-trip={acc['serve_round_trip_identical']}")
+    gates = ", ".join(f"{k}={v}" for k, v in payload["gates"].items())
+    lines.append(f"  gates: {gates}")
+    lines.append(f"  gates_ok={payload['gates_ok']}")
+    return "\n".join(lines)

@@ -49,6 +49,19 @@ class GlooCostModel:
         hops = int(np.ceil(np.log2(world_size)))
         return hops * (num_bytes / self.bandwidth_bytes_per_s + self.latency_s)
 
+    def allgather_time(self, num_bytes: int, world_size: int) -> float:
+        """Ring all-gather of ``num_bytes`` *per rank*.
+
+        Sparse (top-k) gradient exchange cannot ride the reduce-scatter
+        ring — indices differ per rank — so compressed collectives are
+        modelled as an all-gather of every rank's sparse payload:
+        ``(p−1)`` hops, each moving one rank's buffer.
+        """
+        if world_size <= 1:
+            return 0.0
+        p = world_size
+        return (p - 1) * (num_bytes / self.bandwidth_bytes_per_s + self.latency_s)
+
 
 @dataclass
 class CommStats:

@@ -1,0 +1,369 @@
+"""Elastic membership for the simulated process group and DDP.
+
+``ProcessGroup``/``DistributedDataParallel`` (the PR-1-era fixed ring)
+assume every rank is healthy forever; this module is the elastic
+generation underneath :mod:`repro.distributed.runtime`:
+
+- :class:`ElasticProcessGroup` — collectives run over the *active*
+  membership only.  A rank failure shrinks the ring (``fail``), a
+  repaired rank regrows it (``restore``); every collective charges the
+  ring cost model at the current membership size.
+- :class:`ElasticDDP` — replica-per-rank data parallelism that survives
+  membership changes.  Gradient averaging over the surviving ranks is
+  *mathematically exact*: the mean over p−1 equal shards is exactly the
+  p−1-rank fixed-ring step, which is what lets a chaos run be pinned
+  against a healthy reference at every surviving-membership step.
+  Regrow re-broadcasts parameters *and* optimizer state from a
+  surviving rank, so the rejoining replica is bit-identical.
+- Gradient compression (:mod:`repro.distributed.compress`) plugs into
+  the same averaging path: each rank contributes its decompressed
+  sparse tensor, and the group charges an all-gather of the sparse
+  wire bytes instead of a dense ring all-reduce.
+
+A non-elastic wrapper (``elastic=False``) raises :class:`RankFailure`
+on the first crash — the fixed-ring behaviour the chaos benchmark's
+abort arm demonstrates.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.comm import CommStats, GlooCostModel
+from repro.distributed.compress import GradientCompressor, NoCompression
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.tensor.tensor import Tensor
+
+__all__ = ["RankFailure", "TrainingAborted", "ElasticProcessGroup",
+           "ElasticDDP", "StepResult"]
+
+
+class RankFailure(RuntimeError):
+    """A rank crashed under a non-elastic (fixed-ring) process group."""
+
+
+class TrainingAborted(RuntimeError):
+    """The training run cannot continue (fixed ring lost a rank, or
+    every rank is gone)."""
+
+
+class ElasticProcessGroup:
+    """A world of ``world_size`` ranks with dynamic membership.
+
+    Collectives operate on ``{rank: buffer}`` mappings over the active
+    ranks and return per-rank result dicts; each charges simulated time
+    from the ring cost model at the *current* membership size into
+    ``stats`` (the caller reads deltas to clock an event loop).
+    """
+
+    def __init__(self, world_size: int,
+                 cost_model: Optional[GlooCostModel] = None):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1; got {world_size}")
+        self.world_size = world_size
+        self.cost_model = cost_model or GlooCostModel()
+        self.stats = CommStats()
+        self._active: List[int] = list(range(world_size))
+
+    # -- membership -----------------------------------------------------
+    @property
+    def active(self) -> Tuple[int, ...]:
+        """Alive ranks, ascending."""
+        return tuple(self._active)
+
+    @property
+    def size(self) -> int:
+        return len(self._active)
+
+    def is_active(self, rank: int) -> bool:
+        return rank in self._active
+
+    def fail(self, rank: int) -> None:
+        """Remove ``rank`` from the membership (it crashed)."""
+        if rank not in self._active:
+            raise ValueError(f"rank {rank} is not active")
+        if len(self._active) == 1:
+            raise TrainingAborted("the last surviving rank crashed")
+        self._active.remove(rank)
+
+    def restore(self, rank: int) -> None:
+        """Re-admit a previously failed ``rank``."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        if rank in self._active:
+            raise ValueError(f"rank {rank} is already active")
+        self._active.append(rank)
+        self._active.sort()
+
+    # -- collectives ----------------------------------------------------
+    def _check(self, buffers: Mapping[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        if sorted(buffers) != self._active:
+            raise ValueError(
+                f"collective needs one buffer per active rank "
+                f"{self._active}; got ranks {sorted(buffers)}")
+        shape = next(iter(buffers.values())).shape
+        out = {}
+        for rank, b in buffers.items():
+            if b.shape != shape:
+                raise ValueError("rank buffers must share a shape")
+            out[rank] = np.asarray(b, dtype=np.float64)
+        return out
+
+    def all_reduce(self, buffers: Mapping[int, np.ndarray],
+                   op: str = "mean",
+                   wire_bytes: Optional[int] = None) -> Dict[int, np.ndarray]:
+        """Reduce active-rank buffers; every active rank gets the result.
+
+        ``wire_bytes`` overrides the dense payload size for the cost
+        model and switches the algorithm to a sparse all-gather — how
+        compressed gradients travel (indices differ per rank, so the
+        reduce-scatter ring does not apply).
+        """
+        bufs = self._check(buffers)
+        stack = [bufs[r] for r in self._active]
+        if op == "sum":
+            result = np.sum(stack, axis=0)
+        elif op == "mean":
+            result = np.mean(stack, axis=0)
+        elif op == "max":
+            result = np.max(stack, axis=0)
+        else:
+            raise ValueError(f"unknown reduce op {op!r}")
+        p = len(self._active)
+        if wire_bytes is None:
+            nbytes = result.size * 8
+            self.stats.record(nbytes, self.cost_model.allreduce_time(nbytes, p))
+        else:
+            self.stats.record(wire_bytes * p,
+                              self.cost_model.allgather_time(wire_bytes, p))
+        return {r: result.copy() for r in self._active}
+
+    def broadcast(self, buffer: np.ndarray, root: int) -> Dict[int, np.ndarray]:
+        """Send ``buffer`` from ``root`` to every active rank."""
+        if root not in self._active:
+            raise ValueError(f"root {root} is not an active rank")
+        arr = np.asarray(buffer)
+        nbytes = arr.size * arr.itemsize
+        self.stats.record(
+            nbytes, self.cost_model.broadcast_time(nbytes, len(self._active)))
+        return {r: arr.copy() for r in self._active}
+
+    def barrier(self) -> None:
+        self.stats.record(
+            0, self.cost_model.allreduce_time(8, len(self._active)))
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Accounting for one elastic training step."""
+
+    #: Mean loss over the gradient contributors.
+    loss: float
+    #: Ranks whose gradients entered the average.
+    contributors: Tuple[int, ...]
+    #: Dense gradient bytes the average covered.
+    dense_bytes: int
+    #: Bytes actually on the wire (== dense for no compression).
+    wire_bytes: int
+    #: Simulated communication seconds this step charged.
+    comm_time_s: float
+
+
+def _sync_optimizer_state(dst: Optimizer, src: Optimizer) -> None:
+    """Copy slot state (momentum/Adam moments, step counts) src → dst.
+
+    Generic over our optimizers: every per-parameter slot is a list of
+    ndarrays aligned with ``params``, every hyper/step attribute is a
+    scalar; parameters themselves are *not* copied.
+    """
+    for name, value in src.__dict__.items():
+        if name == "params":
+            continue
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            setattr(dst, name, [v.copy() for v in value])
+        elif isinstance(value, np.ndarray):
+            setattr(dst, name, value.copy())
+        else:
+            setattr(dst, name, copy.deepcopy(value))
+
+
+class ElasticDDP:
+    """Replica-synchronous data parallelism with elastic membership.
+
+    Splits the fixed-ring ``train_step`` into the two phases the
+    event-driven runtime schedules separately:
+
+    - :meth:`compute_grads` — per-rank forward/backward, no
+      communication (the compute phase of a step),
+    - :meth:`apply_grads` — compress, average over the contributing
+      ranks, and step *every active* optimizer with the same averaged
+      gradient (the collective phase).
+
+    With ``backup_ranks=b`` the runtime passes only the fastest
+    ``p−b`` ranks' gradients to :meth:`apply_grads` (Chen et al. 2016's
+    backup-worker scheme: never wait for the ``b`` slowest); replicas
+    stay bit-identical because every active optimizer applies the same
+    average.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        world_size: int,
+        optimizer_factory: Callable[[list], Optimizer],
+        cost_model: Optional[GlooCostModel] = None,
+        compressor: Optional[GradientCompressor] = None,
+        elastic: bool = True,
+    ):
+        self.group = ElasticProcessGroup(world_size, cost_model)
+        self.compressor = compressor or NoCompression()
+        self.elastic = elastic
+        self.replicas: List[Module] = [model_factory() for _ in range(world_size)]
+        state = self.replicas[0].state_dict()
+        for replica in self.replicas[1:]:
+            replica.load_state_dict(state)
+        for arr in state.values():
+            self.group.broadcast(arr, root=0)
+        self.optimizers: List[Optimizer] = [
+            optimizer_factory(r.parameters()) for r in self.replicas]
+
+    # -- views ----------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        return self.group.world_size
+
+    @property
+    def active(self) -> Tuple[int, ...]:
+        return self.group.active
+
+    @property
+    def module(self) -> Module:
+        """Lowest-ranked surviving replica (all active ones are identical)."""
+        return self.replicas[self.group.active[0]]
+
+    @property
+    def grad_bytes(self) -> int:
+        """Dense fp64 bytes of one full gradient (the all-reduce payload)."""
+        return sum(p.data.size for p in self.module.parameters()) * 8
+
+    # -- membership -----------------------------------------------------
+    def fail_rank(self, rank: int) -> None:
+        """A rank crashed.  Elastic: shrink; fixed ring: abort."""
+        if not self.elastic:
+            raise RankFailure(
+                f"rank {rank} failed and the fixed ring cannot shrink")
+        self.group.fail(rank)
+        self.compressor.reset(rank)
+
+    def restore_rank(self, rank: int) -> None:
+        """A repaired rank rejoins: params + optimizer state re-broadcast."""
+        self.group.restore(rank)
+        source = next(r for r in self.group.active if r != rank)
+        state = self.replicas[source].state_dict()
+        self.replicas[rank].load_state_dict(state)
+        for arr in state.values():
+            self.group.broadcast(arr, root=source)
+        _sync_optimizer_state(self.optimizers[rank], self.optimizers[source])
+        self.compressor.reset(rank)
+
+    # -- the two phases of a step ---------------------------------------
+    def compute_grads(
+        self,
+        shards: Mapping[int, tuple],
+        loss_fn: Callable[[Tensor, Tensor], Tensor],
+    ) -> Tuple[Dict[int, float], Dict[int, List[np.ndarray]]]:
+        """Per-rank forward/backward over ``{rank: (x, y)}`` shards."""
+        if sorted(shards) != list(self.group.active):
+            raise ValueError(
+                f"need one shard per active rank {self.group.active}; "
+                f"got ranks {sorted(shards)}")
+        losses: Dict[int, float] = {}
+        grads: Dict[int, List[np.ndarray]] = {}
+        for rank in self.group.active:
+            x, y = shards[rank]
+            replica, opt = self.replicas[rank], self.optimizers[rank]
+            replica.train()
+            opt.zero_grad()
+            loss = loss_fn(replica(Tensor(np.asarray(x))),
+                           Tensor(np.asarray(y)))
+            loss.backward()
+            losses[rank] = float(loss.item())
+            grads[rank] = [
+                p.grad if p.grad is not None else np.zeros_like(p.data)
+                for p in replica.parameters()]
+        return losses, grads
+
+    def apply_grads(
+        self,
+        grads: Mapping[int, List[np.ndarray]],
+        losses: Optional[Mapping[int, float]] = None,
+    ) -> StepResult:
+        """Average contributors' gradients; step every active optimizer."""
+        contributors = sorted(grads)
+        if not contributors:
+            raise ValueError("apply_grads needs at least one contributor")
+        for rank in contributors:
+            if rank not in self.group.active:
+                raise ValueError(f"contributor {rank} is not active")
+        num_params = len(grads[contributors[0]])
+        comm_before = self.group.stats.simulated_time_s
+        dense_bytes = 0
+        wire_bytes = 0
+        averaged: List[np.ndarray] = []
+        for i in range(num_params):
+            compressed = {
+                r: self.compressor.compress((r, i), grads[r][i])
+                for r in contributors}
+            dense = np.mean([compressed[r].dense for r in contributors],
+                            axis=0)
+            per_rank_wire = max(c.wire_bytes for c in compressed.values())
+            dense_bytes += dense.size * 8
+            wire_bytes += per_rank_wire
+            is_dense = all(c.kept == c.dense.size
+                           for c in compressed.values())
+            p = len(self.group.active)
+            if is_dense:
+                self.group.stats.record(
+                    dense.size * 8,
+                    self.group.cost_model.allreduce_time(dense.size * 8, p))
+            else:
+                self.group.stats.record(
+                    per_rank_wire * p,
+                    self.group.cost_model.allgather_time(per_rank_wire, p))
+            averaged.append(dense)
+        for rank in self.group.active:
+            replica, opt = self.replicas[rank], self.optimizers[rank]
+            for param, g in zip(replica.parameters(), averaged):
+                param.grad = g.copy()
+            opt.step()
+        comm_time = self.group.stats.simulated_time_s - comm_before
+        loss = float(np.mean([losses[r] for r in contributors])) \
+            if losses else float("nan")
+        return StepResult(loss=loss, contributors=tuple(contributors),
+                          dense_bytes=dense_bytes, wire_bytes=wire_bytes,
+                          comm_time_s=comm_time)
+
+    def train_step(
+        self,
+        shards: Mapping[int, tuple],
+        loss_fn: Callable[[Tensor, Tensor], Tensor],
+    ) -> StepResult:
+        """One synchronous step (compute + collective, no faults)."""
+        losses, grads = self.compute_grads(shards, loss_fn)
+        return self.apply_grads(grads, losses)
+
+    def replicas_in_sync(self, atol: float = 0.0) -> bool:
+        """Do all *active* replicas' parameters agree?"""
+        ranks = self.group.active
+        base = dict(self.replicas[ranks[0]].named_parameters())
+        for rank in ranks[1:]:
+            other = dict(self.replicas[rank].named_parameters())
+            for k, p in base.items():
+                if not np.allclose(p.data, other[k].data, atol=atol, rtol=0.0):
+                    return False
+        return True

@@ -83,10 +83,19 @@ class TrainingTimeModel:
     grad_bytes: int = 2_900_000
     dataset_images: int = PAPER_TRAIN_IMAGES
 
-    def iter_time(self, local_batch: int, cluster: ClusterSpec) -> float:
+    def iter_compute_time(self, local_batch: int) -> float:
+        """Per-rank compute for one iteration (no synchronization).
+
+        The event-driven elastic runtime prices each rank's compute
+        phase from this and charges the collective separately, so
+        stragglers and compression change the two terms independently.
+        """
         if local_batch < 1:
             raise ValueError("local batch must be >= 1")
-        compute = max(self.t_min_s, self.t_launch_s + local_batch * self.t_image_s)
+        return max(self.t_min_s, self.t_launch_s + local_batch * self.t_image_s)
+
+    def iter_time(self, local_batch: int, cluster: ClusterSpec) -> float:
+        compute = self.iter_compute_time(local_batch)
         sync = cluster.interconnect.allreduce_time(self.grad_bytes, cluster.world_size)
         return compute + sync
 

@@ -1,0 +1,429 @@
+"""Event-driven elastic distributed training on the shared spine.
+
+The tentpole of the re-platform: training no longer advances its own
+lockstep loop — every phase of every step is a discrete event on a
+:class:`repro.des.EventLoop` (the same kernel that clocks serving), and
+every transition is a :class:`repro.telemetry.TelemetryEvent` on an
+:class:`~repro.telemetry.EventBus` (pass the serving engine's bus and
+one JSONL trace captures the full train-then-serve lifecycle).
+
+One global step is two events:
+
+- ``train_compute`` at the step's start — regrows any repaired ranks
+  due (parameter re-broadcast charged at the ring's broadcast cost),
+  shards the epoch's shuffled order over the *current* membership,
+  runs per-rank forward/backward, prices each rank's compute from the
+  Table 3 :class:`~repro.distributed.perfmodel.TrainingTimeModel`
+  (stragglers multiply), and schedules —
+- ``train_collective`` at compute-done — where failure surfaces,
+  exactly as a dead gloo peer surfaces in the all-reduce: ranks whose
+  crash time has passed lose their contribution; elastic membership
+  shrinks (``rank_crash`` + ``membership_change`` events) and the
+  surviving ranks' gradient average — mathematically exact at the new
+  membership — is applied; a fixed ring aborts (``train_abort``).
+  With ``backup_ranks=b`` the collective only waits for the fastest
+  ``p−b`` ranks (Chen et al. 2016), and gradient compression swaps the
+  dense ring all-reduce for a sparse all-gather of top-k payloads.
+
+:func:`train_block` recounts the whole run from events alone and is the
+*only* summary implementation — the live report and ``repro trace
+summary`` both call it, so a JSONL round trip is bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.des import EventLoop
+from repro.distributed.comm import GlooCostModel
+from repro.distributed.compress import make_compressor
+from repro.distributed.elastic import ElasticDDP, RankFailure, TrainingAborted
+from repro.distributed.perfmodel import TrainingTimeModel
+from repro.resilience.ranks import RankFaultInjector
+from repro.telemetry import EventBus
+
+__all__ = ["TrainingRunConfig", "TrainingRunReport", "DistributedTrainer",
+           "train_block", "is_train_trace", "TRAIN_SOURCE"]
+
+#: Source stamp for every training event on the bus.
+TRAIN_SOURCE = "distributed.trainer"
+
+#: Event kinds the trainer emits (the train-trace schema).
+TRAIN_EVENT_KINDS = ("train_start", "train_step", "train_epoch",
+                     "rank_crash", "membership_change", "train_abort",
+                     "train_done")
+
+
+@dataclass(frozen=True)
+class TrainingRunConfig:
+    """One elastic training run's shape."""
+
+    world_size: int
+    epochs: int = 1
+    local_batch: int = 1
+    #: Shrink-and-continue on rank failure; ``False`` = fixed ring.
+    elastic: bool = True
+    #: Chen-et-al backup workers: never wait for the ``b`` slowest ranks.
+    backup_ranks: int = 0
+    #: ``"none"`` or ``"topk:<ratio>"`` (see repro.distributed.compress).
+    compression: str = "none"
+    #: Epoch shuffling seed.
+    seed: int = 0
+    time_model: TrainingTimeModel = field(default_factory=TrainingTimeModel)
+    cost_model: GlooCostModel = field(default_factory=GlooCostModel)
+
+    def __post_init__(self):
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.local_batch < 1:
+            raise ValueError("local_batch must be >= 1")
+        if not 0 <= self.backup_ranks < self.world_size:
+            raise ValueError("backup_ranks must be in [0, world_size)")
+
+
+@dataclass
+class TrainingRunReport:
+    """What a run hands back: the model, the events, the accounting."""
+
+    config: TrainingRunConfig
+    ddp: ElasticDDP
+    bus: EventBus
+    loop: EventLoop
+    events: List  # the run's slice of the bus
+    losses: List[float]
+    aborted: bool
+
+    @property
+    def module(self):
+        return self.ddp.module
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def summary(self) -> Dict[str, object]:
+        """The canonical accounting — recounted from events alone."""
+        return train_block(self.events)
+
+
+class DistributedTrainer:
+    """Elastic DDP training as discrete events on the shared spine.
+
+    Parameters
+    ----------
+    model_factory, optimizer_factory, loss_fn:
+        The per-rank training triple (replicas start broadcast-synced).
+    inputs, targets:
+        The full dataset; sharded over the live membership every step.
+    config:
+        The run shape (:class:`TrainingRunConfig`).
+    faults:
+        Optional rank-level adversary; ``None`` trains a healthy ring.
+    loop, bus:
+        Share the serving engine's event loop / telemetry bus to put
+        training and serving on one spine; omitted, the trainer owns
+        fresh ones.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable,
+        optimizer_factory: Callable,
+        loss_fn: Callable,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        config: TrainingRunConfig,
+        faults: Optional[RankFaultInjector] = None,
+        loop: Optional[EventLoop] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        if len(inputs) != len(targets):
+            raise ValueError("inputs and targets must align")
+        if len(inputs) < config.world_size * config.local_batch:
+            raise ValueError("dataset smaller than one global batch")
+        self.config = config
+        self.loss_fn = loss_fn
+        self.inputs = np.asarray(inputs)
+        self.targets = np.asarray(targets)
+        self.faults = faults
+        self.loop = loop if loop is not None else EventLoop()
+        self.bus = bus if bus is not None else EventBus()
+        self.ddp = ElasticDDP(
+            model_factory, config.world_size, optimizer_factory,
+            cost_model=config.cost_model,
+            compressor=make_compressor(config.compression),
+            elastic=config.elastic)
+        # -- run state ---------------------------------------------------
+        self._epoch = 0
+        self._cursor = 0
+        self._order = self._shuffled_order(0)
+        self._step = 0
+        self._losses: List[float] = []
+        self._aborted = False
+        self._last_t = 0.0
+        self._regrow_queue: List[Tuple[float, int]] = []
+        # Per-rank pending crash time for the rank's *current* life; a
+        # regrown rank gets a fresh draw, never its stale first fate.
+        self._crash_at: Dict[int, float] = {}
+        self._incarnation: Dict[int, int] = {}
+        if faults is not None:
+            self._crash_at = {r: faults.crash_time(r)
+                              for r in range(config.world_size)}
+        self.loop.on("train_compute", self._on_compute)
+        self.loop.on("train_collective", self._on_collective)
+
+    # -- helpers --------------------------------------------------------
+    def _shuffled_order(self, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng([self.config.seed, epoch])
+        order = np.arange(len(self.inputs))
+        rng.shuffle(order)
+        return order
+
+    def _emit(self, t: float, kind: str, **payload) -> None:
+        # Clamp to the trainer's own monotone emission clock: events
+        # within one source must never go backwards in t.
+        t = max(float(t), self._last_t)
+        self._last_t = t
+        self.bus.emit(t, kind, TRAIN_SOURCE, **payload)
+
+    def _compute_time(self, rank: int, step: int) -> float:
+        base = self.config.time_model.iter_compute_time(self.config.local_batch)
+        if self.faults is not None:
+            base *= self.faults.straggler_factor(rank, step)
+        return base
+
+    # -- event handlers -------------------------------------------------
+    def _on_compute(self, payload, now: float) -> None:
+        cfg = self.config
+        t = now
+        # Regrow repaired ranks due by now (parameter re-broadcast is a
+        # collective: charge its modelled time before compute starts).
+        due = [(rt, r) for rt, r in self._regrow_queue if rt <= now]
+        for rt, rank in sorted(due):
+            self._regrow_queue.remove((rt, rank))
+            before = self.ddp.group.stats.simulated_time_s
+            self.ddp.restore_rank(rank)
+            t += self.ddp.group.stats.simulated_time_s - before
+            life = self._incarnation.get(rank, 0) + 1
+            self._incarnation[rank] = life
+            self._crash_at[rank] = self.faults.redraw_crash(rank, life, t)
+            self._emit(t, "membership_change", change="regrow", rank=rank,
+                       active=list(self.ddp.active), step=self._step)
+        active = self.ddp.active
+        need = len(active) * cfg.local_batch
+        if self._cursor + need > len(self._order):
+            # Epoch boundary: summarize, reshuffle, maybe finish.
+            self._emit(t, "train_epoch", epoch=self._epoch + 1,
+                       steps=self._step,
+                       loss=(self._losses[-1] if self._losses
+                             else float("nan")))
+            self._epoch += 1
+            if self._epoch >= cfg.epochs:
+                self._finish(t)
+                return
+            self._order = self._shuffled_order(self._epoch)
+            self._cursor = 0
+            need = len(active) * cfg.local_batch
+        idx = self._order[self._cursor:self._cursor + need]
+        self._cursor += need
+        shards = {}
+        for i, rank in enumerate(active):
+            sel = idx[i * cfg.local_batch:(i + 1) * cfg.local_batch]
+            shards[rank] = (self.inputs[sel], self.targets[sel])
+        losses, grads = self.ddp.compute_grads(shards, self.loss_fn)
+        times = {r: self._compute_time(r, self._step) for r in active}
+        # Backup-worker mitigation: the collective fires when the
+        # fastest p-b ranks are done; the b slowest are dropped.
+        b = min(cfg.backup_ranks, len(active) - 1)
+        by_speed = sorted(active, key=lambda r: (times[r], r))
+        contributors = sorted(by_speed[:len(active) - b])
+        compute_done = t + max(times[r] for r in contributors)
+        self.loop.schedule(compute_done, "train_collective", {
+            "losses": losses, "grads": grads, "times": times,
+            "contributors": contributors, "start": t,
+            "stragglers": sorted(r for r in active
+                                 if times[r] > min(times.values()) * 1.001),
+        })
+
+    def _on_collective(self, payload, now: float) -> None:
+        # Failure surfaces here, as a dead peer surfaces in gloo's
+        # all-reduce: any contributor whose crash time has passed is
+        # gone, its gradient with it.
+        crashed = [r for r in self.ddp.active
+                   if self._crash_at.get(r, math.inf) <= now]
+        t = now
+        for rank in sorted(crashed):
+            self._emit(t, "rank_crash", rank=rank, step=self._step,
+                       crash_t=self._crash_at[rank])
+            try:
+                self.ddp.fail_rank(rank)
+            except RankFailure:
+                self._emit(t, "train_abort", rank=rank, step=self._step,
+                           reason="fixed ring cannot shrink")
+                self._aborted = True
+                return
+            except TrainingAborted:
+                self._emit(t, "train_abort", rank=rank, step=self._step,
+                           reason="no surviving ranks")
+                self._aborted = True
+                return
+            delay = self.faults.config.regrow_delay_s
+            if delay is not None:
+                self._regrow_queue.append((self._crash_at[rank] + delay, rank))
+            self._emit(t, "membership_change", change="shrink", rank=rank,
+                       active=list(self.ddp.active), step=self._step)
+        grads = {r: g for r, g in payload["grads"].items()
+                 if r in self.ddp.active and r in payload["contributors"]}
+        if not grads:
+            # Every contributor crashed this step; survivors (if any)
+            # retry from the next shard assignment.
+            self.loop.schedule(t, "train_compute", None)
+            return
+        losses = {r: payload["losses"][r] for r in grads}
+        result = self.ddp.apply_grads(grads, losses)
+        t += result.comm_time_s
+        self._step += 1
+        self._losses.append(result.loss)
+        self._emit(t, "train_step", step=self._step, epoch=self._epoch + 1,
+                   loss=result.loss, active=len(self.ddp.active),
+                   contributors=list(result.contributors),
+                   dropped=sorted(set(payload["times"])
+                                  - set(result.contributors) - set(crashed)),
+                   stragglers=[r for r in payload["stragglers"]
+                               if r in self.ddp.active],
+                   compute_s=now - payload["start"],
+                   comm_s=result.comm_time_s,
+                   dense_bytes=result.dense_bytes,
+                   wire_bytes=result.wire_bytes)
+        self.loop.schedule(t, "train_compute", None)
+
+    def _finish(self, t: float) -> None:
+        self._emit(t, "train_done", steps=self._step, epochs=self._epoch,
+                   final_loss=(self._losses[-1] if self._losses
+                               else float("nan")),
+                   active=len(self.ddp.active),
+                   comm_bytes=self.ddp.group.stats.bytes_moved,
+                   comm_s=self.ddp.group.stats.simulated_time_s)
+
+    # -- entry point ----------------------------------------------------
+    def run(self) -> TrainingRunReport:
+        """Drain the loop; returns the report (never raises on faults)."""
+        cfg = self.config
+        mark = self.bus.mark()
+        self._emit(self.loop.now, "train_start",
+                   world_size=cfg.world_size, epochs=cfg.epochs,
+                   local_batch=cfg.local_batch, elastic=cfg.elastic,
+                   backup_ranks=cfg.backup_ranks,
+                   compression=self.ddp.compressor.name,
+                   dataset=len(self.inputs), seed=cfg.seed,
+                   grad_bytes=self.ddp.grad_bytes)
+        self.loop.schedule(self.loop.now, "train_compute", None)
+        while self.loop.pending and not self._aborted:
+            self.loop.step()
+        return TrainingRunReport(
+            config=cfg, ddp=self.ddp, bus=self.bus, loop=self.loop,
+            events=list(self.bus.since(mark)), losses=list(self._losses),
+            aborted=self._aborted)
+
+
+# ---------------------------------------------------------------------------
+# Trace accounting — the one implementation, shared live and on replay
+# ---------------------------------------------------------------------------
+def is_train_trace(events: Iterable) -> bool:
+    """Did this event stream include a training run?"""
+    return any(e.kind == "train_start" for e in events)
+
+
+def train_block(events: Iterable) -> Dict[str, object]:
+    """Recount a training run's summary from its events alone.
+
+    Called by :meth:`TrainingRunReport.summary` on the live bus slice
+    and by ``repro trace summary`` on the JSONL-loaded stream — one
+    code path, so the two cannot disagree.
+    """
+    start: Dict[str, object] = {}
+    steps = 0
+    epochs = 0
+    crashes: List[int] = []
+    shrinks = 0
+    regrows = 0
+    straggler_steps = 0
+    dropped_grads = 0
+    losses: List[float] = []
+    dense_bytes = 0
+    wire_bytes = 0
+    comm_s = 0.0
+    compute_s = 0.0
+    final_active = None
+    aborted = False
+    sim_time = 0.0
+    for e in events:
+        p = e.payload
+        if e.kind == "train_start":
+            start = {
+                "world_size": int(p["world_size"]),
+                "epochs": int(p["epochs"]),
+                "local_batch": int(p["local_batch"]),
+                "elastic": bool(p["elastic"]),
+                "backup_ranks": int(p["backup_ranks"]),
+                "compression": p["compression"],
+                "dataset": int(p["dataset"]),
+                "grad_bytes": int(p["grad_bytes"]),
+            }
+        elif e.kind == "train_step":
+            steps += 1
+            losses.append(float(p["loss"]))
+            dense_bytes += int(p["dense_bytes"])
+            wire_bytes += int(p["wire_bytes"])
+            comm_s += float(p["comm_s"])
+            compute_s += float(p["compute_s"])
+            if p.get("stragglers"):
+                straggler_steps += 1
+            dropped_grads += len(p.get("dropped", []))
+            final_active = int(p["active"])
+            sim_time = max(sim_time, float(e.t))
+        elif e.kind == "train_epoch":
+            epochs += 1
+            sim_time = max(sim_time, float(e.t))
+        elif e.kind == "rank_crash":
+            crashes.append(int(p["rank"]))
+        elif e.kind == "membership_change":
+            if p["change"] == "shrink":
+                shrinks += 1
+            else:
+                regrows += 1
+            final_active = len(p["active"])
+        elif e.kind == "train_abort":
+            aborted = True
+            sim_time = max(sim_time, float(e.t))
+        elif e.kind == "train_done":
+            sim_time = max(sim_time, float(e.t))
+    out = dict(start)
+    out.update({
+        "steps": steps,
+        "completed_epochs": epochs,
+        "aborted": aborted,
+        "sim_time_s": round(sim_time, 6),
+        "final_loss": losses[-1] if losses else None,
+        "mean_loss": (float(np.mean(losses)) if losses else None),
+        "rank_crashes": sorted(crashes),
+        "shrinks": shrinks,
+        "regrows": regrows,
+        "final_active": final_active,
+        "straggler_steps": straggler_steps,
+        "dropped_gradients": dropped_grads,
+        "comm_s": round(comm_s, 6),
+        "compute_s": round(compute_s, 6),
+        "dense_bytes": dense_bytes,
+        "wire_bytes": wire_bytes,
+        "compression_saving": (
+            round(1.0 - wire_bytes / dense_bytes, 4) if dense_bytes else 0.0),
+    })
+    return out

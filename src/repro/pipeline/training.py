@@ -7,9 +7,12 @@ train/validation loss series the paper plots in Fig. 11.
 
 Pass ``telemetry=`` (a :class:`repro.telemetry.EventBus`) and the loop
 emits onto the shared spine: one ``step`` event per optimizer step and
-one ``epoch`` event per epoch (source ``pipeline.trainer``), timed on
-the trainer's cumulative step-count clock — the training analogue of
-the serving engine's simulated seconds.
+one ``epoch`` event per epoch (source ``pipeline.trainer``).  Pass
+``clock=`` (a :class:`repro.des.EventLoop`) too and events are stamped
+with the loop's simulated seconds — advancing it by ``step_time_s``
+per optimizer step — so a trainer sharing a spine with other actors
+speaks the same timeline; standalone, the cumulative step count is the
+fallback clock.
 """
 
 from __future__ import annotations
@@ -87,11 +90,15 @@ class Trainer:
         early_stop_patience: Optional[int] = None,
         early_stop_min_delta: float = 0.0,
         telemetry=None,
+        clock=None,
+        step_time_s: float = 0.0,
     ):
         if grad_clip_norm is not None and grad_clip_norm <= 0:
             raise ValueError("grad_clip_norm must be positive")
         if early_stop_patience is not None and early_stop_patience < 1:
             raise ValueError("early_stop_patience must be >= 1")
+        if step_time_s < 0:
+            raise ValueError("step_time_s must be >= 0")
         self.model = model
         self.optimizer = optimizer
         self.loss_fn = loss_fn
@@ -102,12 +109,18 @@ class Trainer:
         self.history = TrainingHistory()
         #: Optional repro.telemetry.EventBus; see the module docstring.
         self.telemetry = telemetry
-        self._step = 0  # cumulative optimizer steps == the event clock
+        #: Optional repro.des.EventLoop sharing the simulated timeline.
+        self.clock = clock
+        self.step_time_s = step_time_s
+        self._step = 0  # cumulative optimizer steps == fallback clock
 
     def _emit(self, kind: str, **payload) -> None:
         if self.telemetry is not None:
-            self.telemetry.emit(float(self._step), kind, "pipeline.trainer",
-                                **payload)
+            # Stamp from the shared simulated clock when attached; the
+            # step index is only the standalone fallback.
+            t = float(self.clock.now) if self.clock is not None \
+                else float(self._step)
+            self.telemetry.emit(t, kind, "pipeline.trainer", **payload)
 
     def _epoch_loss(self, loader: DataLoader, train: bool) -> float:
         losses = []
@@ -123,6 +136,8 @@ class Trainer:
                     clip_gradients(self.optimizer.params, self.grad_clip_norm)
                 self.optimizer.step()
                 self._step += 1
+                if self.clock is not None and self.step_time_s:
+                    self.clock.advance(self.step_time_s)
                 losses.append(loss.item())
                 self._emit("step", step=self._step, loss=loss.item(),
                            lr=self.optimizer.lr)

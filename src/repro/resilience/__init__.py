@@ -16,7 +16,11 @@ the serving engine survive an imperfect one:
 - :mod:`~repro.resilience.degrade` — a pressure-driven controller that
   flips the pipeline to the Fig. 13 ``use_enhancement=False`` arm
   (results tagged ``degraded=True``) until queue depth and p95 latency
-  subside.
+  subside,
+- :mod:`~repro.resilience.ranks` — the same adversary at training-rank
+  granularity (MTTF/scripted crashes, per-step stragglers, regrow
+  schedules) for the elastic DDP runtime in
+  :mod:`repro.distributed.runtime`.
 
 :class:`ResilienceConfig` bundles the four layers; pass it to
 :class:`repro.serve.ServingEngine` to arm them.  See
@@ -43,6 +47,11 @@ from repro.resilience.health import (
     CircuitBreaker,
     FleetHealth,
     HealthConfig,
+)
+from repro.resilience.ranks import (
+    RankFaultConfig,
+    RankFaultInjector,
+    scripted_crashes,
 )
 
 
@@ -74,4 +83,5 @@ __all__ = [
     "HealthConfig", "CircuitBreaker", "BreakerState", "FleetHealth",
     "RetryPolicy", "FailoverManager",
     "DegradeConfig", "DegradationController",
+    "RankFaultConfig", "RankFaultInjector", "scripted_crashes",
 ]

@@ -1,0 +1,134 @@
+"""Rank-level fault injection for distributed training.
+
+The serving-side :class:`~repro.resilience.faults.FaultInjector` targets
+*devices*; elastic DDP (:mod:`repro.distributed.runtime`) needs the
+same adversary at *rank* granularity: a training rank crashes mid-epoch
+(node reclaimed, NIC dies), straggles for a step (co-tenant contention,
+thermal throttling), and — unlike a serving device — may come back
+after an operator fixes it, at which point elastic membership regrows.
+
+Everything is a pure function of ``(seed, rank[, step])`` through
+independent :class:`numpy.random.Generator` streams, mirroring the
+device injector's contract: a chaos training run is bit-reproducible,
+and changing one rank's scripted fate never shifts another's stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["RankFaultConfig", "RankFaultInjector", "scripted_crashes"]
+
+
+@dataclass(frozen=True)
+class RankFaultConfig:
+    """Knobs of the rank-level fault model (times in simulated seconds)."""
+
+    seed: int = 0
+    #: Mean time to rank crash; ``inf`` disables MTTF-drawn crashes.
+    mttf_s: float = math.inf
+    #: Explicit per-rank crash times; overrides the ``mttf_s`` draw.
+    crash_times: Mapping[int, float] = field(default_factory=dict)
+    #: Cap on how many ranks may crash (earliest draws win).
+    max_crashes: Optional[int] = None
+    #: Per-(rank, step) probability of straggling.
+    straggler_rate: float = 0.0
+    #: Compute-time multiplier for a straggling rank-step.
+    straggler_factor: float = 4.0
+    #: Crashed ranks rejoin after this delay; ``None`` → never regrow.
+    regrow_delay_s: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.mttf_s <= 0:
+            raise ValueError("mttf_s must be positive (inf disables crashes)")
+        if self.regrow_delay_s is not None and self.regrow_delay_s <= 0:
+            raise ValueError("regrow_delay_s must be positive")
+
+
+class RankFaultInjector:
+    """Deterministic per-rank crash times and per-step straggler draws."""
+
+    def __init__(self, config: RankFaultConfig, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.config = config
+        self.world_size = world_size
+        rng = np.random.default_rng([config.seed, 0x4A7C])
+        times: Dict[int, float] = {}
+        for rank in range(world_size):
+            # Draw for every rank in order so explicit schedules don't
+            # shift the other ranks' streams.
+            drawn = float(rng.exponential(config.mttf_s)) \
+                if math.isfinite(config.mttf_s) else math.inf
+            if rank in config.crash_times:
+                times[rank] = float(config.crash_times[rank])
+            else:
+                times[rank] = drawn
+        if config.max_crashes is not None:
+            finite = sorted((t, r) for r, t in times.items()
+                            if math.isfinite(t))
+            for _, rank in finite[config.max_crashes:]:
+                times[rank] = math.inf
+        self.crash_times = times
+
+    def crash_time(self, rank: int) -> float:
+        return self.crash_times[rank]
+
+    def alive(self, rank: int, now: float) -> bool:
+        return now < self.crash_times[rank]
+
+    def regrow_time(self, rank: int) -> float:
+        """When the crashed rank rejoins (``inf`` if it never does)."""
+        crash = self.crash_times[rank]
+        if self.config.regrow_delay_s is None or not math.isfinite(crash):
+            return math.inf
+        return crash + self.config.regrow_delay_s
+
+    def redraw_crash(self, rank: int, incarnation: int, now: float) -> float:
+        """Crash time for a rank's post-regrow incarnation.
+
+        Scripted first-life crash times don't recur; with a finite
+        ``mttf_s`` the repaired rank draws a fresh exponential lifetime
+        from a stream keyed on ``(rank, incarnation)``, so earlier
+        incarnations' fates never shift.
+        """
+        if incarnation < 1:
+            raise ValueError("incarnation 0 is the constructor draw")
+        if not math.isfinite(self.config.mttf_s):
+            return math.inf
+        rng = np.random.default_rng(
+            [self.config.seed, 0x4A7C, rank, incarnation])
+        return now + float(rng.exponential(self.config.mttf_s))
+
+    def straggler_factor(self, rank: int, step: int) -> float:
+        """Compute-time multiplier for ``rank`` at global ``step``."""
+        cfg = self.config
+        if cfg.straggler_rate <= 0.0:
+            return 1.0
+        u = np.random.default_rng([cfg.seed, 0x57A6, rank, step]).random()
+        return cfg.straggler_factor if u < cfg.straggler_rate else 1.0
+
+
+def scripted_crashes(num_crashes: int, world_size: int,
+                     epoch_time_s: float) -> Dict[int, float]:
+    """Mid-epoch crash schedule for the highest-numbered ranks.
+
+    Spreads ``num_crashes`` crashes across the middle of the first
+    epoch (35%–75% of ``epoch_time_s``), highest rank first — the
+    deterministic chaos scenario the bench and CLI share.
+    """
+    if num_crashes < 0:
+        raise ValueError("num_crashes must be >= 0")
+    num_crashes = min(num_crashes, max(0, world_size - 1))
+    if num_crashes == 0:
+        return {}
+    times = np.linspace(0.35, 0.75, num_crashes) * epoch_time_s
+    return {world_size - 1 - i: float(t) for i, t in enumerate(times)}

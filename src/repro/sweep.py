@@ -1,0 +1,141 @@
+"""``repro sweep``: a configuration grid over the elastic DDP runtime.
+
+The chaos bench (:mod:`repro.distributed.bench`) asks *pinned*
+questions — does elasticity survive what aborts a fixed ring, does a
+backup rank beat a straggler storm.  The sweep asks the *open* one:
+how do ranks × fault profile × compression trade off against each
+other?  It runs every cell of the grid through the same
+:func:`repro.distributed.bench.run_training_cell` building block and
+writes one consolidated JSON artifact (``SWEEP_training.json``), so a
+plot or a capacity decision reads a single file instead of N bench
+outputs.
+
+Every cell records simulated time, final loss, wire bytes, and the
+fault accounting (crashes, shrinks, regrows, dropped gradients).  The
+sweep gates only on integrity, not on performance claims — those live
+in the bench: every cell must complete un-aborted (all cells run
+elastic), and the grid must be deterministic (cells re-run with the
+same seed reproduce bit-identical summaries).
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["run_training_sweep", "format_sweep_summary",
+           "SWEEP_RANKS", "SWEEP_COMPRESSIONS"]
+
+#: Default grid axes (profiles come from the bench's FAULT_PROFILES).
+SWEEP_RANKS = (2, 4, 8, 16)
+QUICK_RANKS = (2, 8)
+SWEEP_COMPRESSIONS = ("none", "topk:0.1")
+
+
+def run_training_sweep(
+    quick: bool = False,
+    seed: int = 0,
+    ranks: Optional[Sequence[int]] = None,
+    profiles: Optional[Sequence[str]] = None,
+    compressions: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Run the full grid; returns the consolidated payload."""
+    from repro.distributed.bench import FAULT_PROFILES, run_training_cell
+
+    ranks = tuple(ranks) if ranks else (QUICK_RANKS if quick else SWEEP_RANKS)
+    profiles = tuple(profiles) if profiles else FAULT_PROFILES
+    compressions = (tuple(compressions) if compressions
+                    else SWEEP_COMPRESSIONS)
+    epochs = 2 if quick else 3
+
+    cells: List[Dict[str, object]] = []
+    all_ok = True
+    deterministic = True
+    for p in ranks:
+        for profile in profiles:
+            for compression in compressions:
+                report = run_training_cell(
+                    p, profile, compression, epochs=epochs, seed=seed,
+                    regrow=2.0, crashes=min(2, p - 1))
+                s = report.summary()
+                cell = {
+                    "ranks": p,
+                    "profile": profile,
+                    "compression": compression,
+                    "steps": s["steps"],
+                    "sim_time_s": s["sim_time_s"],
+                    "final_loss": s["final_loss"],
+                    "mean_loss": s["mean_loss"],
+                    "aborted": s["aborted"],
+                    "rank_crashes": s["rank_crashes"],
+                    "shrinks": s["shrinks"],
+                    "regrows": s["regrows"],
+                    "straggler_steps": s["straggler_steps"],
+                    "dropped_gradients": s["dropped_gradients"],
+                    "comm_s": s["comm_s"],
+                    "compute_s": s["compute_s"],
+                    "wire_bytes": s["wire_bytes"],
+                    "dense_bytes": s["dense_bytes"],
+                    "compression_saving": s["compression_saving"],
+                }
+                cells.append(cell)
+                all_ok = all_ok and not s["aborted"] and s["steps"] > 0
+    # Determinism spot check: re-run the grid's corner cells and demand
+    # bit-identical summaries.
+    for p, profile, compression in ((ranks[0], profiles[0], compressions[0]),
+                                    (ranks[-1], profiles[-1],
+                                     compressions[-1])):
+        again = run_training_cell(
+            p, profile, compression, epochs=epochs, seed=seed,
+            regrow=2.0, crashes=min(2, p - 1)).summary()
+        ref = next(c for c in cells
+                   if c["ranks"] == p and c["profile"] == profile
+                   and c["compression"] == compression)
+        for key, value in ref.items():
+            if key in again and again[key] != value:
+                deterministic = False
+
+    gates = {
+        "all_cells_completed": bool(all_ok),
+        "deterministic": bool(deterministic),
+    }
+    return {
+        "bench": "training_sweep",
+        "quick": bool(quick),
+        "seed": int(seed),
+        "host": platform.node(),
+        "grid": {
+            "ranks": list(ranks),
+            "profiles": list(profiles),
+            "compressions": list(compressions),
+            "epochs": epochs,
+            "cells": len(cells),
+        },
+        "cells": cells,
+        "gates": gates,
+        "gates_ok": all(gates.values()),
+    }
+
+
+def format_sweep_summary(payload: Dict[str, object]) -> str:
+    """Human-readable grid table of a sweep payload."""
+    g = payload["grid"]
+    lines = [
+        f"elastic DDP sweep ({'quick' if payload['quick'] else 'full'}; "
+        f"{g['cells']} cells = ranks {g['ranks']} x profiles "
+        f"{g['profiles']} x compression {g['compressions']}, "
+        f"{g['epochs']} epochs)",
+        f"  {'ranks':>5s} {'profile':>9s} {'compress':>9s} "
+        f"{'sim_s':>8s} {'loss':>8s} {'crashes':>7s} {'dropped':>7s} "
+        f"{'wire_kB':>8s}",
+    ]
+    for c in payload["cells"]:
+        lines.append(
+            f"  {c['ranks']:5d} {c['profile']:>9s} {c['compression']:>9s} "
+            f"{c['sim_time_s']:8.2f} {c['final_loss']:8.4f} "
+            f"{len(c['rank_crashes']):7d} {c['dropped_gradients']:7d} "
+            f"{c['wire_bytes'] / 1e3:8.1f}")
+    gates = ", ".join(f"{k}={v}" for k, v in payload["gates"].items())
+    lines.append(f"  gates: {gates}")
+    lines.append(f"  gates_ok={payload['gates_ok']}")
+    return "\n".join(lines)

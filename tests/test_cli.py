@@ -123,7 +123,8 @@ class TestCli:
         parser = build_parser()
         subs = next(a for a in parser._actions if a.dest == "command")
         assert set(subs.choices) == {"diagnose", "simulate", "tables", "epidemic",
-                                     "inventory", "serve", "trace", "bench"}
+                                     "inventory", "serve", "train", "sweep",
+                                     "trace", "bench"}
 
     def test_serve_trace_round_trip(self, tmp_path, capsys):
         """serve --trace-out → trace summary reproduces the live numbers."""
@@ -148,3 +149,49 @@ class TestCli:
                     "latency_p99_s", "latency_mean_s", "latency_max_s",
                     "cache_hits", "retries", "degraded_completed"):
             assert replay[key] == live[key], key
+
+    def test_train_healthy_run(self, capsys):
+        assert main(["train", "--ranks", "4", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ranks x 2 epochs" in out
+        assert "crashes []" in out
+
+    def test_train_chaos_trace_round_trip(self, tmp_path, capsys):
+        """train --trace-out → trace summary reproduces the live numbers."""
+        import json
+
+        trace_file = str(tmp_path / "train.jsonl")
+        live_json = str(tmp_path / "live.json")
+        replay_json = str(tmp_path / "replay.json")
+        assert main(["train", "--ranks", "6", "--epochs", "2",
+                     "--faults", "crash", "--regrow-after", "1.0",
+                     "--json", live_json, "--trace-out", trace_file]) == 0
+        assert main(["trace", "summary", trace_file,
+                     "--json", replay_json]) == 0
+        out = capsys.readouterr().out
+        assert "training trace" in out
+        with open(live_json) as fh:
+            live = json.load(fh)
+        with open(replay_json) as fh:
+            replay = json.load(fh)
+        assert replay == live
+        assert live["rank_crashes"]  # the chaos actually happened
+        assert live["shrinks"] >= 1 and live["regrows"] >= 1
+
+    def test_train_fixed_ring_abort_exits_nonzero(self, capsys):
+        assert main(["train", "--ranks", "4", "--epochs", "2",
+                     "--faults", "crash", "--no-elastic"]) == 1
+        out = capsys.readouterr().out
+        assert "ABORTED" in out
+
+    def test_sweep_writes_consolidated_artifact(self, tmp_path, capsys):
+        import json
+
+        out_file = str(tmp_path / "SWEEP_training.json")
+        assert main(["sweep", "--quick", "--ranks", "2,4",
+                     "--profiles", "none,crash", "--compress", "none",
+                     "--out", out_file]) == 0
+        with open(out_file) as fh:
+            payload = json.load(fh)
+        assert payload["gates_ok"]
+        assert len(payload["cells"]) == 4  # 2 ranks x 2 profiles x 1 comp

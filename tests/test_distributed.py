@@ -84,6 +84,29 @@ class TestGlooCostModel:
 
     def test_single_rank_free(self):
         assert GlooCostModel().allreduce_time(1e9, 1) == 0.0
+        assert GlooCostModel().allgather_time(1e9, 1) == 0.0
+
+    def test_allgather_linear_in_world_size(self):
+        m = GlooCostModel(bandwidth_bytes_per_s=1e9, latency_s=1e-4)
+        t4 = m.allgather_time(1_000, 4)
+        t8 = m.allgather_time(1_000, 8)
+        # (p-1)(bytes/bw + latency): no reduce-scatter ring to pipeline.
+        assert np.isclose(t4, 3 * (1_000 / 1e9 + 1e-4))
+        assert np.isclose(t8 / t4, 7 / 3)
+
+    def test_sparse_allgather_beats_dense_allreduce_when_small(self):
+        m = GlooCostModel()
+        dense = m.allreduce_time(2_900_000, 8)
+        sparse = m.allgather_time(29_000 * 12 // 8, 8)  # ~1.5% kept
+        assert sparse < dense
+
+    def test_iter_compute_time_floor_and_slope(self):
+        tm = TrainingTimeModel()
+        assert tm.iter_compute_time(1) == tm.t_min_s
+        assert tm.iter_compute_time(8) == pytest.approx(
+            tm.t_launch_s + 8 * tm.t_image_s)
+        with pytest.raises(ValueError):
+            tm.iter_compute_time(0)
 
 
 def _model_factory(seed):

@@ -1,0 +1,442 @@
+"""Tests for elastic DDP on the event spine.
+
+Covers the PR-8 re-platform: top-k compression with error feedback,
+elastic membership (shrink on crash, regrow with re-broadcast), the
+post-shrink exact-parity guarantee, backup-rank straggler mitigation,
+and the train-trace JSONL round trip (including combined
+train-then-serve traces on one shared bus).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.distributed import (
+    DistributedDataParallel,
+    DistributedTrainer,
+    ElasticDDP,
+    ElasticProcessGroup,
+    GlooCostModel,
+    ProcessGroup,
+    RankFailure,
+    TopKCompressor,
+    TrainingAborted,
+    TrainingRunConfig,
+    TrainingTimeModel,
+    is_train_trace,
+    make_compressor,
+    train_block,
+)
+from repro.resilience import RankFaultConfig, RankFaultInjector, scripted_crashes
+from repro.telemetry import EventBus, export_jsonl, load_jsonl
+
+
+def model_factory():
+    rng = np.random.default_rng(11)
+    return nn.Sequential(
+        nn.Conv2d(1, 2, 3, padding=1, init_std=None, rng=rng),
+        nn.LeakyReLU(),
+        nn.Conv2d(2, 1, 3, padding=1, init_std=None, rng=rng),
+    )
+
+
+def sgd_factory(params):
+    return nn.SGD(params, lr=0.05, momentum=0.9)
+
+
+def make_data(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 1, 5, 5))
+    return x, x * 0.5
+
+
+def fast_time_model():
+    return TrainingTimeModel(t_min_s=0.05, t_launch_s=0.01, t_image_s=0.05,
+                             grad_bytes=4096)
+
+
+def run_trainer(config, faults=None, bus=None, loop=None, seed=0):
+    x, y = make_data(seed=seed)
+    trainer = DistributedTrainer(
+        model_factory, sgd_factory, nn.MSELoss(), x, y, config,
+        faults=faults, bus=bus, loop=loop)
+    return trainer.run()
+
+
+# ---------------------------------------------------------------------------
+# Gradient compression
+# ---------------------------------------------------------------------------
+class TestTopKCompressor:
+    def test_full_ratio_is_exact(self):
+        c = TopKCompressor(ratio=1.0)
+        g = np.arange(6.0).reshape(2, 3)
+        out = c.compress((0, 0), g)
+        assert np.array_equal(out.dense, g)
+        assert out.kept == 6
+
+    def test_keeps_largest_magnitudes(self):
+        c = TopKCompressor(ratio=0.5, error_feedback=False)
+        g = np.array([1.0, -5.0, 0.1, 3.0])
+        out = c.compress((0, 0), g)
+        assert np.array_equal(out.dense, [0.0, -5.0, 0.0, 3.0])
+        assert out.kept == 2
+        assert out.wire_bytes == 2 * 12  # fp64 value + int32 index per entry
+
+    def test_error_feedback_carries_residual(self):
+        c = TopKCompressor(ratio=0.25)
+        g = np.array([1.0, -5.0, 0.1, 3.0])
+        first = c.compress((0, 0), g)
+        assert np.array_equal(first.dense, [0.0, -5.0, 0.0, 0.0])
+        # Residual [1, 0, 0.1, 3] + new zero gradient: 3.0 wins next.
+        second = c.compress((0, 0), np.zeros(4))
+        assert np.array_equal(second.dense, [0.0, 0.0, 0.0, 3.0])
+
+    def test_no_error_feedback_drops_residual(self):
+        c = TopKCompressor(ratio=0.25, error_feedback=False)
+        c.compress((0, 0), np.array([1.0, -5.0, 0.1, 3.0]))
+        out = c.compress((0, 0), np.zeros(4))
+        assert np.array_equal(out.dense, np.zeros(4))
+
+    def test_reset_clears_one_ranks_residuals(self):
+        c = TopKCompressor(ratio=0.25)
+        c.compress((0, 0), np.array([1.0, -5.0, 0.1, 3.0]))
+        c.compress((1, 0), np.array([2.0, -4.0, 0.2, 6.0]))
+        c.reset(0)
+        after0 = c.compress((0, 0), np.zeros(4))
+        after1 = c.compress((1, 0), np.zeros(4))
+        assert np.array_equal(after0.dense, np.zeros(4))  # wiped
+        # Rank 1's residual survived: 6.0 went out in round one, so the
+        # next-largest leftover (-4.0) surfaces now.
+        assert np.array_equal(after1.dense, [0.0, -4.0, 0.0, 0.0])
+
+    def test_make_compressor_parses_specs(self):
+        assert make_compressor("none").name == "none"
+        c = make_compressor("topk:0.25")
+        assert isinstance(c, TopKCompressor) and c.ratio == 0.25
+        with pytest.raises(ValueError):
+            make_compressor("topk:0")
+        with pytest.raises(ValueError):
+            make_compressor("gzip")
+
+
+# ---------------------------------------------------------------------------
+# Elastic process group
+# ---------------------------------------------------------------------------
+class TestElasticProcessGroup:
+    def test_membership_shrinks_and_regrows(self):
+        g = ElasticProcessGroup(4)
+        g.fail(2)
+        assert g.active == (0, 1, 3) and not g.is_active(2)
+        g.restore(2)
+        assert g.active == (0, 1, 2, 3)
+
+    def test_fail_validation(self):
+        g = ElasticProcessGroup(2)
+        with pytest.raises(ValueError):
+            g.fail(5)
+        g.fail(1)
+        with pytest.raises(ValueError):
+            g.restore(0)  # already active
+        with pytest.raises(TrainingAborted):
+            g.fail(0)  # last survivor
+
+    def test_all_reduce_over_active_only(self):
+        g = ElasticProcessGroup(3)
+        g.fail(1)
+        out = g.all_reduce({0: np.array([2.0]), 2: np.array([4.0])})
+        assert sorted(out) == [0, 2]
+        assert np.array_equal(out[0], [3.0])
+        with pytest.raises(ValueError):
+            g.all_reduce({0: np.array([1.0]), 1: np.array([1.0]),
+                          2: np.array([1.0])})
+
+    def test_collective_cost_tracks_membership(self):
+        cm = GlooCostModel()
+        g = ElasticProcessGroup(4, cm)
+        g.all_reduce({r: np.zeros(16) for r in range(4)})
+        t4 = g.stats.simulated_time_s
+        assert t4 == pytest.approx(cm.allreduce_time(16 * 8, 4))
+        g.fail(3)
+        g.all_reduce({r: np.zeros(16) for r in range(3)})
+        assert g.stats.simulated_time_s - t4 == pytest.approx(
+            cm.allreduce_time(16 * 8, 3))
+
+    def test_sparse_allgather_pricing(self):
+        cm = GlooCostModel()
+        g = ElasticProcessGroup(4, cm)
+        g.all_reduce({r: np.zeros(16) for r in range(4)}, wire_bytes=24)
+        assert g.stats.simulated_time_s == pytest.approx(
+            cm.allgather_time(24, 4))
+        assert g.stats.bytes_moved == 24 * 4
+
+
+# ---------------------------------------------------------------------------
+# Post-shrink exact parity — the acceptance-criteria pin
+# ---------------------------------------------------------------------------
+class TestShrinkParity:
+    def test_post_shrink_step_equals_fresh_smaller_ring(self):
+        """After losing a rank, every elastic step is *exactly* the step
+        a fixed (p-1)-rank ring would take from the same state."""
+        x, y = make_data(16)
+        loss_fn = nn.MSELoss()
+        elastic = ElasticDDP(model_factory, 3, sgd_factory)
+        elastic.fail_rank(2)
+        fixed = DistributedDataParallel(
+            model_factory, ProcessGroup(2), sgd_factory)
+        for step in range(4):
+            lo = 4 * step
+            shard0 = (x[lo:lo + 2], y[lo:lo + 2])
+            shard1 = (x[lo + 2:lo + 4], y[lo + 2:lo + 4])
+            elastic.train_step({0: shard0, 1: shard1}, loss_fn)
+            fixed.train_step([shard0, shard1], loss_fn)
+            ep = dict(elastic.module.named_parameters())
+            fp = dict(fixed.module.named_parameters())
+            for k in ep:
+                assert np.array_equal(ep[k].data, fp[k].data), \
+                    f"step {step}: {k} diverged"
+
+    def test_replicas_bit_identical_through_chaos(self):
+        cfg = TrainingRunConfig(world_size=4, epochs=3, seed=3,
+                                time_model=fast_time_model())
+        fc = RankFaultConfig(seed=3, crash_times={3: 0.3, 1: 0.8},
+                             regrow_delay_s=0.6)
+        report = run_trainer(cfg, RankFaultInjector(fc, 4))
+        assert not report.aborted
+        assert report.ddp.replicas_in_sync(atol=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Elastic vs fixed ring under crashes
+# ---------------------------------------------------------------------------
+class TestElasticMembership:
+    def _chaos(self, elastic: bool):
+        cfg = TrainingRunConfig(world_size=6, epochs=3, elastic=elastic,
+                                seed=5, time_model=fast_time_model())
+        fc = RankFaultConfig(seed=5, crash_times={5: 0.2, 4: 0.5})
+        return run_trainer(cfg, RankFaultInjector(fc, 6))
+
+    def test_elastic_survives_two_crashes(self):
+        report = self._chaos(elastic=True)
+        s = report.summary()
+        assert not s["aborted"]
+        assert s["rank_crashes"] == [4, 5]
+        assert s["shrinks"] == 2 and s["regrows"] == 0
+        assert s["final_active"] == 4
+        assert s["completed_epochs"] == 3
+
+    def test_fixed_ring_aborts_on_first_crash(self):
+        report = self._chaos(elastic=False)
+        s = report.summary()
+        assert s["aborted"]
+        assert s["completed_epochs"] < 3
+
+    def test_chaos_converges_into_healthy_band(self):
+        cfg = TrainingRunConfig(world_size=6, epochs=3, seed=5,
+                                time_model=fast_time_model())
+        healthy = run_trainer(cfg).summary()
+        chaos = self._chaos(elastic=True).summary()
+        band = max(0.5 * healthy["final_loss"], 0.05)
+        assert abs(chaos["final_loss"] - healthy["final_loss"]) <= band
+
+    def test_regrown_rank_rejoins_in_sync_and_crashes_only_once(self):
+        cfg = TrainingRunConfig(world_size=4, epochs=4, seed=2,
+                                time_model=fast_time_model())
+        fc = RankFaultConfig(seed=2, crash_times={3: 0.3},
+                             regrow_delay_s=0.5)
+        report = run_trainer(cfg, RankFaultInjector(fc, 4))
+        s = report.summary()
+        # A scripted crash happens once; the regrown rank must not
+        # re-crash on its stale first-life crash time.
+        assert s["rank_crashes"] == [3]
+        assert s["shrinks"] == 1 and s["regrows"] == 1
+        assert s["final_active"] == 4
+        assert report.ddp.replicas_in_sync()
+
+    def test_regrow_charges_broadcast_time(self):
+        cfg = TrainingRunConfig(world_size=4, epochs=2, seed=2,
+                                time_model=fast_time_model())
+        crash_only = RankFaultConfig(seed=2, crash_times={3: 0.3})
+        with_regrow = RankFaultConfig(seed=2, crash_times={3: 0.3},
+                                      regrow_delay_s=0.5)
+        t_no = run_trainer(cfg, RankFaultInjector(crash_only, 4)).summary()
+        t_re = run_trainer(cfg, RankFaultInjector(with_regrow, 4)).summary()
+        assert t_re["regrows"] == 1 and t_no["regrows"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Stragglers and backup ranks
+# ---------------------------------------------------------------------------
+class TestBackupRanks:
+    def _run(self, backup_ranks):
+        cfg = TrainingRunConfig(world_size=6, epochs=2, seed=9,
+                                backup_ranks=backup_ranks,
+                                time_model=fast_time_model())
+        fc = RankFaultConfig(seed=9, straggler_rate=0.3, straggler_factor=8.0)
+        return run_trainer(cfg, RankFaultInjector(fc, 6))
+
+    def test_backup_rank_cuts_straggler_time(self):
+        slow = self._run(0).summary()
+        fast = self._run(1).summary()
+        assert slow["straggler_steps"] > 0
+        assert fast["sim_time_s"] < slow["sim_time_s"]
+        assert fast["dropped_gradients"] > 0
+        assert slow["dropped_gradients"] == 0
+
+    def test_replicas_stay_identical_despite_drops(self):
+        report = self._run(2)
+        assert report.ddp.replicas_in_sync()
+        # Dropped gradients never abort or desync; steps all complete.
+        assert report.summary()["steps"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Compression end-to-end
+# ---------------------------------------------------------------------------
+class TestCompressionRuns:
+    def test_topk_reduces_wire_bytes_and_converges(self):
+        cfg = TrainingRunConfig(world_size=4, epochs=3, seed=4,
+                                compression="topk:0.1",
+                                time_model=fast_time_model())
+        s = run_trainer(cfg).summary()
+        assert s["wire_bytes"] < s["dense_bytes"]
+        assert s["compression_saving"] > 0.5
+        losses = run_trainer(cfg).losses
+        assert losses[-1] < losses[0]
+
+    def test_dense_run_reports_zero_saving(self):
+        cfg = TrainingRunConfig(world_size=4, epochs=2, seed=4,
+                                time_model=fast_time_model())
+        s = run_trainer(cfg).summary()
+        assert s["wire_bytes"] == s["dense_bytes"]
+        assert s["compression_saving"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Trace round trip — the accounting pin
+# ---------------------------------------------------------------------------
+class TestTrainTraceRoundTrip:
+    def _chaos_report(self, bus=None):
+        cfg = TrainingRunConfig(world_size=4, epochs=3, seed=6,
+                                time_model=fast_time_model())
+        fc = RankFaultConfig(seed=6, crash_times={3: 0.3, 2: 0.7},
+                             regrow_delay_s=0.8)
+        return run_trainer(cfg, RankFaultInjector(fc, 4), bus=bus)
+
+    def test_chaos_trace_replays_bit_identically(self, tmp_path):
+        report = self._chaos_report()
+        live = train_block(report.events)
+        assert live["rank_crashes"] == [2, 3]
+        assert live["shrinks"] == 2 and live["regrows"] == 2
+        path = tmp_path / "train.jsonl"
+        export_jsonl(str(path), report.events)
+        loaded = train_block(load_jsonl(str(path)))
+        assert json.dumps(live, sort_keys=True) == \
+            json.dumps(loaded, sort_keys=True)
+
+    def test_trace_preserves_failure_events(self, tmp_path):
+        report = self._chaos_report()
+        path = tmp_path / "train.jsonl"
+        export_jsonl(str(path), report.events)
+        kinds = [e.kind for e in load_jsonl(str(path))]
+        assert kinds.count("rank_crash") == 2
+        assert kinds.count("membership_change") == 4  # 2 shrink + 2 regrow
+        assert is_train_trace(load_jsonl(str(path)))
+
+    def test_combined_train_then_serve_trace(self, tmp_path):
+        from repro.serve import ServingEngine, make_workload
+        from repro.serve.metrics import summarize_trace
+
+        bus = EventBus()
+        self._chaos_report(bus=bus)
+        engine = ServingEngine(telemetry=bus)
+        engine.run(make_workload(6, seed=1))
+        live_train = train_block(bus.events)
+        live_serve = summarize_trace(bus.events)
+        path = tmp_path / "combined.jsonl"
+        export_jsonl(str(path), bus.events)
+        loaded = load_jsonl(str(path))
+        assert json.dumps(live_train, sort_keys=True) == \
+            json.dumps(train_block(loaded), sort_keys=True)
+        assert json.dumps(live_serve, sort_keys=True) == \
+            json.dumps(summarize_trace(loaded), sort_keys=True)
+        assert live_serve["requests"] == 6
+        assert live_train["steps"] > 0
+
+    def test_determinism_same_seed_same_summary(self):
+        a = self._chaos_report().summary()
+        b = self._chaos_report().summary()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Rank fault injector
+# ---------------------------------------------------------------------------
+class TestRankFaultInjector:
+    def test_scripted_crashes_highest_ranks_mid_epoch(self):
+        times = scripted_crashes(2, 8, epoch_time_s=10.0)
+        assert sorted(times) == [6, 7]
+        assert all(3.0 <= t <= 8.0 for t in times.values())
+        assert scripted_crashes(0, 8, 10.0) == {}
+        assert len(scripted_crashes(9, 4, 10.0)) == 3  # capped at p-1
+
+    def test_explicit_schedule_does_not_shift_other_streams(self):
+        base = RankFaultInjector(RankFaultConfig(seed=1, mttf_s=100.0), 4)
+        pinned = RankFaultInjector(
+            RankFaultConfig(seed=1, mttf_s=100.0, crash_times={1: 5.0}), 4)
+        for rank in (0, 2, 3):
+            assert base.crash_time(rank) == pinned.crash_time(rank)
+        assert pinned.crash_time(1) == 5.0
+
+    def test_max_crashes_keeps_earliest(self):
+        inj = RankFaultInjector(
+            RankFaultConfig(seed=1, mttf_s=10.0, max_crashes=1), 4)
+        finite = [r for r in range(4)
+                  if np.isfinite(inj.crash_time(r))]
+        assert len(finite) == 1
+
+    def test_straggler_draws_are_deterministic(self):
+        cfg = RankFaultConfig(seed=2, straggler_rate=0.5,
+                              straggler_factor=3.0)
+        a = RankFaultInjector(cfg, 4)
+        b = RankFaultInjector(cfg, 4)
+        draws = [(r, s) for r in range(4) for s in range(10)]
+        assert [a.straggler_factor(r, s) for r, s in draws] == \
+            [b.straggler_factor(r, s) for r, s in draws]
+        assert any(a.straggler_factor(r, s) == 3.0 for r, s in draws)
+
+    def test_redraw_crash_never_repeats_scripted_fate(self):
+        inj = RankFaultInjector(
+            RankFaultConfig(seed=1, crash_times={2: 5.0}), 4)
+        assert inj.redraw_crash(2, incarnation=1, now=7.0) == np.inf
+        finite = RankFaultInjector(
+            RankFaultConfig(seed=1, mttf_s=10.0), 4)
+        t = finite.redraw_crash(2, incarnation=1, now=7.0)
+        assert t > 7.0
+
+
+# ---------------------------------------------------------------------------
+# Config validation and abort edge cases
+# ---------------------------------------------------------------------------
+class TestRunConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingRunConfig(world_size=0)
+        with pytest.raises(ValueError):
+            TrainingRunConfig(world_size=2, backup_ranks=2)
+        with pytest.raises(ValueError):
+            TrainingRunConfig(world_size=2, epochs=0)
+
+    def test_fixed_ring_fail_raises_rank_failure(self):
+        ddp = ElasticDDP(model_factory, 2, sgd_factory, elastic=False)
+        with pytest.raises(RankFailure):
+            ddp.fail_rank(1)
+
+    def test_all_ranks_crashing_aborts_even_elastic(self):
+        cfg = TrainingRunConfig(world_size=2, epochs=2, seed=8,
+                                time_model=fast_time_model())
+        fc = RankFaultConfig(seed=8, crash_times={0: 0.2, 1: 0.2})
+        report = run_trainer(cfg, RankFaultInjector(fc, 2))
+        assert report.aborted
+        assert report.summary()["aborted"]

@@ -100,3 +100,48 @@ class TestEarlyStopping:
         with pytest.raises(ValueError):
             Trainer(model, nn.Adam(model.parameters(), lr=1e-2), nn.MSELoss(),
                     early_stop_patience=0)
+
+
+class TestTrainerClock:
+    def test_standalone_falls_back_to_step_index(self, rng):
+        from repro.telemetry import EventBus
+
+        model, ds = linear_setup(rng)
+        bus = EventBus()
+        trainer = Trainer(model, nn.SGD(model.parameters(), lr=1e-2),
+                          nn.MSELoss(), telemetry=bus)
+        trainer.fit(nn.DataLoader(ds, batch_size=8), epochs=2)
+        steps = [e for e in bus.events if e.kind == "step"]
+        assert [e.t for e in steps] == [float(e.payload["step"])
+                                        for e in steps]
+
+    def test_shared_event_loop_stamps_simulated_seconds(self, rng):
+        from repro.des import EventLoop
+        from repro.telemetry import EventBus
+
+        model, ds = linear_setup(rng)
+        bus, loop = EventBus(), EventLoop()
+        loop.now = 41.5  # mid-simulation: another actor already ran
+        trainer = Trainer(model, nn.SGD(model.parameters(), lr=1e-2),
+                          nn.MSELoss(), telemetry=bus, clock=loop,
+                          step_time_s=0.25)
+        trainer.fit(nn.DataLoader(ds, batch_size=8), epochs=1)
+        steps = [e for e in bus.events if e.kind == "step"]
+        assert len(steps) == 2  # 16 samples / batch 8
+        # Each optimizer step advances the shared clock by step_time_s.
+        assert [e.t for e in steps] == [41.75, 42.0]
+        assert loop.now == pytest.approx(42.0)
+
+    def test_event_loop_advance_rejects_negative(self):
+        from repro.des import EventLoop
+
+        loop = EventLoop()
+        assert loop.advance(1.5) == 1.5
+        with pytest.raises(ValueError):
+            loop.advance(-0.1)
+
+    def test_negative_step_time_rejected(self, rng):
+        model, _ = linear_setup(rng)
+        with pytest.raises(ValueError):
+            Trainer(model, nn.SGD(model.parameters(), lr=1e-2),
+                    nn.MSELoss(), step_time_s=-1.0)
