@@ -2,17 +2,21 @@
 """Kernel-backend perf harness (standalone, not a pytest bench).
 
 Times every op registered in the :mod:`repro.backend` kernel registry
-on every backend (median-of-k after warmup), re-proves that the ``opt``
-backend is bit-identical to ``reference`` for each op, fits the host's
-per-op service-time coefficients (:mod:`repro.backend.calibrate`), and
-writes ``BENCH_kernels.json`` at the repo root.  Exits nonzero when any
-parity check fails; speedups are *reported*, never gated, because they
-depend on the host's BLAS and core count.
+on the selected backends (median-of-k after warmup), re-proves each
+backend's parity tier against ``reference`` (``opt``: bit-identical,
+``fast``: ulp tolerance), runs the reduced-precision fp16/int8
+enhancement arm against its quality floors, fits the host's per-op
+service-time coefficients per backend
+(:mod:`repro.backend.calibrate`), and writes ``BENCH_kernels.json`` at
+the repo root.  Exits nonzero when any parity tier or precision floor
+is violated; speedups are *reported*, never gated, because they depend
+on the host's BLAS and core count.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_kernels.py [--quick]
         [--out PATH] [--repeats N] [--size N] [--no-calibration]
+        [--no-precision] [--backends reference,opt,fast]
 
 Also exposed as ``repro bench kernels``.
 """
@@ -37,17 +41,28 @@ def main(argv=None) -> int:
     parser.add_argument("--size", type=int, default=None,
                         help="spatial workload size (default: 64, quick: 24)")
     parser.add_argument("--no-calibration", action="store_true",
-                        help="skip embedding the host calibration fit")
+                        help="skip embedding the per-backend calibration fits")
+    parser.add_argument("--no-precision", action="store_true",
+                        help="skip the reduced-precision fp16/int8 arm")
+    parser.add_argument("--backends", type=str, default=None,
+                        help="comma-separated backends to bench "
+                             "(default: all registered; reference is "
+                             "always included as the baseline)")
     args = parser.parse_args(argv)
 
     from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
 
+    backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
+                if args.backends else None)
     payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
                                size=args.size,
-                               with_calibration=not args.no_calibration)
+                               with_calibration=not args.no_calibration,
+                               with_precision=not args.no_precision,
+                               backends=backends)
     return finish_bench(
-        payload, args.out, format_kernel_summary,
-        failure_msg="PARITY FAILURE: a backend diverges from reference")
+        payload, args.out, format_kernel_summary, gate_key="gate_ok",
+        failure_msg="PARITY/PRECISION FAILURE: a backend diverges beyond "
+                    "its tier or a reduced-precision floor is violated")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,12 @@ architecture, reproduced for the NumPy engine):
   counters (N-dimensional; re-exported by :mod:`repro.hetero.counters`),
 - :mod:`~repro.backend.opt` — gather-formulated deconvolution, im2col
   scratch-buffer reuse, fused conv+bias+activation, filter caching,
+- :mod:`~repro.backend.fast` — the ulp-tier third backend: FFT
+  convolution/deconvolution with a filter-transform cache, tiled
+  im2col, fused unpool+deconv, and batched multi-scan conv,
+- :mod:`~repro.backend.precision` — the accuracy-parity tiers (bit /
+  ulp / metric floors) every backend and reduced-precision mode is
+  held to,
 - :mod:`~repro.backend.calibrate` — host microbenchmarks fitting
   per-op service-time coefficients into a
   :class:`~repro.backend.calibrate.CalibratedPerfModel` that the serve
@@ -46,6 +52,13 @@ _LAZY = {
     "OpCoefficients": ("repro.backend.calibrate", "OpCoefficients"),
     "calibrate_host": ("repro.backend.calibrate", "calibrate_host"),
     "run_kernel_bench": ("repro.backend.kernel_bench", "run_kernel_bench"),
+    "BACKEND_TIERS": ("repro.backend.precision", "BACKEND_TIERS"),
+    "PRECISION_FLOORS": ("repro.backend.precision", "PRECISION_FLOORS"),
+    "allclose_ulp": ("repro.backend.precision", "allclose_ulp"),
+    "bit_identical": ("repro.backend.precision", "bit_identical"),
+    "tier_for": ("repro.backend.precision", "tier_for"),
+    "FFT_CROSSOVER_ELEMS": ("repro.backend.fast", "FFT_CROSSOVER_ELEMS"),
+    "FALLBACK_OPS": ("repro.backend.fast", "FALLBACK_OPS"),
 }
 
 __all__ = [

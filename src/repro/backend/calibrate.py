@@ -73,7 +73,13 @@ _TINY_RATE = 1e-18
 
 @dataclass
 class OpCoefficients:
-    """Fitted service-time line for one op: ``t = overhead + work·rate``."""
+    """Fitted service-time line for one op: ``t = overhead + work·rate``.
+
+    ``backend`` records which kernel backend the samples were measured
+    under — coefficients from different backends describe *different
+    code* and must never be mixed in one calibration (enforced by
+    :class:`KernelCalibration`).
+    """
 
     op: str
     kind: str
@@ -81,6 +87,7 @@ class OpCoefficients:
     seconds_per_unit: float
     overhead_s: float
     samples: int
+    backend: str = "reference"
 
     def work(self, counts: OpCounts) -> float:
         return float(counts.flops if self.unit == "flops" else counts.bytes_moved)
@@ -93,22 +100,41 @@ class OpCoefficients:
             "op": self.op, "kind": self.kind, "unit": self.unit,
             "seconds_per_unit": self.seconds_per_unit,
             "overhead_s": self.overhead_s, "samples": self.samples,
+            "backend": self.backend,
         }
 
     @classmethod
     def from_dict(cls, d: Dict) -> "OpCoefficients":
         return cls(op=d["op"], kind=d["kind"], unit=d["unit"],
                    seconds_per_unit=float(d["seconds_per_unit"]),
-                   overhead_s=float(d["overhead_s"]), samples=int(d["samples"]))
+                   overhead_s=float(d["overhead_s"]), samples=int(d["samples"]),
+                   backend=str(d.get("backend", "reference")))
 
 
 @dataclass
 class KernelCalibration:
-    """Per-op fitted coefficients plus host/backend provenance."""
+    """Per-op fitted coefficients plus host/backend provenance.
+
+    A calibration is only meaningful for a single backend: a schedule
+    predicted from ``fast`` conv coefficients but ``reference`` pool
+    coefficients describes a configuration that never executes.  The
+    constructor therefore refuses coefficients whose ``backend`` tag
+    disagrees with the calibration's.
+    """
 
     host: str
     backend: str
     coefficients: Dict[str, OpCoefficients] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        mixed = sorted({c.backend for c in self.coefficients.values()}
+                       - {self.backend})
+        if mixed:
+            raise ValueError(
+                f"mixed-backend calibration: calibration is for backend "
+                f"{self.backend!r} but has coefficients measured under "
+                f"{mixed}; re-run calibrate_host per backend instead of "
+                f"merging samples")
 
     def op_time(self, op: str, counts: OpCounts) -> float:
         coeff = self.coefficients.get(op)
@@ -215,40 +241,46 @@ def calibrate_host(
 
     Every sample is taken through :func:`dispatch` with a recording
     sink, i.e. through the identical code path (and measurement hook)
-    real inference uses.  ``repeats`` medians smooth scheduler noise;
+    real inference uses.  When ``backend`` is given, the whole
+    microbenchmark runs under :func:`use_backend` so the samples measure
+    that backend's kernels; the resulting coefficients carry the backend
+    tag either way.  ``repeats`` medians smooth scheduler noise;
     ``sizes`` should span enough work to separate slope from intercept.
     """
-    from repro.backend.registry import get_backend
+    from repro.backend.registry import get_backend, use_backend
 
     rng = np.random.default_rng(seed)
     samples: Dict[str, List[Tuple[float, float]]] = {op: [] for op in OP_UNITS}
     kinds: Dict[str, str] = {}
-    for size in sizes:
-        workloads = _bench_workloads(int(size), rng)
-        for op, call in workloads.items():
-            times: List[float] = []
-            counts = OpCounts()
-            kind = op
-            for i in range(warmup + repeats):
-                rec = _Recorder()
-                with trace_dispatches(rec):
-                    call()
-                kind, counts, t = rec.rows[-1]
-                if i >= warmup:
-                    times.append(t)
-            kinds[op] = kind
-            unit = OP_UNITS[op]
-            work = float(counts.flops if unit == "flops" else counts.bytes_moved)
-            samples[op].append((work, statistics.median(times)))
+    with use_backend(backend or get_backend()):
+        measured_backend = get_backend()
+        for size in sizes:
+            workloads = _bench_workloads(int(size), rng)
+            for op, call in workloads.items():
+                times: List[float] = []
+                counts = OpCounts()
+                kind = op
+                for i in range(warmup + repeats):
+                    rec = _Recorder()
+                    with trace_dispatches(rec):
+                        call()
+                    kind, counts, t = rec.rows[-1]
+                    if i >= warmup:
+                        times.append(t)
+                kinds[op] = kind
+                unit = OP_UNITS[op]
+                work = float(counts.flops if unit == "flops" else counts.bytes_moved)
+                samples[op].append((work, statistics.median(times)))
     coefficients = {}
     for op, rows in samples.items():
         rate, overhead = _fit_line(rows)
         coefficients[op] = OpCoefficients(
             op=op, kind=kinds[op], unit=OP_UNITS[op],
-            seconds_per_unit=rate, overhead_s=overhead, samples=len(rows))
+            seconds_per_unit=rate, overhead_s=overhead, samples=len(rows),
+            backend=measured_backend)
     host = f"{platform.node() or 'unknown'} ({platform.machine()}, {os.cpu_count()} cpus)"
     return KernelCalibration(
-        host=host, backend=backend or get_backend(), coefficients=coefficients)
+        host=host, backend=measured_backend, coefficients=coefficients)
 
 
 # ---------------------------------------------------------------------------

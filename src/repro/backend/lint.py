@@ -2,17 +2,22 @@
 
 The registry is only an architecture if call sites actually go through
 it.  This stdlib-``ast`` pass enforces that for the layers that sit
-*above* the kernels — ``repro.models`` and ``repro.nn.layers*`` — by
-forbidding calls to NumPy compute functions there.  Data marshalling
-(``np.zeros``, ``np.stack``, ``np.asarray``, dtype/constant attribute
-references, the ``np.random`` generators) stays allowed: the rule
-targets math that should be a registered kernel or a tensor op, not
-array bookkeeping.
+*above* the kernels — ``repro.models``, ``repro.nn.layers*``, and the
+quantization helpers ``repro.nn.quantize`` — by forbidding calls to
+NumPy compute functions there.  Data marshalling (``np.zeros``,
+``np.stack``, ``np.asarray``, dtype/constant attribute references, the
+``np.random`` generators) stays allowed: the rule targets math that
+should be a registered kernel or a tensor op, not array bookkeeping.
 
 A call that is genuinely out of scope for the registry (e.g. MoCo's
 queue renormalization) can carry an explicit waiver: put
 ``# kernel-lint: allow`` on the offending line or the line directly
 above it.
+
+A second pass checks *registry completeness*: every registered op must
+either have a ``fast`` kernel or be explicitly declared in
+:data:`repro.backend.fast.FALLBACK_OPS` — a new op can't silently run
+the slow path under ``--backend fast``.
 
 Run as ``python -m repro.backend.lint`` (CI's lint job does); exits
 non-zero when violations are found.
@@ -28,8 +33,12 @@ from typing import List, Optional, Sequence, Tuple
 WAIVER = "kernel-lint: allow"
 
 #: Default lint surface, relative to the repository's ``src`` directory.
+#: Each target maps to one or more glob patterns beneath it.
 DEFAULT_TARGETS = ("repro/models", "repro/nn")
-DEFAULT_PATTERNS = {"repro/models": "*.py", "repro/nn": "layers*.py"}
+DEFAULT_PATTERNS = {
+    "repro/models": ("*.py",),
+    "repro/nn": ("layers*.py", "quantize.py"),
+}
 
 #: NumPy callables that marshal or construct arrays rather than compute.
 ALLOWED_CALLS = frozenset({
@@ -135,12 +144,53 @@ def lint_paths(src_root: Path, targets: Sequence[str] = DEFAULT_TARGETS
     """Lint every file under the target surface; returns all violations."""
     violations: List[Violation] = []
     for target in targets:
-        pattern = DEFAULT_PATTERNS.get(target, "*.py")
+        patterns = DEFAULT_PATTERNS.get(target, ("*.py",))
+        if isinstance(patterns, str):
+            patterns = (patterns,)
         base = src_root / target
-        for fp in sorted(base.rglob(pattern)):
-            rel = fp.relative_to(src_root)
-            violations.extend(
-                lint_source(fp.read_text(encoding="utf-8"), str(rel)))
+        seen = set()
+        for pattern in patterns:
+            for fp in sorted(base.rglob(pattern)):
+                if fp in seen:
+                    continue
+                seen.add(fp)
+                rel = fp.relative_to(src_root)
+                violations.extend(
+                    lint_source(fp.read_text(encoding="utf-8"), str(rel)))
+    return violations
+
+
+def lint_registry_coverage() -> List[Violation]:
+    """Every op needs a ``fast`` kernel or an explicit fallback entry.
+
+    The ``fast`` backend is allowed to alias another backend's kernel
+    for ops it has no better formulation for, but only *declaredly*
+    (:data:`repro.backend.fast.FALLBACK_OPS`): registering a new op
+    without deciding its fast story is a lint failure, not a silent
+    reference-speed hole in the serving path.
+    """
+    from repro.backend.fast import FALLBACK_OPS
+    from repro.backend.registry import known_backends, known_ops
+
+    violations: List[Violation] = []
+    for op in known_ops():
+        backends = known_backends(op)
+        if "fast" not in backends:
+            if op in FALLBACK_OPS:
+                violations.append(Violation(
+                    "repro/backend/fast.py", 1,
+                    f"op {op!r} declares a FALLBACK_OPS entry but no "
+                    f"'fast' alias kernel was registered for it"))
+            else:
+                violations.append(Violation(
+                    "repro/backend/fast.py", 1,
+                    f"op {op!r} has no 'fast' kernel and no FALLBACK_OPS "
+                    f"entry — register one or declare the fallback"))
+        elif op in FALLBACK_OPS and FALLBACK_OPS[op] not in backends:
+            violations.append(Violation(
+                "repro/backend/fast.py", 1,
+                f"op {op!r} declares fallback backend "
+                f"{FALLBACK_OPS[op]!r} which is not registered for it"))
     return violations
 
 
@@ -148,6 +198,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     src_root = Path(args[0]) if args else Path(__file__).resolve().parents[2]
     violations = lint_paths(src_root)
+    violations.extend(lint_registry_coverage())
     for v in violations:
         print(v)
     if violations:

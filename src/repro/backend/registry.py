@@ -45,7 +45,10 @@ _PROVIDERS = (
     "repro.tensor.ops_pool",
     "repro.tensor.ops_norm",
     "repro.tensor.ops_activation",
+    "repro.tensor.ops_quant",
+    "repro.tensor.ops_fused",
     "repro.backend.opt",
+    "repro.backend.fast",
 )
 
 #: ``counts(result, *args, **kwargs) -> OpCounts`` — analytic cost of one

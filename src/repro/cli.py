@@ -30,8 +30,10 @@ code:
 - ``bench``     — performance harnesses: ``bench hotpaths`` times the
   ``repro.parallel`` hot paths (dataset simulation, batch scoring,
   float32 inference) and writes ``BENCH_hotpaths.json``;
-  ``bench kernels`` times every registered kernel op on every backend,
-  re-proves reference/opt bit parity, and writes ``BENCH_kernels.json``;
+  ``bench kernels`` times every registered kernel op on the selected
+  backends (``--backends reference,opt,fast``), re-proves each
+  backend's parity tier plus the fp16/int8 precision floors, and
+  writes ``BENCH_kernels.json``;
   ``bench dag`` runs the monolithic-vs-stage-pipelined serving
   comparison (cold and warm monitoring caches, cross-mode functional
   parity) and writes ``BENCH_dag.json``; ``bench pandemic`` drives a
@@ -42,8 +44,10 @@ code:
   combined train+serve trace) and writes ``BENCH_training.json``.
 
 ``diagnose --backend opt`` runs the whole pipeline on the optimized
-kernel backend; ``serve --calibrated`` microbenchmarks this host first
-and schedules on the measured (calibrated) service-time model.
+kernel backend (``fast`` selects the FFT/fused third backend);
+``serve --backend fast --calibrated`` microbenchmarks this host's
+kernels *under that backend* first and schedules on the measured
+(calibrated, backend-specific) service-time model.
 
 ``simulate`` and ``serve`` accept ``--workers N`` to fan work across
 ``N`` processes over shared memory; results are bit-identical to
@@ -176,10 +180,12 @@ def _cmd_serve(args) -> int:
         if args.calibrated:
             from repro.serve.scheduler import ServiceTimeModel
 
-            print("calibrating kernel service times on this host ...")
-            service_model = ServiceTimeModel.calibrated()
+            backend_note = f" ({args.backend} backend)" if args.backend else ""
+            print(f"calibrating kernel service times on this host{backend_note} ...")
+            service_model = ServiceTimeModel.calibrated(backend=args.backend)
         engine = ServingEngine(
             fleet=args.fleet, policy=args.policy,
+            backend=args.backend,
             batch_policy=BatchPolicy(max_batch=args.max_batch,
                                      max_wait_s=args.max_wait),
             queue_capacity=args.queue_capacity,
@@ -461,12 +467,17 @@ def _cmd_bench_kernels(args) -> int:
     from repro.backend.kernel_bench import format_kernel_summary, run_kernel_bench
     from repro.benchrunner import finish_bench
 
+    backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
+                if args.backends else None)
     payload = run_kernel_bench(quick=args.quick, repeats=args.repeats,
                                size=args.size,
-                               with_calibration=not args.no_calibration)
+                               with_calibration=not args.no_calibration,
+                               with_precision=not args.no_precision,
+                               backends=backends)
     return finish_bench(
-        payload, args.out, format_kernel_summary,
-        failure_msg="PARITY FAILURE: a backend diverges from reference")
+        payload, args.out, format_kernel_summary, gate_key="gate_ok",
+        failure_msg="PARITY/PRECISION FAILURE: a backend diverges beyond "
+                    "its tier or a reduced-precision floor is violated")
 
 
 def _cmd_bench_dag(args) -> int:
@@ -525,7 +536,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.5)
     p.add_argument("--no-enhancement", action="store_true")
     p.add_argument("--backend", default=None,
-                   help="kernel backend for every tensor op (reference, opt)")
+                   help="kernel backend for every tensor op "
+                        "(reference, opt, fast)")
     p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser("simulate", help="generate low/full-dose training pairs")
@@ -602,8 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable graceful degradation (skip Enhancement AI "
                         "under queue/latency pressure)")
     p.add_argument("--calibrated", action="store_true",
-                   help="microbenchmark this host's kernels first and run "
-                        "the scheduler on the calibrated perf model")
+                   help="microbenchmark this host's kernels first (under "
+                        "--backend when given) and run the scheduler on "
+                        "the calibrated perf model")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend for verification batches and "
+                        "calibration (reference, opt, fast)")
     p.add_argument("--json", help="also write the summary to this JSON file")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="export the run's telemetry events as JSONL "
@@ -684,15 +700,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated worker counts to sweep")
     pb.set_defaults(func=_cmd_bench_hotpaths)
     pk = bench_sub.add_parser(
-        "kernels", help="time every registered kernel op on every backend, "
-                        "check bit parity, and write BENCH_kernels.json")
+        "kernels", help="time every registered kernel op on the selected "
+                        "backends, check per-backend parity tiers and the "
+                        "fp16/int8 precision floors, and write "
+                        "BENCH_kernels.json")
     add_bench_arguments(pk, "BENCH_kernels.json")
     pk.add_argument("--repeats", type=int, default=None,
                     help="timing repeats per op (default: 3, quick: 2)")
     pk.add_argument("--size", type=int, default=None,
                     help="spatial workload size (default: 64, quick: 24)")
     pk.add_argument("--no-calibration", action="store_true",
-                    help="skip embedding the host calibration fit")
+                    help="skip embedding the per-backend calibration fits")
+    pk.add_argument("--no-precision", action="store_true",
+                    help="skip the reduced-precision fp16/int8 arm")
+    pk.add_argument("--backends", type=str, default=None,
+                    help="comma-separated backends to bench (default: all "
+                         "registered; reference is always included)")
     pk.set_defaults(func=_cmd_bench_kernels)
     pd = bench_sub.add_parser(
         "dag", help="monolithic vs stage-pipelined serving (cold/warm "

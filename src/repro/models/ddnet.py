@@ -58,6 +58,22 @@ class _DeconvBNAct(nn.Module):
     def forward(self, x):
         return F.leaky_relu(self.bn(self.deconv(x)))
 
+    def forward_fused_unpool(self, x, scale: int = 2):
+        """Decoder pair as one kernel: unpool ×``scale`` then this deconv.
+
+        Dispatches the fused ``unpool_deconv`` op (single kernel
+        boundary, no intermediate up-sampled tensor under ``no_grad``;
+        composes the autograd ops under grad, so training numerics are
+        identical to the unfused path).
+        """
+        d = self.deconv
+        h = F.fused_unpool_deconv(
+            x, d.weight, bias=d.bias, scale=scale, stride=d.stride,
+            padding=d.padding, output_padding=d.output_padding,
+            backend=self.backend,
+        )
+        return F.leaky_relu(self.bn(h))
+
 
 class DDnet(nn.Module):
     """DenseNet + Deconvolution network for CT image enhancement.
@@ -170,10 +186,15 @@ class DDnet(nn.Module):
         # stem at full resolution last.
         shortcut_feats = skips[-2::-1] + [stem]
         for stage in range(self.num_blocks):
-            h = self.unpools[stage](h)
-            if self.global_shortcuts:
+            if not self.global_shortcuts:
+                # No concat between the un-pool and the 5×5 deconv: run
+                # the Fig. 9 decoder pair as one fused dispatch.
+                h = self.deconvs_a[stage].forward_fused_unpool(
+                    h, scale=self.unpools[stage].scale)
+            else:
+                h = self.unpools[stage](h)
                 h = F.concat([h, shortcut_feats[stage]], axis=1)
-            h = self.deconvs_a[stage](h)
+                h = self.deconvs_a[stage](h)
             if stage < self.num_blocks - 1:
                 h = self.deconvs_b[stage](h)
         out = self.head(h)

@@ -115,15 +115,25 @@ class Module:
         ``model.to_dtype(np.float32)`` is the inference fast path: with
         every op dtype-preserving, a float32 model halves the working
         set of the im2col convolution stack and roughly doubles BLAS
-        throughput.  Integer/bool buffers are left untouched.  Pending
-        gradients are dropped (their dtype would no longer match).
+        throughput.  ``np.float16`` is the reduced-precision serving
+        mode — accuracy-gated by the floors in
+        :mod:`repro.backend.precision`, not bit-parity.  Integer/bool
+        buffers are left untouched.  Pending gradients are dropped
+        (their dtype would no longer match).
+
+        Quantized parameters (:mod:`repro.nn.quantize`) re-target their
+        dequantization dtype instead of casting — the float view is
+        rebuilt from the original int8 payload at the new width.
         """
         dtype = np.dtype(dtype)
         if dtype.kind != "f":
             raise TypeError(f"to_dtype expects a float dtype; got {dtype}")
         for m in self.modules():
             for p in m._parameters.values():
-                p.data = np.ascontiguousarray(p.data, dtype=dtype)
+                if hasattr(p, "retarget_dtype"):
+                    p.retarget_dtype(dtype)
+                else:
+                    p.data = np.ascontiguousarray(p.data, dtype=dtype)
                 p.grad = None
             for name, b in m._buffers.items():
                 if b.dtype.kind == "f" and b.dtype != dtype:

@@ -109,12 +109,14 @@ class BatchVerifier:
     """
 
     def __init__(self, stages: Sequence[str], budget: int = 0,
-                 framework=None, workers: int = 1, bus=None):
+                 framework=None, workers: int = 1, bus=None,
+                 backend: Optional[str] = None):
         self.stages = tuple(stages)
         self.budget = budget
         self.verified = 0
         self.workers = workers
         self.bus = bus
+        self.backend = backend
         self._framework = framework
         self._framework_degraded = None
 
@@ -125,7 +127,8 @@ class BatchVerifier:
             from repro.pipeline import ComputeCovid19Plus
 
             self._framework = ComputeCovid19Plus(
-                use_enhancement="enhance" in self.stages)
+                use_enhancement="enhance" in self.stages,
+                backend=self.backend)
         return self._framework
 
     @property
@@ -235,7 +238,15 @@ class ServingEngine:
         artifact_cache_mb: float = 4096.0,
         stage_graph=None,
         artifact_cache=None,
+        backend: Optional[str] = None,
     ):
+        if backend is not None:
+            from repro.backend.registry import known_backends
+
+            if backend not in known_backends():
+                raise ValueError(f"unknown kernel backend {backend!r}; "
+                                 f"registered: {known_backends()}")
+        self.backend = backend
         if mode not in SERVE_MODES:
             raise ValueError(f"mode must be one of {SERVE_MODES}")
         if mode == "monolithic" and not use_enhancement:
@@ -289,7 +300,8 @@ class ServingEngine:
         self.verifier = BatchVerifier(self.stages, verify_batches,
                                       framework=framework,
                                       workers=verify_workers,
-                                      bus=self.telemetry)
+                                      bus=self.telemetry,
+                                      backend=backend)
         # -- resilience layers (all None ⇒ the PR-1 perfect fleet) ------
         self.resilience = resilience
         self.injector = (FaultInjector(resilience.faults, devices)

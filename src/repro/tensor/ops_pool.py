@@ -113,7 +113,14 @@ def _bilinear_matrix(n_in: int, scale: int) -> np.ndarray:
 
 
 def upsample_bilinear_forward(x: np.ndarray, scale: int = 2) -> np.ndarray:
-    """Separable linear up-sampling of the trailing spatial axes."""
+    """Separable linear up-sampling of the trailing spatial axes.
+
+    Interpolation runs in float64 (the matrix's dtype) for every input,
+    but sub-64-bit float inputs get the result cast back to their own
+    dtype: reduced-precision inference must stay reduced-precision
+    through the decoder instead of silently re-widening at the first
+    un-pool.  float64 inputs are untouched (bit-identical path).
+    """
     nd = x.ndim - 2
     out = x
     # Apply the interpolation matrix along each spatial axis in turn via
@@ -121,6 +128,8 @@ def upsample_bilinear_forward(x: np.ndarray, scale: int = 2) -> np.ndarray:
     for d in range(nd):
         m = _bilinear_matrix(x.shape[2 + d], scale)
         out = np.moveaxis(np.tensordot(m, out, axes=(1, 2 + d)), 0, 2 + d)
+    if x.dtype.kind == "f" and x.dtype.itemsize < 8 and out.dtype != x.dtype:
+        out = out.astype(x.dtype)
     return np.ascontiguousarray(out)
 
 

@@ -32,15 +32,20 @@ from repro.backend.registry import (
 from repro.tensor import Tensor, no_grad
 
 ALL_OPS = (
-    "avgpool", "batchnorm", "conv", "conv_bias_act", "conv_weight_grad",
-    "deconv", "leaky_relu", "maxpool", "relu", "unpool",
+    "avgpool", "batchnorm", "conv", "conv_batch", "conv_bias_act",
+    "conv_weight_grad", "deconv", "dequantize_linear", "leaky_relu",
+    "maxpool", "quantize_linear", "relu", "unpool", "unpool_deconv",
 )
+
+ALL_BACKENDS = ("fast", "opt", "reference")
 
 OP_KINDS = {
     "conv": "convolution", "deconv": "deconvolution",
     "conv_weight_grad": "convolution", "conv_bias_act": "convolution",
+    "conv_batch": "convolution", "unpool_deconv": "deconvolution",
     "maxpool": "pooling", "avgpool": "pooling", "unpool": "unpooling",
     "leaky_relu": "leaky_relu", "relu": "relu", "batchnorm": "batchnorm",
+    "quantize_linear": "quantize", "dequantize_linear": "dequantize",
 }
 
 
@@ -64,13 +69,30 @@ def _assert_same(a, b):
             assert x == y
 
 
+def _assert_parity(backend, reference, candidate, context=""):
+    """Tier-aware parity: bit for ``opt``, ulp tolerance for ``fast``."""
+    from repro.backend.precision import assert_tier, tier_for
+
+    assert_tier(tier_for(backend), reference, candidate,
+                context=f"{backend} {context}".strip())
+
+
 class TestRegistry:
     def test_all_ops_registered(self):
         assert tuple(known_ops()) == ALL_OPS
 
-    def test_both_backends_for_every_op(self):
+    def test_all_backends_for_every_op(self):
         for op in known_ops():
-            assert known_backends(op) == ["opt", "reference"], op
+            assert known_backends(op) == list(ALL_BACKENDS), op
+
+    def test_fast_fallbacks_are_declared_and_registered(self):
+        from repro.backend.fast import FALLBACK_OPS
+        from repro.backend.lint import lint_registry_coverage
+
+        assert lint_registry_coverage() == []
+        for op, fallback in FALLBACK_OPS.items():
+            assert op in known_ops()
+            assert fallback in known_backends(op)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
@@ -117,10 +139,11 @@ class TestRegistry:
 
 
 class TestBackendParity:
-    """``opt`` must be bit-identical to ``reference`` for every op."""
+    """Every backend must meet its tier against ``reference`` for every op:
+    ``opt`` bit-identical, ``fast`` within the dtype-aware ulp tolerance."""
 
     # (x_shape, w_shape, stride, padding): odd spatial sizes, stride >
-    # 1, and 3D volumes all covered.
+    # 1, 5×5 FFT-eligible kernels, and 3D volumes all covered.
     CONV_CASES = [
         ((2, 3, 7, 5), (4, 3, 3, 3), 1, 1),
         ((1, 2, 9, 9), (3, 2, 3, 3), 2, 1),
@@ -129,9 +152,12 @@ class TestBackendParity:
         ((1, 3, 6, 5, 4), (2, 3, 2, 2, 2), 2, 0),
     ]
 
+    BACKENDS = ("opt", "fast")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("dtype", [np.float64, np.float32])
     @pytest.mark.parametrize("case", CONV_CASES)
-    def test_conv_family(self, rng, case, dtype):
+    def test_conv_family(self, rng, case, dtype, backend):
         x_shape, w_shape, stride, padding = case
         x = rng.normal(size=x_shape).astype(dtype)
         w = rng.normal(size=w_shape).astype(dtype)
@@ -139,30 +165,35 @@ class TestBackendParity:
 
         ref = dispatch("conv", x, w, bias, stride, padding,
                        want_cols=True, backend="reference")
-        opt = dispatch("conv", x, w, bias, stride, padding,
-                       want_cols=True, backend="opt")
-        _assert_same(ref, opt)
+        cand = dispatch("conv", x, w, bias, stride, padding,
+                        want_cols=True, backend=backend)
+        _assert_parity(backend, ref, cand, "conv")
 
         g, cols2 = ref[0], ref[1]
-        _assert_same(
+        _assert_parity(
+            backend,
             dispatch("deconv", g, w, x.shape, stride, padding,
                      backend="reference"),
             dispatch("deconv", g, w, x.shape, stride, padding,
-                     backend="opt"))
-        _assert_same(
+                     backend=backend), "deconv")
+        _assert_parity(
+            backend,
             dispatch("conv_weight_grad", cols2, g, w.shape,
                      backend="reference"),
-            dispatch("conv_weight_grad", cols2, g, w.shape, backend="opt"))
-        _assert_same(
+            dispatch("conv_weight_grad", cols2, g, w.shape,
+                     backend=backend), "conv_weight_grad")
+        _assert_parity(
+            backend,
             dispatch("conv_bias_act", x, w, bias, stride, padding, 0.01,
                      backend="reference"),
             dispatch("conv_bias_act", x, w, bias, stride, padding, 0.01,
-                     backend="opt"))
+                     backend=backend), "conv_bias_act")
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("dtype", [np.float64, np.float32])
     @pytest.mark.parametrize("shape", [(2, 3, 7, 5), (1, 2, 6, 6),
                                        (1, 2, 4, 5, 6)])
-    def test_pointwise_and_pooling(self, rng, shape, dtype):
+    def test_pointwise_and_pooling(self, rng, shape, dtype, backend):
         x = rng.normal(size=shape).astype(dtype)
         c = shape[1]
         mean = rng.normal(size=c).astype(dtype)
@@ -179,19 +210,60 @@ class TestBackendParity:
             ("batchnorm", (x, mean, var, gamma, beta, 1e-5), {}),
         ]
         for op, args, kwargs in calls:
-            _assert_same(dispatch(op, *args, backend="reference", **kwargs),
-                         dispatch(op, *args, backend="opt", **kwargs))
+            _assert_parity(
+                backend,
+                dispatch(op, *args, backend="reference", **kwargs),
+                dispatch(op, *args, backend=backend, **kwargs), op)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fused_ops_parity(self, rng, backend):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(3, 4, 5, 5))
+        y_shape = (2, 4, 12, 12)
+        _assert_parity(
+            backend,
+            dispatch("unpool_deconv", x, w, y_shape, 2, (1, 1), (2, 2),
+                     backend="reference"),
+            dispatch("unpool_deconv", x, w, y_shape, 2, (1, 1), (2, 2),
+                     backend=backend), "unpool_deconv")
+        scans = [rng.normal(size=(3, 6, 6)) for _ in range(3)]
+        wc = rng.normal(size=(4, 3, 5, 5))
+        bias = rng.normal(size=4)
+        for slope in (None, 0.01):
+            _assert_parity(
+                backend,
+                dispatch("conv_batch", scans, wc, bias, 1, 2, slope,
+                         backend="reference"),
+                dispatch("conv_batch", scans, wc, bias, 1, 2, slope,
+                         backend=backend), "conv_batch")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_quantize_ops_parity(self, rng, backend):
+        w = rng.normal(size=(4, 3, 5, 5))
+        q_ref, s_ref = dispatch("quantize_linear", w, 0, backend="reference")
+        _assert_parity(
+            backend, (q_ref, s_ref),
+            dispatch("quantize_linear", w, 0, backend=backend),
+            "quantize_linear")
+        _assert_parity(
+            backend,
+            dispatch("dequantize_linear", q_ref, s_ref, np.float32,
+                     backend="reference"),
+            dispatch("dequantize_linear", q_ref, s_ref, np.float32,
+                     backend=backend), "dequantize_linear")
 
     def test_fused_conv_bias_act_matches_composition(self, rng):
         x = rng.normal(size=(1, 2, 6, 6))
         w = rng.normal(size=(3, 2, 3, 3))
         bias = rng.normal(size=3)
+        conv = dispatch("conv", x, w, bias, 1, 1, want_cols=False,
+                        backend="reference")[0]
+        expected = np.where(conv > 0, conv, 0.01 * conv)
         for backend in known_backends():
             fused = dispatch("conv_bias_act", x, w, bias, 1, 1, 0.01,
                              backend=backend)
-            conv = dispatch("conv", x, w, bias, 1, 1, want_cols=False,
-                            backend="reference")[0]
-            assert np.array_equal(fused, np.where(conv > 0, conv, 0.01 * conv))
+            _assert_parity(backend if backend != "reference" else "opt",
+                           expected, fused, "conv_bias_act composition")
 
 
 try:
@@ -199,18 +271,21 @@ try:
     from hypothesis import strategies as st
 
     class TestParityProperty:
-        """Property-based parity: random shapes/strides stay bit-identical."""
+        """Property-based parity: random shapes/strides/kernels hold each
+        backend's tier (``opt`` bit-identical, ``fast`` ulp — kernels up
+        to 5×5 so the FFT path is sampled, not just the tiled fallback)."""
 
         @given(
             n=st.integers(1, 2), c=st.integers(1, 3), f=st.integers(1, 3),
-            h=st.integers(3, 9), wdt=st.integers(3, 9),
-            k=st.integers(1, 3), stride=st.integers(1, 2),
+            h=st.integers(3, 11), wdt=st.integers(3, 11),
+            k=st.integers(1, 5), stride=st.integers(1, 2),
             padding=st.integers(0, 2), seed=st.integers(0, 2**16),
             f32=st.booleans(),
+            backend=st.sampled_from(["opt", "fast"]),
         )
-        @settings(max_examples=25, deadline=None)
+        @settings(max_examples=40, deadline=None)
         def test_conv_and_deconv_parity(self, n, c, f, h, wdt, k, stride,
-                                        padding, seed, f32):
+                                        padding, seed, f32, backend):
             rng = np.random.default_rng(seed)
             dtype = np.float32 if f32 else np.float64
             x = rng.normal(size=(n, c, h, wdt)).astype(dtype)
@@ -219,15 +294,16 @@ try:
                 return
             ref = dispatch("conv", x, w, None, stride, padding,
                            want_cols=False, backend="reference")
-            opt = dispatch("conv", x, w, None, stride, padding,
-                           want_cols=False, backend="opt")
-            assert np.array_equal(ref[0], opt[0])
+            cand = dispatch("conv", x, w, None, stride, padding,
+                            want_cols=False, backend=backend)
+            _assert_parity(backend, ref[0], cand[0], "conv")
             g = ref[0]
-            assert np.array_equal(
+            _assert_parity(
+                backend,
                 dispatch("deconv", g, w, x.shape, stride, padding,
                          backend="reference"),
                 dispatch("deconv", g, w, x.shape, stride, padding,
-                         backend="opt"))
+                         backend=backend), "deconv")
 except ImportError:  # pragma: no cover - hypothesis is in the dev extra
     pass
 
@@ -346,15 +422,19 @@ class TestCounters3d:
         assert c.flops == 30 * outs
 
 
-def _synthetic_calibration(rate: float = 1e-9,
-                           overhead: float = 0.0) -> KernelCalibration:
+def _synthetic_calibration(rate: float = 1e-9, overhead: float = 0.0,
+                           backend: str = "reference",
+                           deconv_rate: float = None) -> KernelCalibration:
     coeffs = {
         op: OpCoefficients(op=op, kind=OP_KINDS[op], unit=unit,
-                           seconds_per_unit=rate, overhead_s=overhead,
-                           samples=3)
+                           seconds_per_unit=(deconv_rate
+                                             if op == "deconv"
+                                             and deconv_rate is not None
+                                             else rate),
+                           overhead_s=overhead, samples=3, backend=backend)
         for op, unit in OP_UNITS.items()
     }
-    return KernelCalibration(host="test-host", backend="reference",
+    return KernelCalibration(host="test-host", backend=backend,
                              coefficients=coeffs)
 
 
@@ -367,7 +447,40 @@ class TestCalibration:
             assert coeff.overhead_s >= 0, op
             assert coeff.samples == 2
             assert coeff.unit == OP_UNITS[op]
+            assert coeff.backend == "reference"
         assert cal.backend == "reference"
+
+    @pytest.mark.parametrize("backend", ["opt", "fast"])
+    def test_calibrate_host_runs_under_requested_backend(self, backend):
+        cal = calibrate_host(sizes=(8,), repeats=1, warmup=0,
+                             backend=backend)
+        assert cal.backend == backend
+        assert all(c.backend == backend for c in cal.coefficients.values())
+        # And the samples were actually measured under that backend:
+        # the workloads run inside use_backend, so the thread default
+        # outside is untouched.
+        from repro.backend.registry import get_backend
+        assert get_backend() == "reference"
+
+    def test_mixed_backend_calibration_refused(self):
+        cal = _synthetic_calibration(backend="fast")
+        coeffs = dict(cal.coefficients)
+        coeffs["conv"] = OpCoefficients(
+            op="conv", kind="convolution", unit="flops",
+            seconds_per_unit=1e-9, overhead_s=0.0, samples=3, backend="opt")
+        with pytest.raises(ValueError, match="mixed-backend"):
+            KernelCalibration(host="test-host", backend="fast",
+                              coefficients=coeffs)
+        with pytest.raises(ValueError, match="mixed-backend"):
+            KernelCalibration.from_dict(
+                {"host": "h", "backend": "fast",
+                 "coefficients": {op: c.to_dict()
+                                  for op, c in coeffs.items()}})
+
+    def test_coefficients_dict_defaults_backend_for_old_payloads(self):
+        d = {"op": "conv", "kind": "convolution", "unit": "flops",
+             "seconds_per_unit": 1e-9, "overhead_s": 0.0, "samples": 3}
+        assert OpCoefficients.from_dict(d).backend == "reference"
 
     def test_coefficients_predict_monotone_in_work(self):
         coeff = OpCoefficients(op="conv", kind="convolution", unit="flops",
@@ -458,6 +571,35 @@ class TestCalibratedPerfModel:
             service_model=ServiceTimeModel(perf_model=cal_model))
         assert calibrated.pick(batch, now=0.0).spec.name == "Nvidia T4 GPU"
 
+    def test_placement_flips_between_backend_calibrations(self):
+        """Re-calibrating under ``fast`` changes perf-aware placement.
+
+        The fast backend's FFT deconvolution collapses the measured
+        deconv cost; a host whose ``opt`` calibration shows expensive
+        deconvolution picks the T4 (smaller deconv share), while the
+        same host re-calibrated under ``fast`` (deconv back in line
+        with conv) flips the perf-aware scheduler back to the P100.
+        """
+        from repro.hetero.device import DEVICES
+        from repro.serve.batcher import Batch
+        from repro.serve.scheduler import FleetScheduler, ServiceTimeModel
+
+        fleet = [DEVICES["Nvidia P100 GPU"], DEVICES["Nvidia T4 GPU"]]
+        batch = Batch(batch_id=0, stage="enhance", requests=[object()],
+                      formed_s=0.0)
+
+        def pick(cal):
+            model = CalibratedPerfModel(cal)
+            sched = FleetScheduler(
+                fleet, policy="perf-aware",
+                service_model=ServiceTimeModel(perf_model=model))
+            return sched.pick(batch, now=0.0).spec.name
+
+        opt_cal = _synthetic_calibration(backend="opt", deconv_rate=20e-9)
+        fast_cal = _synthetic_calibration(backend="fast")
+        assert pick(opt_cal) == "Nvidia T4 GPU"
+        assert pick(fast_cal) == "Nvidia P100 GPU"
+
     def test_service_time_model_calibrated_integration(self):
         from repro.serve.scheduler import STAGES, ServiceTimeModel
 
@@ -468,6 +610,13 @@ class TestCalibratedPerfModel:
         v100 = DEVICES["Nvidia V100 GPU"]
         for stage in STAGES:
             assert stm.batch_time(v100, stage, 1) > 0
+
+    def test_service_time_model_calibrates_under_backend(self):
+        from repro.serve.scheduler import ServiceTimeModel
+
+        stm = ServiceTimeModel.calibrated(sizes=(8,), repeats=1, warmup=0,
+                                          backend="fast")
+        assert stm.perf_model.kernel_calibration.backend == "fast"
 
 
 class TestKernelLint:
@@ -508,23 +657,66 @@ class TestKernelBench:
         )
 
         payload = run_kernel_bench(quick=True, repeats=1, size=12,
-                                   with_calibration=False)
-        assert payload["bench"] == "kernels" and payload["schema"] == 1
+                                   with_calibration=False,
+                                   with_precision=False)
+        assert payload["bench"] == "kernels" and payload["schema"] == 2
+        assert payload["backends"] == ["reference", "fast", "opt"] or \
+            payload["backends"][0] == "reference"
         assert set(payload["ops"]) == set(known_ops())
-        assert payload["parity_ok"] is True
+        assert payload["parity_ok"] is True and payload["gate_ok"] is True
         for op, entry in payload["ops"].items():
-            assert entry["bit_identical"] is True, op
             for backend in payload["backends"]:
                 assert entry[backend]["median_s"] >= 0
-            assert "opt" in entry["speedups"]
+                if backend != "reference":
+                    parity = entry["parity"][backend]
+                    assert parity["ok"] is True, (op, backend)
+                    assert parity["tier"] == ("ulp" if backend == "fast"
+                                              else "bit")
+            assert set(entry["speedups"]) == {"opt", "fast"}
+            assert payload["speedup_matrix"][op] == entry["speedups"]
         assert payload["host"]["cpu_count"] >= 1
         summary = format_kernel_summary(payload)
-        assert "parity_ok=True" in summary
+        assert "parity_ok=True" in summary and "gate_ok=True" in summary
 
-    def test_payload_embeds_calibration(self):
+    def test_backend_selection_and_validation(self):
         from repro.backend.kernel_bench import run_kernel_bench
 
         payload = run_kernel_bench(quick=True, repeats=1, size=12,
-                                   with_calibration=True)
-        cal = KernelCalibration.from_dict(payload["calibration"])
-        assert set(cal.coefficients) == set(OP_UNITS)
+                                   with_calibration=False,
+                                   with_precision=False,
+                                   backends=["fast"])
+        # The baseline joins automatically; only fast rides along.
+        assert payload["backends"] == ["reference", "fast"]
+        for entry in payload["ops"].values():
+            assert "opt" not in entry and set(entry["speedups"]) == {"fast"}
+        with pytest.raises(ValueError, match="unknown backends"):
+            run_kernel_bench(quick=True, backends=["cuda"])
+
+    def test_payload_embeds_per_backend_calibrations(self):
+        from repro.backend.kernel_bench import run_kernel_bench
+
+        payload = run_kernel_bench(quick=True, repeats=1, size=12,
+                                   with_calibration=True,
+                                   with_precision=False,
+                                   backends=["opt"])
+        assert set(payload["calibrations"]) == {"reference", "opt"}
+        for backend, blob in payload["calibrations"].items():
+            cal = KernelCalibration.from_dict(blob)
+            assert cal.backend == backend
+            assert set(cal.coefficients) == set(OP_UNITS)
+
+    def test_precision_arm_meets_floors(self):
+        from repro.backend.kernel_bench import run_kernel_bench
+
+        payload = run_kernel_bench(quick=True, repeats=1, size=12,
+                                   with_calibration=False,
+                                   with_precision=True,
+                                   backends=["fast"])
+        arm = payload["precision"]
+        assert set(arm["modes"]) == {"float16", "int8"}
+        for mode, m in arm["modes"].items():
+            assert m["ok"] is True, (mode, m["metrics"])
+            assert set(m["floor_checks"]) == {"ms_ssim", "psnr_db"}
+        assert arm["modes"]["float16"]["output_dtype"] == "float16"
+        assert arm["modes"]["int8"]["quantized_params"] > 0
+        assert payload["precision_ok"] is True and payload["gate_ok"] is True

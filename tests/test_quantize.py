@@ -1,0 +1,182 @@
+"""Tests for per-layer int8 quantization (kernels, parameters, checkpoints).
+
+Covers the ``quantize_linear``/``dequantize_linear`` kernel pair, the
+lazy-dequant :class:`QuantizedParameter`, module-level quantization with
+its accuracy floors, and the checkpoint round-trip — including the
+satellite-4 guarantee that reduced-precision state dicts come back at
+their recorded dtype, never silently promoted to float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.precision import check_floors, ms_ssim, psnr
+from repro.backend.registry import clear_kernel_caches, dispatch
+from repro.models.ddnet import DDnet
+from repro.nn.quantize import (
+    MIN_QUANTIZE_NDIM,
+    QuantizedParameter,
+    dequantize_state_dict,
+    load_quantized,
+    load_quantized_state,
+    quantize_module,
+    quantize_state_dict,
+    quantized_parameter_count,
+    save_quantized,
+)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _small_ddnet(seed=0):
+    return DDnet(base_channels=4, growth=4, num_blocks=2, layers_per_block=2,
+                 global_shortcuts=False, rng=np.random.default_rng(seed))
+
+
+class TestQuantKernels:
+    def test_round_trip_error_bound(self, rng):
+        x = rng.normal(size=(6, 5, 4)).astype(np.float32)
+        q, scale = dispatch("quantize_linear", x, 0)
+        assert q.dtype == np.int8
+        assert scale.dtype == np.float32
+        back = dispatch("dequantize_linear", q, scale, np.float32)
+        # Linear quantization error is bounded by half a step per entry.
+        assert np.all(np.abs(back - x) <= scale / 2 + 1e-7)
+
+    def test_per_tensor_axis_none(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        q, scale = dispatch("quantize_linear", x, None)
+        assert scale.size == 1
+        back = dispatch("dequantize_linear", q, scale, np.float32)
+        assert np.all(np.abs(back - x) <= float(scale.ravel()[0]) / 2 + 1e-7)
+
+    def test_zero_channel_is_exact(self):
+        x = np.zeros((3, 4), dtype=np.float32)
+        x[1] = np.linspace(-1, 1, 4)
+        q, scale = dispatch("quantize_linear", x, 0)
+        flat = scale.ravel()
+        assert float(flat[0]) == 1.0 and float(flat[2]) == 1.0
+        back = dispatch("dequantize_linear", q, scale, np.float32)
+        assert np.all(back[0] == 0) and np.all(back[2] == 0)
+
+    def test_dequantize_honors_target_dtype(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        q, scale = dispatch("quantize_linear", x, 0)
+        for dtype in (np.float16, np.float32, np.float64):
+            assert dispatch("dequantize_linear", q, scale, dtype).dtype == dtype
+
+
+class TestQuantizedParameter:
+    def _param(self, rng, dtype=np.float32):
+        w = rng.normal(size=(3, 2, 5, 5)).astype(dtype)
+        q, scale = dispatch("quantize_linear", w, 0)
+        return QuantizedParameter(q, scale, dtype=dtype, name="w"), w
+
+    def test_lazy_dequant_and_cache_drop(self, rng):
+        p, _ = self._param(rng)
+        assert p.is_quantized
+        assert not p.has_cached_dequant()
+        data = p.data
+        assert data.dtype == np.float32
+        assert p.has_cached_dequant()
+        assert p.data is data  # cached, not re-dequantized
+        clear_kernel_caches()
+        assert not p.has_cached_dequant()
+        assert p.is_quantized  # cache drop does not de-quantize
+
+    def test_data_setter_dequantizes_permanently(self, rng):
+        p, w = self._param(rng)
+        p.data = w
+        assert not p.is_quantized
+        assert np.array_equal(p.data, w)
+        with pytest.raises(ValueError, match="de-quantized"):
+            p.quantized
+
+    def test_retarget_dtype(self, rng):
+        p, _ = self._param(rng)
+        p.data  # populate the cache so retarget must drop it
+        p.retarget_dtype(np.float16)
+        assert p.dequant_dtype == np.float16
+        assert p.data.dtype == np.float16
+        with pytest.raises(TypeError):
+            p.retarget_dtype(np.int32)
+
+
+class TestQuantizeModule:
+    def test_counts_and_eligibility(self):
+        m = _small_ddnet()
+        n = quantize_module(m)
+        assert n > 0
+        assert quantized_parameter_count(m) == n
+        # Idempotent; BN/bias (ndim < MIN_QUANTIZE_NDIM) never converted.
+        assert quantize_module(m) == 0
+        for p in m.parameters():
+            if p.data.ndim < MIN_QUANTIZE_NDIM:
+                assert not isinstance(p, QuantizedParameter)
+
+    def test_forward_meets_int8_floors(self, rng):
+        image = rng.uniform(size=(1, 1, 32, 32))
+        x = Tensor(image)
+        m = _small_ddnet()
+        with no_grad():
+            ref = m(x).data
+            quantize_module(m)
+            out = m(x).data
+        metrics = {
+            "ms_ssim": ms_ssim(ref[0, 0], out[0, 0]),
+            "psnr_db": psnr(ref[0, 0], out[0, 0]),
+        }
+        ok, checks = check_floors("int8", metrics)
+        assert ok, checks
+
+
+class TestStateDictRoundTrip:
+    def test_recorded_dtype_never_promoted(self, rng):
+        state = {
+            "w32": rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+            "w16": rng.normal(size=(4, 3, 3, 3)).astype(np.float16),
+            "bias": rng.normal(size=4).astype(np.float32),
+        }
+        qstate = quantize_state_dict(state)
+        assert set(qstate["w32"]) == {"q", "scale", "dtype"}
+        assert "raw" in qstate["bias"]  # 1-d stays float, verbatim
+        back = dequantize_state_dict(qstate)
+        assert back["w32"].dtype == np.float32
+        assert back["w16"].dtype == np.float16
+        assert back["bias"].dtype == np.float32
+        assert not any(a.dtype == np.float64 for a in back.values())
+        assert np.array_equal(back["bias"], state["bias"])
+
+    def test_save_load_into_fresh_model(self, rng, tmp_path):
+        path = str(tmp_path / "ddnet_int8.npz")
+        m = _small_ddnet(seed=5)
+        save_quantized(m, path)
+
+        fresh = _small_ddnet(seed=9)  # different init — must be overwritten
+        quantize_module(m)
+        load_quantized(fresh, path)
+        assert quantized_parameter_count(fresh) == quantized_parameter_count(m)
+
+        x = Tensor(rng.normal(size=(1, 1, 16, 16)))
+        with no_grad():
+            assert np.array_equal(m(x).data, fresh(x).data)
+
+    def test_loaded_state_preserves_recorded_dtype(self, rng, tmp_path):
+        path = str(tmp_path / "fp16_int8.npz")
+        state = {"w": rng.normal(size=(3, 3)).astype(np.float16)}
+        save_quantized(state, path)
+        loaded = load_quantized_state(path)
+        assert np.dtype(loaded["w"]["dtype"]) == np.float16
+        back = dequantize_state_dict(loaded)
+        assert back["w"].dtype == np.float16
+
+    def test_unknown_entries_rejected(self, rng, tmp_path):
+        path = str(tmp_path / "stray.npz")
+        state = {"not_a_param": rng.normal(size=(3, 3)).astype(np.float32)}
+        save_quantized(state, path)
+        with pytest.raises(KeyError, match="no parameter"):
+            load_quantized(_small_ddnet(), path)
