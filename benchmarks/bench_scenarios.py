@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Scanner-variation stress benchmark (standalone, not a pytest bench).
+
+Sweeps acquisition-protocol variations (dose fraction, sparse-view
+geometry, electronic noise) through the :mod:`repro.ct` physics chain
+and scores per-scenario reconstruction/segmentation/quantification
+degradation against lesion-phantom ground truth, then runs one seeded
+diagnosis+monitoring+quantify stream through the staged and DAG
+serving engines, recording per-kind SLO attainment.  Writes
+``BENCH_scenarios.json`` at the repo root and exits nonzero when any
+gate fails: quantification error at the reference protocol out of
+tolerance, the worst-case scenario failing to degrade (sweep no-op),
+or the per-kind summary losing bit-parity across the trace round trip.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [--quick]
+        [--out PATH]
+
+Also exposed as ``repro bench scenarios``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_scenarios.json")
+
+
+def main(argv=None) -> int:
+    from repro.benchrunner import finish_bench, make_bench_parser
+
+    parser = make_bench_parser(__doc__.splitlines()[0], DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import format_scenarios_summary, run_scenarios_bench
+
+    payload = run_scenarios_bench(quick=args.quick)
+    return finish_bench(
+        payload, args.out, format_scenarios_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: quantification error, degradation "
+                    "sweep, or per-kind parity gate failed")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,9 @@ code:
   with model residency and an intermediate-artifact cache
   (``repro.dag``), ``--arrivals epi`` draws arrivals from the SEIR
   epidemic curve, ``--monitor-fraction`` mixes in monitoring re-reads,
-  and ``--trace-out`` exports the run's telemetry events as JSONL,
+  ``--quantify-fraction`` mixes in lesion-quantification requests (the
+  workload registry's third kind), and ``--trace-out`` exports the
+  run's telemetry events as JSONL,
 - ``train``     — simulate elastic DDP training on the event spine
   (``repro.distributed``): rank crashes with shrink/regrow membership,
   stragglers with backup-rank mitigation, top-k gradient compression;
@@ -41,7 +43,11 @@ code:
   static vs autoscaled, capacity-planning table) and writes
   ``BENCH_pandemic.json``; ``bench training`` runs the elastic-DDP
   chaos benchmark (scaling ladder, crash/straggler/compression arms,
-  combined train+serve trace) and writes ``BENCH_training.json``.
+  combined train+serve trace) and writes ``BENCH_training.json``;
+  ``bench scenarios`` sweeps scanner variations (dose, geometry,
+  electronics) through the CT chain, gates lesion-quantification error
+  against phantom ground truth plus per-kind serving parity, and
+  writes ``BENCH_scenarios.json``.
 
 ``diagnose --backend opt`` runs the whole pipeline on the optimized
 kernel backend (``fast`` selects the FFT/fused third backend);
@@ -164,6 +170,21 @@ def _build_resilience(args):
     )
 
 
+def _print_kind_block(summary) -> None:
+    """Per-workload-kind lines shared by ``serve`` and ``trace summary``
+    (both read the same bit-identical ``kinds`` block)."""
+    kinds = summary.get("kinds", {})
+    if len(kinds) < 2:
+        return  # single-kind streams add nothing over the totals above
+    for name, block in kinds.items():
+        print(f"  kind {name:11s}: {block['completed']} completed, "
+              f"{block['shed']} shed, "
+              f"p50 {block['latency_p50_s']:.3f}  "
+              f"p95 {block['latency_p95_s']:.3f}  "
+              f"p99 {block['latency_p99_s']:.3f} s, "
+              f"SLO attainment {block['slo_attainment']:.1%}")
+
+
 def _cmd_serve(args) -> int:
     import json
 
@@ -174,6 +195,7 @@ def _cmd_serve(args) -> int:
             args.requests, rate_per_s=args.rate, pattern=args.pattern,
             seed=args.seed, dup_fraction=args.dup_fraction,
             monitor_fraction=args.monitor_fraction,
+            quantify_fraction=args.quantify_fraction,
         )
         resilience = _build_resilience(args)
         service_model = None
@@ -195,6 +217,10 @@ def _cmd_serve(args) -> int:
             service_model=service_model,
             mode=args.mode,
             artifact_cache_mb=args.artifact_cache_mb,
+            # The engine serves the registry's default kinds; mixing in
+            # quantification requests needs the third chain routed too.
+            workloads=(("diagnosis", "monitoring", "quantify")
+                       if args.quantify_fraction > 0 else None),
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -213,6 +239,7 @@ def _cmd_serve(args) -> int:
           f"{summary['shed_timeout']} timed out, "
           f"{summary['shed_fault']} faulted; "
           f"{summary['slo_violations']} SLO violations")
+    _print_kind_block(summary)
     print(f"  queue     : mean depth {summary['queue_mean_depth']:.2f}, "
           f"max {summary['queue_max_depth']}")
     print(f"  cache     : hit rate {summary['cache_hit_rate']:.1%} "
@@ -356,6 +383,7 @@ def _cmd_trace(args) -> int:
           f"{summary['shed_timeout']} timed out, "
           f"{summary['shed_fault']} faulted; "
           f"{summary['slo_violations']} SLO violations")
+    _print_kind_block(summary)
     print(f"  cache     : {summary['cache_hits']} hits")
     if "stage_completions" in summary:
         stages = ", ".join(f"{k}={v}" for k, v in
@@ -500,6 +528,17 @@ def _cmd_bench_pandemic(args) -> int:
         failure_msg="GATE FAILURE: a pandemic-fleet claim is not met")
 
 
+def _cmd_bench_scenarios(args) -> int:
+    from repro.benchrunner import finish_bench
+    from repro.scenarios import format_scenarios_summary, run_scenarios_bench
+
+    payload = run_scenarios_bench(quick=args.quick)
+    return finish_bench(
+        payload, args.out, format_scenarios_summary, gate_key="gates_ok",
+        failure_msg="GATE FAILURE: quantification error, degradation "
+                    "sweep, or per-kind parity gate failed")
+
+
 def _cmd_bench_training(args) -> int:
     from repro.benchrunner import finish_bench
     from repro.distributed.bench import (
@@ -583,6 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--monitor-fraction", type=float, default=0.0,
                    help="fraction of requests that are monitoring re-reads "
                         "of an earlier patient (bypass the result cache)")
+    p.add_argument("--quantify-fraction", type=float, default=0.0,
+                   help="fraction of requests that are lesion-quantification "
+                        "jobs (percent-of-lung involvement; own SLO class)")
     p.add_argument("--artifact-cache-mb", type=float, default=4096.0,
                    help="DAG mode: intermediate-artifact cache capacity")
     p.add_argument("--fleet", default="mixed",
@@ -738,6 +780,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(pt, "BENCH_training.json", seed=True,
                         quick_help="shorter ladder for CI smoke runs")
     pt.set_defaults(func=_cmd_bench_training)
+    psc = bench_sub.add_parser(
+        "scenarios", help="scanner-variation stress sweep (dose, sparse "
+                          "views, electronics) plus mixed diagnosis/"
+                          "monitoring/quantify serving with per-kind SLO "
+                          "and trace parity; writes BENCH_scenarios.json")
+    add_bench_arguments(psc, "BENCH_scenarios.json",
+                        quick_help="fewer phantoms/requests for CI smoke runs")
+    psc.set_defaults(func=_cmd_bench_scenarios)
     return parser
 
 

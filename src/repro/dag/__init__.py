@@ -28,7 +28,7 @@ arXiv:2112.09216, and CoRSAI arXiv:2105.11863 all share the shape):
 from dataclasses import dataclass
 
 from repro.dag.artifacts import ARTIFACT_METRIC_PREFIX, ArtifactCache
-from repro.dag.graph import STAGE_MODELS, StageGraph, covid_stage_graph
+from repro.dag.graph import QUANTIFY_MODEL, STAGE_MODELS, StageGraph, covid_stage_graph
 from repro.dag.residency import (
     DAG_SOURCE,
     EVICTION_COUNTER,
@@ -46,7 +46,7 @@ from repro.dag.stage import (
 __all__ = [
     "StageFn", "build_stage", "EXEC_BATCH_SIZES", "HOST_LINK_GB_S",
     "FPGA_MODEL_SWAP_S",
-    "StageGraph", "covid_stage_graph", "STAGE_MODELS",
+    "StageGraph", "covid_stage_graph", "STAGE_MODELS", "QUANTIFY_MODEL",
     "ModelResidency", "SWAP_COUNTER", "EVICTION_COUNTER", "DAG_SOURCE",
     "ArtifactCache", "ARTIFACT_METRIC_PREFIX",
     "DagContext",

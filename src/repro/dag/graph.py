@@ -17,7 +17,8 @@ from typing import Optional, Sequence, Tuple
 from repro.dag.stage import EXEC_BATCH_SIZES, StageFn, build_stage
 from repro.hetero.device import DEVICES, DeviceSpec
 
-__all__ = ["StageGraph", "covid_stage_graph", "STAGE_MODELS"]
+__all__ = ["StageGraph", "covid_stage_graph", "STAGE_MODELS",
+           "QUANTIFY_MODEL"]
 
 #: Stage name → (model label, weight footprint GB).  Footprints are the
 #: float32 parameter sets of the paper's three models at deploy scale.
@@ -26,6 +27,12 @@ STAGE_MODELS = {
     "segment": ("AH-Net", 0.9),
     "classify": ("DenseNet3D-121", 0.5),
 }
+
+#: The quantify arm's model record (COVID-Rate-style lesion segmentation
+#: + involvement scoring).  Kept out of :data:`STAGE_MODELS` so the
+#: default three-stage chain is untouched; ``covid_stage_graph`` appends
+#: it only when ``with_quantify=True``.
+QUANTIFY_MODEL = ("COVID-Rate-Seg", 0.7)
 
 #: One paper-scale scan chunk (512×512×32 float32 voxels) in MB.
 SCAN_MB = 512 * 512 * 32 * 4 / 1e6
@@ -38,11 +45,19 @@ class StageGraph:
     ``skippable`` names stages the pipeline can route around without
     changing the *kind* of answer (only its quality) — for the paper
     that is exactly the enhancement stage (the Fig. 13 "original" arm).
+
+    ``arms`` names *branch terminals*: stages that hang off the shared
+    prefix as alternative endpoints (the quantify arm) rather than
+    links of the default chain.  They carry cost records like any other
+    stage but are excluded from :meth:`next_stage` traversal — which
+    kind takes which arm is the workload registry's decision
+    (:class:`repro.workload.WorkloadRouter`), not the graph's.
     """
 
     name: str
     stages: Tuple[StageFn, ...]
     skippable: Tuple[str, ...] = field(default_factory=tuple)
+    arms: Tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         self.sanity_check()
@@ -52,6 +67,11 @@ class StageGraph:
     def stage_names(self) -> Tuple[str, ...]:
         return tuple(s.name for s in self.stages)
 
+    @property
+    def chain_names(self) -> Tuple[str, ...]:
+        """The default chain: every stage that is not a branch arm."""
+        return tuple(n for n in self.stage_names if n not in self.arms)
+
     def stage(self, name: str) -> StageFn:
         for s in self.stages:
             if s.name == name:
@@ -59,7 +79,9 @@ class StageGraph:
         raise KeyError(f"no stage {name!r} in graph {self.name!r}")
 
     def next_stage(self, name: str) -> Optional[str]:
-        names = self.stage_names
+        if name in self.arms:
+            return None  # branch terminals end their chain
+        names = self.chain_names
         idx = names.index(name)
         return names[idx + 1] if idx + 1 < len(names) else None
 
@@ -80,6 +102,12 @@ class StageGraph:
                 raise ValueError(f"skippable stage {skip!r} not in {names}")
             if skip == names[-1]:
                 raise ValueError("the final stage cannot be skippable")
+        for arm in self.arms:
+            if arm not in names:
+                raise ValueError(f"arm stage {arm!r} not in {names}")
+            if arm in self.skippable:
+                raise ValueError(f"arm stage {arm!r} cannot be skippable "
+                                 f"(arms are chain terminals)")
         for s in self.stages:
             if not s.exec_b:
                 raise ValueError(f"{s.name}: no devices sampled")
@@ -101,6 +129,7 @@ def covid_stage_graph(
     service_model=None,
     devices: Optional[Sequence[DeviceSpec]] = None,
     use_enhancement: bool = True,
+    with_quantify: bool = False,
 ) -> StageGraph:
     """The ComputeCOVID19+ pipeline as a stage graph.
 
@@ -113,6 +142,12 @@ def covid_stage_graph(
 
     ``use_enhancement=False`` builds the Fig. 13 "original" arm (the
     graph the degradation controller effectively serves).
+
+    ``with_quantify=True`` adds the **quantify** branch arm (COVID-Rate
+    style lesion segmentation + percent-of-lung-involvement): it shares
+    the enhance → segment prefix and replaces classify as the terminal
+    for requests of ``kind="quantify"`` (the workload registry routes
+    kinds onto arms; the graph only carries the cost records).
     """
     if service_model is None:
         from repro.serve.scheduler import ServiceTimeModel
@@ -137,8 +172,18 @@ def covid_stage_graph(
         stages.append(build_stage(
             name, model, space_gb, spec["input_mb"], spec["output_mb"],
             service_model, devices, paper=spec["paper"]))
+    arms = ()
+    if with_quantify:
+        model, space_gb = QUANTIFY_MODEL
+        # Consumes the segment artifact (masked volume + mask), emits a
+        # scalar involvement score + severity band.
+        stages.append(build_stage(
+            "quantify", model, space_gb, SCAN_MB * 1.25, 1e-3,
+            service_model, devices, paper="COVID-Rate (PAPERS.md)"))
+        arms = ("quantify",)
     return StageGraph(
         name="covid19+" if use_enhancement else "covid19+/no-enhance",
         stages=tuple(stages),
         skippable=("enhance",) if use_enhancement else (),
+        arms=arms,
     )

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.telemetry.metrics import percentile
+from repro.workload import get_workload
 
 __all__ = ["WanCostModel", "RouterConfig", "SpilloverRouter",
            "FLEET_SOURCE", "SPILL_COUNTER", "WAN_BYTES_COUNTER",
@@ -174,7 +175,10 @@ class SpilloverRouter:
             n))
         nbytes = self.scan_bytes
         replicated = 0.0
-        if self.config.replicate_artifacts and req.is_monitoring:
+        if self.config.replicate_artifacts and get_workload(req.kind).follow_up:
+            # Follow-up kinds have artifact affinity at home: spilling
+            # one means shipping (and billing) its cached intermediate
+            # artifacts alongside the scan.
             replicated = self.artifact_bytes
             nbytes += replicated
             self.registry.counter(REPLICATION_BYTES_COUNTER).inc(

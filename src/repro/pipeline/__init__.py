@@ -19,6 +19,12 @@ from repro.pipeline.dual_domain import DualDomainEnhancer, SinogramDenoiser, mak
 from repro.pipeline.enhancement import EnhancementAI
 from repro.pipeline.segmentation import SegmentationAI, threshold_lung_mask
 from repro.pipeline.classification import ClassificationAI
+from repro.pipeline.quantification import (
+    QuantificationAI,
+    QuantificationResult,
+    percent_of_involvement,
+    severity_band,
+)
 from repro.pipeline.evaluation import EvaluationReport, evaluate_framework, evaluate_scores
 from repro.pipeline.framework import ComputeCovid19Plus, DiagnosisResult
 from repro.pipeline.training import Trainer, TrainingHistory
@@ -27,6 +33,8 @@ __all__ = [
     "DualDomainEnhancer", "SinogramDenoiser", "make_sinogram_pairs",
     "EnhancementAI", "SegmentationAI", "threshold_lung_mask",
     "ClassificationAI", "ComputeCovid19Plus", "DiagnosisResult",
+    "QuantificationAI", "QuantificationResult",
+    "percent_of_involvement", "severity_band",
     "EvaluationReport", "evaluate_framework", "evaluate_scores",
     "Trainer", "TrainingHistory",
 ]

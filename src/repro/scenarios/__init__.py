@@ -1,0 +1,32 @@
+"""Scanner-variation stress suite (dose / geometry / electronics sweeps).
+
+Seeded acquisition-protocol variations pushed through the
+:mod:`repro.ct` physics chain, scoring reconstruction fidelity, lung
+segmentation, and lesion quantification degradation per scenario —
+plus the mixed-workload serving benchmark that gates per-kind SLO
+attainment and trace parity (``repro bench scenarios``).
+"""
+
+from repro.scenarios.suite import (
+    PSNR_RANGE_HU,
+    SCENARIOS,
+    ScanScenario,
+    ScenarioScore,
+    get_scenario,
+    reconstruct_volume,
+    run_scenario_suite,
+    scenario_names,
+)
+from repro.scenarios.bench import (
+    MIXED_KINDS,
+    QUANTIFY_MAE_GATE_PP,
+    format_scenarios_summary,
+    run_scenarios_bench,
+)
+
+__all__ = [
+    "PSNR_RANGE_HU", "SCENARIOS", "ScanScenario", "ScenarioScore",
+    "get_scenario", "reconstruct_volume", "run_scenario_suite",
+    "scenario_names", "MIXED_KINDS", "QUANTIFY_MAE_GATE_PP",
+    "format_scenarios_summary", "run_scenarios_bench",
+]

@@ -77,6 +77,7 @@ from repro.serve.request import (
 from repro.serve.scheduler import (
     FLEET_PRESETS,
     MONOLITHIC_STAGE,
+    QUANTIFY_STAGE,
     SCHEDULING_POLICIES,
     STAGES,
     DeviceWorker,
@@ -84,9 +85,20 @@ from repro.serve.scheduler import (
     ServiceTimeModel,
     fleet_from_spec,
 )
+from repro.workload import (
+    DEFAULT_WORKLOADS,
+    WorkloadRouter,
+    WorkloadSpec,
+    get_workload,
+    register_workload,
+    registered_kinds,
+)
 
 __all__ = [
     "SLO", "ScanRequest", "ARRIVAL_PATTERNS", "REQUEST_KINDS",
+    "DEFAULT_WORKLOADS", "WorkloadRouter", "WorkloadSpec",
+    "get_workload", "register_workload", "registered_kinds",
+    "QUANTIFY_STAGE",
     "ArrivalConfig", "arrivals_from_config",
     "make_workload", "poisson_arrivals", "burst_arrivals",
     "epidemic_wave_arrivals", "seir_arrivals",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Dict, Sequence, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.resilience.faults import FAULT_KINDS
 from repro.serve.batcher import Batch, BatchPolicy, DynamicBatcher
@@ -50,7 +50,7 @@ class DispatchController:
         scheduler: FleetScheduler,
         service_model: ServiceTimeModel,
         batch_policy: BatchPolicy,
-        stages: Sequence[str],
+        router,
         bus: EventBus,
         registry: MetricsRegistry,
         lifecycle: RequestLifecycle,
@@ -62,7 +62,8 @@ class DispatchController:
         self.scheduler = scheduler
         self.service_model = service_model
         self.batch_policy = batch_policy
-        self.stages = tuple(stages)
+        self.router = router  # repro.workload.WorkloadRouter
+        self.stages = router.stages  # union of every served kind's chain
         self.bus = bus
         self.registry = registry
         self.lifecycle = lifecycle
@@ -133,21 +134,31 @@ class DispatchController:
             self.emit(now, "stage_complete", stage=batch.stage,
                       device=worker.spec.name, size=len(batch),
                       batch=batch.batch_id)
-        idx = self.stages.index(batch.stage)
-        if idx + 1 < len(self.stages):
+        routed = self._next_stages(batch)
+        continuing = [(req, nxt) for req, nxt in routed if nxt is not None]
+        if continuing:
             if self.dag is not None:
                 # Store this stage's artifact for every full-quality
-                # member: a later monitoring re-read enters past it.
+                # member whose chain continues: a later follow-up
+                # re-read enters past it.
                 fn = self.dag.graph.stage(batch.stage)
-                for req in batch.requests:
+                for req, _ in continuing:
                     if req.request_id not in self.lifecycle.degraded_ids:
                         self.dag.artifacts.put(req.content_key, batch.stage,
                                                fn.artifact_bytes)
-            for req in batch.requests:
-                self.add_to_stage(self.stages[idx + 1], req, now)
-        else:
+            for req, nxt in continuing:
+                self.add_to_stage(nxt, req, now)
+        terminal = [req for req, nxt in routed if nxt is None]
+        if terminal:
+            batch.requests = terminal
             self.lifecycle.finalize_batch(batch, now)
         self.pump_backlog(now)
+
+    def _next_stages(self, batch: Batch) -> List[Tuple[ScanRequest, object]]:
+        """Each member's next stage on its own workload chain (arrival
+        order preserved; ``None`` = this stage was its terminal)."""
+        return [(req, self.router.next_stage(req.kind, batch.stage))
+                for req in batch.requests]
 
     def on_fail(self, worker: DeviceWorker, batch: Batch, kind: str,
                 now: float) -> None:
@@ -183,13 +194,15 @@ class DispatchController:
                 or batch.stage not in self.dag.graph.skippable
                 or not batch.requests):
             return False
-        idx = self.stages.index(batch.stage)
-        if idx + 1 >= len(self.stages):
+        routed = self._next_stages(batch)
+        if any(nxt is None for _, nxt in routed):
+            # A skippable stage is never a chain terminal (graph sanity
+            # check), but guard against hand-built graphs anyway.
             return False
         self.lifecycle.degrade_batch_around(batch, now)
-        requests, batch.requests = batch.requests, []
-        for req in requests:
-            self.add_to_stage(self.stages[idx + 1], req, now)
+        batch.requests = []
+        for req, nxt in routed:
+            self.add_to_stage(nxt, req, now)
         self.pump_backlog(now)
         return True
 

@@ -119,6 +119,7 @@ class BatchVerifier:
         self.backend = backend
         self._framework = framework
         self._framework_degraded = None
+        self._quantifier = None
 
     @property
     def framework(self):
@@ -152,10 +153,33 @@ class BatchVerifier:
             )
         return self._framework_degraded
 
+    @property
+    def quantifier(self):
+        """Lazily built lesion quantifier (the quantify arm's verifier)."""
+        if self._quantifier is None:
+            from repro.pipeline.quantification import QuantificationAI
+
+            self._quantifier = QuantificationAI()
+        return self._quantifier
+
     def verify(self, batch: Batch, degraded_ids) -> Dict[int, object]:
-        """Run one batch through the real pipeline if budget remains."""
+        """Run one batch through the real pipeline if budget remains.
+
+        Terminal batches are kind-homogeneous by construction (per-stage
+        batchers; chains only diverge at their terminal stage), so the
+        batch's workload spec decides the verification path: a custom
+        ``verify_batch`` (the quantify arm's lesion quantification) or
+        the default diagnosis framework below.
+        """
         results: Dict[int, object] = {}
         if self.verified < self.budget and batch.requests:
+            from repro.workload import get_workload
+
+            spec = get_workload(batch.requests[0].kind)
+            if spec.verify_batch is not None:
+                results = dict(spec.verify_batch(self, batch, degraded_ids))
+                self.verified += 1
+                return results
             # Degraded requests skipped the enhancement stage in the
             # timing pipeline; the functional pass must match.
             normal = [r for r in batch.requests
@@ -239,6 +263,7 @@ class ServingEngine:
         stage_graph=None,
         artifact_cache=None,
         backend: Optional[str] = None,
+        workloads: Optional[Sequence[str]] = None,
     ):
         if backend is not None:
             from repro.backend.registry import known_backends
@@ -258,11 +283,19 @@ class ServingEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.service_model = service_model or ServiceTimeModel()
         # Logical pipeline stages (verification, degrade semantics) vs
-        # the stages batches actually move through: monolithic serving
-        # fuses the former into one "pipeline" pseudo-stage.
+        # the stages batches actually move through: each served workload
+        # kind resolves its own chain against this base pipeline via the
+        # workload registry; monolithic serving fuses every chain into
+        # one "pipeline" pseudo-stage.
+        from repro.workload import DEFAULT_WORKLOADS, WorkloadRouter
+
         self.stages = STAGES if use_enhancement else STAGES[1:]
-        dispatch_stages = ((MONOLITHIC_STAGE,) if mode == "monolithic"
-                           else self.stages)
+        self.workloads = tuple(workloads) if workloads is not None \
+            else DEFAULT_WORKLOADS
+        self.router = WorkloadRouter(
+            self.workloads, self.stages,
+            monolithic_stage=MONOLITHIC_STAGE if mode == "monolithic"
+            else None)
         self.dag = None
         extra_delay = None
         if mode == "dag":
@@ -274,7 +307,8 @@ class ServingEngine:
             )
 
             graph = stage_graph or covid_stage_graph(
-                self.service_model, devices, use_enhancement=use_enhancement)
+                self.service_model, devices, use_enhancement=use_enhancement,
+                with_quantify="quantify" in self.router.stages)
             residency = ModelResidency(devices, bus=self.telemetry,
                                        registry=self.metrics)
             # A caller-supplied cache lets several engines share one
@@ -314,12 +348,12 @@ class ServingEngine:
         self.degrade_ctl = (DegradationController(resilience.degrade)
                             if resilience and resilience.degrade else None)
         self.lifecycle = RequestLifecycle(
-            self.queue, self.cache, dispatch_stages, self.telemetry,
+            self.queue, self.cache, self.router, self.telemetry,
             self.metrics, degrade_ctl=self.degrade_ctl,
             verifier=self.verifier, dag=self.dag)
         self.dispatcher = DispatchController(
             self.scheduler, self.service_model, self.batch_policy,
-            dispatch_stages, self.telemetry, self.metrics, self.lifecycle,
+            self.router, self.telemetry, self.metrics, self.lifecycle,
             injector=self.injector, failover=self.failover,
             health=self.health, dag=self.dag)
         self._loop: Optional[EventLoop] = None
@@ -362,6 +396,12 @@ class ServingEngine:
     def inject(self, requests: Sequence[ScanRequest]) -> None:
         """Schedule a workload's arrivals (and arm the heartbeat)."""
         for req in requests:
+            if not self.router.serves(req.kind):
+                raise ValueError(
+                    f"request {req.request_id} has kind {req.kind!r}, "
+                    f"which this engine does not serve; pass "
+                    f"workloads={tuple(sorted(set(self.workloads) | {req.kind}))} "
+                    f"(serving {self.workloads})")
             self._loop.schedule(req.arrival_s, "arrival", req)
         self.arm_heartbeat()
 

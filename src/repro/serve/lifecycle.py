@@ -27,6 +27,7 @@ from repro.serve.cache import ResultCache
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import ScanRequest
 from repro.telemetry import EventBus, MetricsRegistry
+from repro.workload import WorkloadRouter, get_workload
 
 #: Latency charged to a request answered from the result cache
 #: (hash lookup + response serialization; no device time).
@@ -75,7 +76,7 @@ class RequestLifecycle:
         self,
         queue: AdmissionQueue,
         cache: ResultCache,
-        stages: Sequence[str],
+        router: WorkloadRouter,
         bus: EventBus,
         registry: MetricsRegistry,
         degrade_ctl=None,
@@ -84,7 +85,8 @@ class RequestLifecycle:
     ):
         self.queue = queue
         self.cache = cache
-        self.stages = tuple(stages)
+        self.router = router
+        self.stages = router.stages  # union of every served kind's chain
         self.bus = bus
         self.registry = registry
         self.degrade_ctl = degrade_ctl
@@ -109,10 +111,12 @@ class RequestLifecycle:
         """Admit ``req``; returns its entry stage, or None if it already
         reached a terminal state (cache hit or queue-full shed)."""
         self.emit(now, "arrival", request=req.request_id, key=req.content_key)
-        if not req.is_monitoring:
-            # Monitoring re-reads want a *fresh* classification, so they
-            # bypass the result cache (the DAG artifact fast path below
-            # still spares them the enhance/segment work).
+        spec = get_workload(req.kind)
+        if spec.check_result_cache:
+            # Kinds that want a *fresh* answer every time (monitoring
+            # re-reads) declare check_result_cache=False and bypass this
+            # read (the DAG artifact fast path below still spares them
+            # the enhance/segment work).
             hit = self.cache.get(req.content_key)
             if hit is not None:
                 self._complete(req, now, completed_s=now + CACHE_HIT_LATENCY_S,
@@ -124,32 +128,34 @@ class RequestLifecycle:
             self._shed(req, ShedReason.QUEUE_FULL, now)
             return None
         self.evaluate_degrade(now)
-        entry = self._artifact_entry(req, now)
+        chain = self.router.chain(req.kind)
+        entry = self._artifact_entry(req, chain, now)
         if entry is not None:
             return entry
-        entry_stage = self.stages[0]
+        entry_stage = chain[0]
         if (self.degrade_ctl is not None and self.degrade_ctl.active
-                and entry_stage == "enhance" and len(self.stages) > 1):
-            entry_stage = self.stages[1]
+                and entry_stage == "enhance" and len(chain) > 1):
+            entry_stage = chain[1]
             self.degraded_ids.add(req.request_id)
         return entry_stage
 
-    def _artifact_entry(self, req: ScanRequest, now: float) -> Optional[str]:
-        """DAG fast path: enter at the deepest stage whose predecessor
-        artifact is cached (emits ``stage_skip``), else None."""
-        if self.dag is None or len(self.stages) < 2:
+    def _artifact_entry(self, req: ScanRequest, chain: Sequence[str],
+                        now: float) -> Optional[str]:
+        """DAG fast path: enter at the deepest stage of ``req``'s chain
+        whose predecessor artifact is cached (emits ``stage_skip``)."""
+        if self.dag is None or len(chain) < 2:
             return None
-        candidates = list(self.stages[:-1])[::-1]  # deepest first
+        candidates = list(chain[:-1])[::-1]  # deepest first
         found = self.dag.artifacts.deepest(req.content_key, candidates)
         if found is None:
             return None
-        idx = self.stages.index(found)
-        skipped = list(self.stages[:idx + 1])
+        idx = chain.index(found)
+        skipped = list(chain[:idx + 1])
         self.registry.counter(STAGES_SKIPPED_COUNTER).inc(len(skipped))
         self.registry.counter(ARTIFACT_ENTRY_COUNTER).inc()
         self.emit(now, "stage_skip", request=req.request_id,
-                  entry=self.stages[idx + 1], skipped=skipped)
-        return self.stages[idx + 1]
+                  entry=chain[idx + 1], skipped=skipped)
+        return chain[idx + 1]
 
     # -- degradation ----------------------------------------------------
     def evaluate_degrade(self, now: float) -> None:
@@ -182,16 +188,20 @@ class RequestLifecycle:
             req, completed_s=completed_s, latency_s=latency_s,
             from_cache=from_cache, result=result, degraded=degraded))
         self.registry.histogram(LATENCY_HISTOGRAM).observe(latency_s)
+        # "kind_of" (not "kind"): the bus reserves ``kind`` for the
+        # event type — same convention as the fleet's ``spill`` events.
         self.emit(now, "request_done", request=req.request_id,
                   latency_s=latency_s, from_cache=from_cache,
-                  degraded=degraded, deadline_s=req.slo.deadline_s)
+                  degraded=degraded, deadline_s=req.slo.deadline_s,
+                  kind_of=req.kind)
         req.release_volume()  # terminal: bound resident memory
 
     def _shed(self, req: ScanRequest, reason: ShedReason, now: float) -> None:
         """Record the shed (queue-ledger counts are bumped by callers
         via the queue's own ``time_out``/``fault`` transitions)."""
         self.shed.append(ServedRequest(req, shed_reason=reason))
-        self.emit(now, "shed", request=req.request_id, reason=reason.value)
+        self.emit(now, "shed", request=req.request_id, reason=reason.value,
+                  kind_of=req.kind)
         req.release_volume()  # terminal: bound resident memory
 
     def shed_expired(self, batch: Batch, now: float) -> Batch:
@@ -228,7 +238,7 @@ class RequestLifecycle:
                            result=result, degraded=is_degraded)
             if self.degrade_ctl is not None:
                 self.degrade_ctl.record_latency(latency)
-            if not is_degraded:
+            if not is_degraded and get_workload(req.kind).store_result_cache:
                 # Degraded results are lower quality — never cache them
                 # where a full-quality repeat scan would hit.
                 self.cache.put(req.content_key,

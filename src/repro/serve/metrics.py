@@ -76,6 +76,54 @@ def _performance_block(latencies: Sequence[float],
     }
 
 
+def _kind_block(completions: Iterable, sheds: Iterable) -> Dict[str, object]:
+    """Per-workload-kind breakdown — shared by live and trace summaries.
+
+    ``completions`` yields ``(kind, latency_s, deadline_s)`` in
+    completion order; ``sheds`` yields ``(kind, reason)``.  Like
+    :func:`_performance_block`, one code path serves both the live
+    report and the JSONL-trace recount, so the per-kind numbers are
+    bit-identical across the round trip (the per-kind-parity gate of
+    ``repro bench scenarios``).
+    """
+    per: Dict[str, Dict[str, object]] = {}
+
+    def slot(kind: str) -> Dict[str, object]:
+        return per.setdefault(kind, {"latencies": [], "violations": 0,
+                                     "shed": {}})
+
+    for kind, latency, deadline in completions:
+        d = slot(kind)
+        d["latencies"].append(latency)
+        if latency > deadline:
+            d["violations"] += 1
+    for kind, reason in sheds:
+        shed = slot(kind)["shed"]
+        shed[reason] = shed.get(reason, 0) + 1
+    out: Dict[str, object] = {}
+    for kind in sorted(per):
+        d = per[kind]
+        lat = LatencyStats.from_latencies(d["latencies"])
+        shed_total = sum(d["shed"].values())
+        offered = lat.count + shed_total
+        out[kind] = {
+            "completed": lat.count,
+            "shed": shed_total,
+            "shed_by_reason": {k: d["shed"][k] for k in sorted(d["shed"])},
+            "slo_violations": d["violations"],
+            # Attainment over everything offered: sheds violate by
+            # definition (the request never got an answer).
+            "slo_attainment": (round((lat.count - d["violations"]) / offered, 4)
+                               if offered else 1.0),
+            "latency_p50_s": round(lat.p50_s, 4),
+            "latency_p95_s": round(lat.p95_s, 4),
+            "latency_p99_s": round(lat.p99_s, 4),
+            "latency_mean_s": round(lat.mean_s, 4),
+            "latency_max_s": round(lat.max_s, 4),
+        }
+    return out
+
+
 def summarize(report) -> Dict[str, object]:
     """Flatten a ServingReport into the CLI/benchmark summary dict."""
     if getattr(report, "registry", None) is not None:
@@ -119,6 +167,12 @@ def summarize(report) -> Dict[str, object]:
         "verified_batches": report.verified_batches,
         "policy": report.policy,
         "mode": getattr(report, "mode", "staged"),
+        # Per-workload-kind breakdown: the completed list holds the same
+        # floats the histogram observed, in the same completion order.
+        "kinds": _kind_block(
+            ((r.request.kind, r.latency_s, r.request.slo.deadline_s)
+             for r in report.completed),
+            ((r.request.kind, r.shed_reason.value) for r in report.shed)),
     })
     if getattr(report, "dag_stats", None):
         # Run-scoped DAG counters; each has a co-located bus event, so
@@ -140,6 +194,8 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
     recounted from ``shed`` events by reason.
     """
     latencies: List[float] = []
+    kind_completions: List[tuple] = []
+    kind_sheds: List[tuple] = []
     requests = 0
     violations = 0
     degraded = 0
@@ -175,9 +231,14 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
                 violations += 1
             if e.payload.get("degraded"):
                 degraded += 1
+            # Pre-workload-registry traces carry no kind stamp; they
+            # were all-diagnosis-SLO streams, so default accordingly.
+            kind_completions.append((e.payload.get("kind_of", "diagnosis"),
+                                     latency, float(e.payload["deadline_s"])))
         elif e.kind == "shed":
             reason = e.payload["reason"]
             shed_by_reason[reason] = shed_by_reason.get(reason, 0) + 1
+            kind_sheds.append((e.payload.get("kind_of", "diagnosis"), reason))
         elif e.kind == "cache_hit":
             cache_hits += 1
         elif e.kind == "retry":
@@ -200,6 +261,7 @@ def summarize_trace(events: Iterable) -> Dict[str, object]:
         "retries": retries,
         "fault_events": fault_events,
         "degraded_completed": degraded,
+        "kinds": _kind_block(kind_completions, kind_sheds),
     })
     if stage_completions or model_swaps or artifact_entries or stage_degraded:
         # DAG-mode traces: recount the run-scoped DAG counters from

@@ -30,30 +30,22 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.workload import SLO, get_workload, registered_kinds
+
 ARRIVAL_PATTERNS = ("poisson", "burst", "wave", "epi")
 
-#: What a request asks for: a first diagnosis, or a monitoring re-read
-#: of an already-diagnosed patient (same scan content; monitoring skips
-#: the result cache because the clinician wants a fresh classification,
-#: but can reuse intermediate artifacts in DAG mode).
+#: The historical default serving mix, kept as a compatibility alias —
+#: the full set of request kinds now lives in the workload registry
+#: (:func:`repro.workload.registered_kinds`), where each kind carries
+#: its SLO defaults and cache/stage/verification policy.
 REQUEST_KINDS = ("diagnosis", "monitoring")
 
-
-@dataclass(frozen=True)
-class SLO:
-    """Service-level objective attached to a request.
-
-    ``deadline_s`` is the end-to-end latency target (a completion past
-    it counts as a violation, not a failure); ``queue_timeout_s`` is the
-    hard bound after which a still-queued request is shed.
-    """
-
-    deadline_s: float = 30.0
-    queue_timeout_s: float = 120.0
-
-    def __post_init__(self):
-        if self.deadline_s <= 0 or self.queue_timeout_s <= 0:
-            raise ValueError("SLO times must be positive")
+__all__ = [
+    "ARRIVAL_PATTERNS", "REQUEST_KINDS", "SLO", "ScanRequest",
+    "ArrivalConfig", "arrivals_from_config", "make_workload",
+    "poisson_arrivals", "burst_arrivals", "epidemic_wave_arrivals",
+    "seir_arrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -70,12 +62,19 @@ class ScanRequest:
     kind: str = "diagnosis"
 
     def __post_init__(self):
-        if self.kind not in REQUEST_KINDS:
-            raise ValueError(f"kind must be one of {REQUEST_KINDS}")
+        if self.kind not in registered_kinds():
+            raise ValueError(f"unknown workload kind {self.kind!r}; "
+                             f"registered kinds: {registered_kinds()}")
+
+    @property
+    def workload(self):
+        """This request's :class:`repro.workload.WorkloadSpec`."""
+        return get_workload(self.kind)
 
     @property
     def is_monitoring(self) -> bool:
-        return self.kind == "monitoring"
+        """Compatibility alias for the registry's follow-up predicate."""
+        return get_workload(self.kind).follow_up
 
     @property
     def content_key(self) -> str:
@@ -246,6 +245,8 @@ def make_workload(
     slo: Optional[SLO] = None,
     monitor_fraction: float = 0.0,
     monitor_slo: Optional[SLO] = None,
+    quantify_fraction: float = 0.0,
+    quantify_slo: Optional[SLO] = None,
     cases: Optional[np.ndarray] = None,
     horizon_s: Optional[float] = None,
     id_base: int = 0,
@@ -265,15 +266,25 @@ def make_workload(
 
     ``monitor_slo`` attaches a distinct (typically laxer) SLO to
     monitoring re-reads — the diagnosis-surge and monitoring-tail
-    workloads have different latency contracts.  ``cases`` /
-    ``horizon_s`` drive the ``wave`` / ``epi`` patterns from a custom
-    epidemic curve (a region's own SEIR trajectory); ``id_base``
-    offsets request ids so multi-region workloads stay globally unique.
+    workloads have different latency contracts.  ``quantify_fraction``
+    of the remaining diagnosis traffic instead asks for **lesion
+    quantification** (``kind="quantify"``): a fresh lesion-bearing scan
+    scored for percent-of-lung involvement, with the registry's
+    quantify SLO unless ``quantify_slo`` overrides it.  As with
+    ``monitor_fraction``, the random stream is untouched when the
+    fraction is 0, so existing seeded workloads are bit-identical to
+    before.  ``cases`` / ``horizon_s`` drive the ``wave`` / ``epi``
+    patterns from a custom epidemic curve (a region's own SEIR
+    trajectory); ``id_base`` offsets request ids so multi-region
+    workloads stay globally unique.
     """
     if pattern not in ARRIVAL_PATTERNS:
-        raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
+        raise ValueError(f"unknown arrival pattern {pattern!r}; "
+                         f"valid patterns: {ARRIVAL_PATTERNS}")
     if not 0.0 <= monitor_fraction <= 1.0:
         raise ValueError("monitor_fraction must be in [0, 1]")
+    if not 0.0 <= quantify_fraction <= 1.0:
+        raise ValueError("quantify_fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
     phase = None
     if pattern == "epi":
@@ -299,17 +310,30 @@ def make_workload(
                      if phase is not None else monitor_fraction)
             if rng.random() < p_mon:
                 kind = "monitoring"
+        if (kind == "diagnosis" and quantify_fraction
+                and rng.random() < quantify_fraction):
+            # Severity scoring is ordered for a fresh (lesion-bearing)
+            # scan, never as a cached re-read.
+            kind = "quantify"
         if kind == "monitoring":
             ref = requests[int(rng.integers(len(requests)))]
             scan_seed, covid = ref.seed, ref.covid
+        elif kind == "quantify":
+            scan_seed = int(rng.integers(2**31))
+            covid = True
         elif requests and rng.random() < dup_fraction:
             ref = requests[int(rng.integers(len(requests)))]
             scan_seed, covid = ref.seed, ref.covid
         else:
             scan_seed = int(rng.integers(2**31))
             covid = bool(rng.random() < covid_prevalence)
-        req_slo = (monitor_slo if kind == "monitoring"
-                   and monitor_slo is not None else slo)
+        if kind == "monitoring" and monitor_slo is not None:
+            req_slo = monitor_slo
+        elif kind == "quantify":
+            req_slo = (quantify_slo if quantify_slo is not None
+                       else get_workload("quantify").slo)
+        else:
+            req_slo = slo
         requests.append(ScanRequest(
             request_id=id_base + i, arrival_s=float(t), seed=scan_seed,
             size=size, slices=slices, covid=covid, slo=req_slo, kind=kind,
@@ -337,16 +361,19 @@ class ArrivalConfig:
     seed: int = 0
     dup_fraction: float = 0.3
     monitor_fraction: float = 0.0
+    quantify_fraction: float = 0.0
     size: int = 32
     slices: int = 16
     covid_prevalence: float = 0.4
     slo: Optional[SLO] = None
     monitor_slo: Optional[SLO] = None
+    quantify_slo: Optional[SLO] = None
     id_base: int = 0
 
     def __post_init__(self):
         if self.pattern not in ARRIVAL_PATTERNS:
-            raise ValueError(f"pattern must be one of {ARRIVAL_PATTERNS}")
+            raise ValueError(f"unknown arrival pattern {self.pattern!r}; "
+                             f"valid patterns: {ARRIVAL_PATTERNS}")
 
     @classmethod
     def from_args(cls, args) -> "ArrivalConfig":
@@ -354,7 +381,8 @@ class ArrivalConfig:
         return cls(n=args.requests, rate_per_s=args.rate,
                    pattern=args.pattern, seed=args.seed,
                    dup_fraction=args.dup_fraction,
-                   monitor_fraction=args.monitor_fraction)
+                   monitor_fraction=args.monitor_fraction,
+                   quantify_fraction=getattr(args, "quantify_fraction", 0.0))
 
 
 def arrivals_from_config(config: ArrivalConfig,
@@ -374,6 +402,8 @@ def arrivals_from_config(config: ArrivalConfig,
         size=config.size, slices=config.slices,
         covid_prevalence=config.covid_prevalence, slo=config.slo,
         monitor_fraction=config.monitor_fraction,
-        monitor_slo=config.monitor_slo, cases=cases, horizon_s=horizon_s,
+        monitor_slo=config.monitor_slo,
+        quantify_fraction=config.quantify_fraction,
+        quantify_slo=config.quantify_slo, cases=cases, horizon_s=horizon_s,
         id_base=config.id_base,
     )

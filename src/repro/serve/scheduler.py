@@ -31,6 +31,11 @@ SCHEDULING_POLICIES = ("round-robin", "least-loaded", "perf-aware")
 #: Pipeline stages in Fig. 4 order.
 STAGES = ("enhance", "segment", "classify")
 
+#: The terminal stage of the ``quantify`` workload arm (COVID-Rate
+#: style lesion segmentation + percent-of-lung-involvement scoring):
+#: replaces ``classify`` on that kind's chain (see ``repro.workload``).
+QUANTIFY_STAGE = "quantify"
+
 #: The fused pseudo-stage of monolithic serving (``mode="monolithic"``):
 #: one batch runs enhance+segment+classify back-to-back on one device.
 MONOLITHIC_STAGE = "pipeline"
@@ -70,6 +75,9 @@ class ServiceTimeModel:
     SEGMENT_PASS_BYTES = 12.0
     #: DenseNet3D-121 inference FLOPs relative to DDnet on the same chunk.
     CLASSIFY_FLOP_FRACTION = 0.35
+    #: Lesion quantification (quantify arm): masked read + lesion-mask
+    #: write + connected-component relabel sweep, bytes per voxel.
+    QUANTIFY_PASS_BYTES = 20.0
 
     def __init__(
         self,
@@ -116,9 +124,10 @@ class ServiceTimeModel:
         times on the same device — the monolithic-serving baseline the
         DAG benchmark compares against.
         """
-        if stage not in STAGES and stage != MONOLITHIC_STAGE:
+        if stage not in STAGES and stage not in (QUANTIFY_STAGE,
+                                                 MONOLITHIC_STAGE):
             raise ValueError(f"unknown stage {stage!r}; have "
-                             f"{STAGES + (MONOLITHIC_STAGE,)}")
+                             f"{STAGES + (QUANTIFY_STAGE, MONOLITHIC_STAGE)}")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         key = (device.name, stage, batch_size)
@@ -143,9 +152,13 @@ class ServiceTimeModel:
     def _compute(self, device: DeviceSpec, stage: str, batch_size: int) -> float:
         if stage == MONOLITHIC_STAGE:
             return sum(self.batch_time(device, s, batch_size) for s in STAGES)
-        if stage == "segment":
+        if stage in ("segment", QUANTIFY_STAGE):
+            # Both are bandwidth-bound volume sweeps; quantification
+            # touches more bytes per voxel (lesion mask + relabeling).
+            per_voxel = (self.SEGMENT_PASS_BYTES if stage == "segment"
+                         else self.QUANTIFY_PASS_BYTES)
             voxels = batch_size * self.slices_per_scan * self.input_size**2
-            return (voxels * self.SEGMENT_PASS_BYTES / device.sustained_bandwidth
+            return (voxels * per_voxel / device.sustained_bandwidth
                     + device.launch_overhead_us * 1e-6)
         from repro.hetero.optimizations import OptimizationConfig
 

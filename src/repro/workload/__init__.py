@@ -1,0 +1,23 @@
+"""Workload-polymorphic request layer (see ``docs/workloads.md``).
+
+Public surface of the registry that turns request *kinds* into
+declarative policy records: SLO defaults, result-cache policy, DAG
+stage chains, batch verification, and telemetry labels — consumed by
+:mod:`repro.serve`, :mod:`repro.dag`, :mod:`repro.fleet`, and the CLI
+instead of ``kind == "..."`` string comparisons.
+"""
+
+from repro.workload.registry import (
+    DEFAULT_WORKLOADS,
+    SLO,
+    WorkloadRouter,
+    WorkloadSpec,
+    get_workload,
+    register_workload,
+    registered_kinds,
+)
+
+__all__ = [
+    "DEFAULT_WORKLOADS", "SLO", "WorkloadRouter", "WorkloadSpec",
+    "get_workload", "register_workload", "registered_kinds",
+]

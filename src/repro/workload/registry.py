@@ -1,0 +1,227 @@
+"""The workload registry: request kinds as declarative policy records.
+
+The serving stack used to hard-code exactly two request kinds
+(``diagnosis`` and ``monitoring``) with ``kind == "monitoring"`` string
+checks scattered across admission, dispatch, routing, and the CLI.
+This module replaces that with one registry: a :class:`WorkloadSpec`
+per kind declares every per-kind policy the serving layers consult —
+
+- SLO defaults (deadline + queue timeout),
+- result-cache policy (check on admission? store on completion?),
+- whether the kind is a *follow-up* re-read of a known patient
+  (drives the DAG artifact fast path affinity and the fleet router's
+  replicate-artifacts billing),
+- the terminal DAG stage (``None`` = the pipeline default, i.e. the
+  classify arm; ``quantify`` declares its own terminal arm),
+- an optional batch-verification function (``None`` = the engine's
+  diagnosis framework; ``quantify`` supplies lesion quantification),
+- telemetry labels for dashboards / trace tooling.
+
+``diagnosis`` and ``monitoring`` are registered below with records that
+encode exactly the historical behavior, so refactored call sites are
+bit-identical to the string-comparison code they replace (pinned by the
+serve/dag/fleet trace round-trip tests).  ``quantify`` — COVID-Rate
+style lesion segmentation plus percent-of-lung-involvement scoring —
+is the first genuinely new kind (see :mod:`repro.pipeline.
+quantification` and ``docs/workloads.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLO", "WorkloadSpec", "WorkloadRouter", "DEFAULT_WORKLOADS",
+    "register_workload", "get_workload", "registered_kinds",
+]
+
+#: The historical serving mix — what engines serve unless told otherwise.
+DEFAULT_WORKLOADS = ("diagnosis", "monitoring")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objective attached to a request.
+
+    ``deadline_s`` is the end-to-end latency target (a completion past
+    it counts as a violation, not a failure); ``queue_timeout_s`` is the
+    hard bound after which a still-queued request is shed.
+    """
+
+    deadline_s: float = 30.0
+    queue_timeout_s: float = 120.0
+
+    def __post_init__(self):
+        if self.deadline_s <= 0 or self.queue_timeout_s <= 0:
+            raise ValueError("SLO times must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the serving layers need to know about one request kind."""
+
+    kind: str
+    description: str
+    slo: SLO = field(default_factory=SLO)
+    #: Consult the result cache on admission?  Monitoring re-reads want a
+    #: *fresh* classification, so they skip the read (the DAG artifact
+    #: fast path still spares them the enhance/segment work).
+    check_result_cache: bool = True
+    #: Store full-quality results into the result cache on completion?
+    store_result_cache: bool = True
+    #: Is this kind a follow-up re-read of an already-diagnosed patient?
+    #: Follow-up kinds pick a previously seen scan in ``make_workload``
+    #: and have artifact affinity: the fleet router bills artifact
+    #: replication when spilling them to a remote region.
+    follow_up: bool = False
+    #: Terminal DAG stage of this kind's chain; ``None`` keeps the
+    #: engine's default pipeline (…→ classify).  A named stage replaces
+    #: the default terminal, e.g. ``"quantify"`` turns
+    #: enhance → segment → classify into enhance → segment → quantify.
+    final_stage: Optional[str] = None
+    #: Batch verification: ``None`` = the engine's diagnosis framework
+    #: (:meth:`ComputeCovid19Plus.diagnose_batch`); otherwise a callable
+    #: ``(verifier, batch, degraded_ids) -> {request_id: result}``.
+    verify_batch: Optional[Callable] = None
+    #: Telemetry labels (dashboard grouping; free-form).
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.kind:
+            raise ValueError("workload kind must be a non-empty string")
+
+    def stage_chain(self, base_stages: Sequence[str]) -> Tuple[str, ...]:
+        """This kind's dispatch chain given the engine's base pipeline."""
+        base = tuple(base_stages)
+        if self.final_stage is None:
+            return base
+        return base[:-1] + (self.final_stage,)
+
+
+def _verify_quantify(verifier, batch, degraded_ids) -> Dict[int, object]:
+    """Batch verification for the ``quantify`` kind.
+
+    Runs lesion quantification (threshold segmentation + percent-of-
+    lung-involvement, no neural nets) over the batch's materialized
+    volumes.  Degraded members (enhancement routed around) quantify the
+    same way — the quantifier never consumed the enhancement output.
+    """
+    outs = verifier.quantifier.quantify_batch(
+        [r.materialize() for r in batch.requests])
+    return {r.request_id: o for r, o in zip(batch.requests, outs)}
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec, replace: bool = False) -> WorkloadSpec:
+    """Add ``spec`` to the registry (``replace=True`` to overwrite)."""
+    if spec.kind in _REGISTRY and not replace:
+        raise ValueError(f"workload kind {spec.kind!r} is already "
+                         f"registered; pass replace=True to overwrite")
+    _REGISTRY[spec.kind] = spec
+    return spec
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    """All registered workload kinds, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_workload(kind: str) -> WorkloadSpec:
+    """The spec for ``kind``; raises listing the registered kinds."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; registered kinds: "
+            f"{registered_kinds()}") from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in workloads
+# ---------------------------------------------------------------------------
+register_workload(WorkloadSpec(
+    kind="diagnosis",
+    description="First COVID-19 diagnosis of a new scan (Fig. 4 "
+                "enhance → segment → classify).",
+    slo=SLO(deadline_s=30.0, queue_timeout_s=120.0),
+    labels={"clinical": "triage", "paper": "Fig. 4"},
+))
+
+register_workload(WorkloadSpec(
+    kind="monitoring",
+    description="Monitoring re-read of an already-diagnosed patient: "
+                "same scan content, fresh classification (bypasses the "
+                "result cache; rides the DAG artifact fast path).",
+    slo=SLO(deadline_s=90.0, queue_timeout_s=120.0),
+    check_result_cache=False,
+    follow_up=True,
+    labels={"clinical": "follow-up", "paper": "§1 monitoring"},
+))
+
+register_workload(WorkloadSpec(
+    kind="quantify",
+    description="Lesion quantification (COVID-Rate style): lesion "
+                "segmentation over the lung mask plus percent-of-lung-"
+                "involvement scoring, served as the quantify DAG arm.",
+    slo=SLO(deadline_s=45.0, queue_timeout_s=120.0),
+    final_stage="quantify",
+    verify_batch=_verify_quantify,
+    labels={"clinical": "severity", "paper": "COVID-Rate"},
+))
+
+
+class WorkloadRouter:
+    """Per-kind dispatch chains for one engine configuration.
+
+    Resolves each served kind's :meth:`WorkloadSpec.stage_chain` against
+    the engine's base pipeline once, at construction — the serving hot
+    path then asks :meth:`next_stage` instead of indexing one global
+    stage tuple, which is what lets kinds diverge after a shared prefix
+    (diagnosis/monitoring end at classify, quantify at quantify).
+
+    ``monolithic_stage`` collapses every chain to the single fused
+    pseudo-stage (``mode="monolithic"`` serving).
+    """
+
+    def __init__(self, kinds: Sequence[str], base_stages: Sequence[str],
+                 monolithic_stage: Optional[str] = None):
+        kinds = tuple(kinds)
+        if not kinds:
+            raise ValueError("a WorkloadRouter needs at least one kind")
+        for kind in kinds:
+            get_workload(kind)  # raises listing registered kinds
+        self.kinds = kinds
+        if monolithic_stage is not None:
+            self.chains = {k: (monolithic_stage,) for k in kinds}
+        else:
+            self.chains = {k: get_workload(k).stage_chain(base_stages)
+                           for k in kinds}
+        ordered = []
+        for kind in kinds:
+            for stage in self.chains[kind]:
+                if stage not in ordered:
+                    ordered.append(stage)
+        #: Every stage any served kind passes through, shared-prefix
+        #: order first — the set of batchers/counters the engine runs.
+        self.stages: Tuple[str, ...] = tuple(ordered)
+
+    def serves(self, kind: str) -> bool:
+        return kind in self.chains
+
+    def chain(self, kind: str) -> Tuple[str, ...]:
+        try:
+            return self.chains[kind]
+        except KeyError:
+            raise ValueError(
+                f"workload kind {kind!r} is not served by this engine; "
+                f"serving {self.kinds} (registered: {registered_kinds()})"
+            ) from None
+
+    def next_stage(self, kind: str, stage: str) -> Optional[str]:
+        """The stage after ``stage`` on ``kind``'s chain (None = terminal)."""
+        chain = self.chain(kind)
+        idx = chain.index(stage)
+        return chain[idx + 1] if idx + 1 < len(chain) else None

@@ -1,0 +1,143 @@
+"""Direct tests for the ``repro.data.lesions`` generators (Fig. 1).
+
+The quantify workload's ground truth rides on these generators (the
+lesion phantoms' exact masks), so their contracts get pinned here:
+determinism under a fixed rng, confinement to the lung mask, and
+per-type HU ranges consistent with the radiology they model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.lesions import (
+    COVID_LESION_TYPES,
+    HU_CONSOLIDATION,
+    HU_GGO,
+    LESION_TYPES,
+    add_lesion,
+)
+
+#: Healthy aerated parenchyma the synthetic slice is filled with.
+HU_LUNG = -860.0
+
+
+@pytest.fixture(scope="module")
+def slice_and_mask():
+    size = 64
+    ys, xs = np.mgrid[0:size, 0:size]
+    mask = np.hypot(ys - 32, xs - 32) <= 20
+    image = np.where(mask, HU_LUNG, 30.0)
+    return image, mask
+
+
+def _changed(before, after):
+    return np.abs(after - before) > 1.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_fixed_rng_reproduces_exactly(self, slice_and_mask, kind):
+        image, mask = slice_and_mask
+        a = add_lesion(image, mask, kind, rng=np.random.default_rng(7))
+        b = add_lesion(image, mask, kind, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_default_rng_is_seeded(self, slice_and_mask, kind):
+        # rng=None falls back to a fixed seed, not entropy — the
+        # phantom datasets depend on that.
+        image, mask = slice_and_mask
+        a = add_lesion(image, mask, kind)
+        b = add_lesion(image, mask, kind)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, slice_and_mask):
+        image, mask = slice_and_mask
+        a = add_lesion(image, mask, "ggo", rng=np.random.default_rng(1))
+        b = add_lesion(image, mask, "ggo", rng=np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestConfinement:
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_untouched_outside_lung_mask(self, slice_and_mask, kind):
+        image, mask = slice_and_mask
+        out = add_lesion(image, mask, kind, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(out[~mask], image[~mask])
+
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_input_not_mutated(self, slice_and_mask, kind):
+        image, mask = slice_and_mask
+        before = image.copy()
+        add_lesion(image, mask, kind, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(image, before)
+
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_empty_mask_raises(self, slice_and_mask, kind):
+        image, mask = slice_and_mask
+        with pytest.raises(ValueError):
+            add_lesion(image, np.zeros_like(mask), kind,
+                       rng=np.random.default_rng(0))
+
+
+class TestHuRanges:
+    @pytest.mark.parametrize("kind", sorted(LESION_TYPES))
+    def test_opacification_raises_hu(self, slice_and_mask, kind):
+        # Every lesion type *opacifies*: affected parenchyma moves up
+        # from aerated lung toward water, never below it.
+        image, mask = slice_and_mask
+        out = add_lesion(image, mask, kind, rng=np.random.default_rng(3))
+        changed = _changed(image, out)
+        assert changed.any()
+        assert (out[changed] > image[changed]).all()
+        assert out[changed].max() <= 150.0  # nothing past soft tissue
+
+    def test_ggo_is_partial_opacification(self, slice_and_mask):
+        # Hazy: brightens toward HU_GGO but stays lung-dominated —
+        # vessels/airways must remain visible through it.
+        image, mask = slice_and_mask
+        out = add_lesion(image, mask, "ggo", rng=np.random.default_rng(3))
+        changed = _changed(image, out)
+        assert HU_LUNG < out[changed].max() < HU_GGO + 100.0
+
+    def test_consolidation_reaches_soft_tissue(self, slice_and_mask):
+        image, mask = slice_and_mask
+        out = add_lesion(image, mask, "consolidation",
+                         rng=np.random.default_rng(3))
+        changed = _changed(image, out)
+        assert out[changed].max() == pytest.approx(HU_CONSOLIDATION, abs=30.0)
+
+    def test_crazy_paving_brighter_than_plain_ggo(self, slice_and_mask):
+        # The reticular grid rides on top of the haze.
+        image, mask = slice_and_mask
+        ggo = add_lesion(image, mask, "ggo", rng=np.random.default_rng(3))
+        paving = add_lesion(image, mask, "crazy_paving",
+                            rng=np.random.default_rng(3))
+        assert paving[mask].max() > ggo[mask].max()
+
+    def test_nodule_is_dense_and_small(self, slice_and_mask):
+        image, mask = slice_and_mask
+        out = add_lesion(image, mask, "nodule", rng=np.random.default_rng(3))
+        changed = _changed(image, out)
+        assert 0 < changed.sum() < mask.sum() * 0.05
+        assert out[changed].max() == pytest.approx(40.0, abs=10.0)
+
+    def test_diffuse_pneumonia_spreads_widely(self, slice_and_mask):
+        # Many scattered foci — more of the lung touched than any
+        # single focal COVID lesion.
+        image, mask = slice_and_mask
+        rng = np.random.default_rng(3)
+        out = add_lesion(image, mask, "diffuse_pneumonia", rng=rng)
+        focal = add_lesion(image, mask, "ggo", rng=np.random.default_rng(3))
+        assert _changed(image, out).sum() > _changed(image, focal).sum()
+
+
+class TestRegistry:
+    def test_covid_menu_is_subset(self):
+        assert set(COVID_LESION_TYPES) <= set(LESION_TYPES)
+        assert "nodule" not in COVID_LESION_TYPES
+
+    def test_unknown_kind_lists_choices(self, slice_and_mask):
+        image, mask = slice_and_mask
+        with pytest.raises(KeyError, match="ggo"):
+            add_lesion(image, mask, "cavitation")
